@@ -1,0 +1,243 @@
+// Benchmarks regenerating the paper's figures, one per table/figure.
+//
+// Each benchmark builds the figure's dataset and indexes once, then times
+// the query pipeline per method and Qinterval as sub-benchmarks, e.g.:
+//
+//	go test -bench 'BenchmarkFig8a' -benchmem
+//
+// reports ns/op per (method, Qinterval) cell of Figure 8a. Datasets default
+// to a 1/4-linear-scale of the paper's (set -full via fieldbench for the
+// real sizes); the *shapes* — who wins and by what factor — match the paper
+// at every scale. The cmd/fieldbench tool renders the same experiments as
+// complete series tables and CSV.
+package fielddb_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fielddb"
+
+	"fielddb/internal/bench"
+	"fielddb/internal/core"
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/storage"
+	"fielddb/internal/subfield"
+	"fielddb/internal/volume"
+	"fielddb/internal/workload"
+)
+
+// benchFigure runs one figure: for every index spec and Qinterval, a
+// sub-benchmark cycling through that workload's queries.
+func benchFigure(b *testing.B, exp bench.Experiment) {
+	f, err := exp.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vr := f.ValueRange()
+	for _, spec := range exp.Specs {
+		pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 1<<16)
+		idx, err := spec.Build(f, pager)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, qi := range exp.QIntervals {
+			queries := workload.Queries(vr, qi, 64, exp.Seed+int64(qi*1e6))
+			b.Run(fmt.Sprintf("%s/Qinterval=%.2f", spec.Label, qi), func(b *testing.B) {
+				b.ReportAllocs()
+				var simNs, pages float64
+				for i := 0; i < b.N; i++ {
+					res, err := idx.Query(queries[i%len(queries)])
+					if err != nil {
+						b.Fatal(err)
+					}
+					simNs += float64(res.IO.SimElapsed.Nanoseconds())
+					pages += float64(res.IO.Reads)
+				}
+				b.ReportMetric(simNs/float64(b.N), "simns/op")
+				b.ReportMetric(pages/float64(b.N), "pages/op")
+			})
+		}
+	}
+}
+
+// benchScale is the dataset scale for benchmarks: small enough that a full
+// -bench=. sweep finishes in minutes.
+func benchScale() bench.Scale { return bench.Scale{} }
+
+// BenchmarkFig8a regenerates Figure 8a: terrain DEM, LinearScan vs I-All vs
+// I-Hilbert across Qinterval 0–0.1.
+func BenchmarkFig8a(b *testing.B) {
+	exp := bench.Figure8a(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.Terrain(128, 4217) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkFig8b regenerates Figure 8b: urban-noise TIN.
+func BenchmarkFig8b(b *testing.B) {
+	exp := bench.Figure8b(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.NoiseTIN(1200, 907) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkFig11 regenerates Figure 11: the fractal-roughness sweep
+// (a: H=0.1, b: H=0.3, c: H=0.6, d: H=0.9).
+func BenchmarkFig11(b *testing.B) {
+	for _, h := range workload.HSweep {
+		h := h
+		b.Run(fmt.Sprintf("H=%.1f", h), func(b *testing.B) {
+			exp := bench.Figure11(h, benchScale())
+			exp.Dataset = func() (field.Field, error) { return workload.FractalDEM(128, h, 1100+int64(h*10)) }
+			benchFigure(b, exp)
+		})
+	}
+}
+
+// BenchmarkFig12b regenerates Figure 12b: the monotonic field w = x + y.
+func BenchmarkFig12b(b *testing.B) {
+	exp := bench.Figure12b(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.Monotonic(128) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkAblationCurves compares Hilbert vs Z-order vs Gray-code
+// linearization inside the subfield index.
+func BenchmarkAblationCurves(b *testing.B) {
+	exp := bench.AblationCurves(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.Terrain(128, 4217) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkAblationQuadThreshold sweeps the Interval Quadtree threshold
+// against I-Hilbert (the paper's motivating comparison).
+func BenchmarkAblationQuadThreshold(b *testing.B) {
+	exp := bench.AblationQuadThreshold(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.Terrain(128, 4217) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkAblationCostQ sweeps the cost-model constant q in P = L + q.
+func BenchmarkAblationCostQ(b *testing.B) {
+	exp := bench.AblationCostEpsilon(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.Terrain(128, 4217) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkRelatedIPIndex compares the related-work row-wise IP-index
+// (§2.3) against I-Hilbert and LinearScan.
+func BenchmarkRelatedIPIndex(b *testing.B) {
+	exp := bench.RelatedIPIndex(benchScale())
+	exp.Dataset = func() (field.Field, error) { return workload.Terrain(128, 4217) }
+	benchFigure(b, exp)
+}
+
+// BenchmarkBuild measures index construction per method on the terrain
+// dataset (build cost is the price of the paper's query speedups).
+func BenchmarkBuild(b *testing.B) {
+	f, err := workload.Terrain(128, 4217)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []core.Method{core.MethodLinearScan, core.MethodIAll, core.MethodIHilbert, core.MethodIQuad} {
+		spec := bench.SpecsForMethods(m)[0]
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 0)
+				if _, err := spec.Build(f, pager); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPointQuery measures the conventional Q1 query through the 2-D
+// R*-tree (§2.2.1).
+func BenchmarkPointQuery(b *testing.B) {
+	f, err := workload.Terrain(128, 4217)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 1<<16)
+	sp, err := core.BuildSpatial(f, pager, rstarParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := f.Bounds()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := bounds.Min.X + float64(i%97)/97*bounds.Width()
+		y := bounds.Min.Y + float64(i%89)/89*bounds.Height()
+		if _, _, err := sp.PointQuery(pt(x, y)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pt and rstarParams keep the benchmark imports tidy.
+func pt(x, y float64) geom.Point { return geom.Pt(x, y) }
+func rstarParams() rstar.Params  { return rstar.Params{} }
+
+// BenchmarkVolume3D measures 3-D value queries (extension E2): the
+// 3-D Hilbert subfield index vs an exhaustive scan over a 64³ voxel grid.
+func BenchmarkVolume3D(b *testing.B) {
+	g, err := volume.FromFunc(64, 64, 64, 1, 1, 1, func(x, y, z float64) float64 {
+		return x + 20*mathSin(y/9) + 10*mathCos(z/7)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 1<<14)
+	ix, err := volume.BuildIndex(g, pager, subfield.CostModel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := g.ValueRange()
+	width := (hi - lo) * 0.02
+	b.Run("I-Hilbert3D", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qlo := lo + float64(i%37)/37*(hi-lo-width)
+			if _, err := ix.Query(geom.Interval{Lo: qlo, Hi: qlo + width}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Scan3D", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qlo := lo + float64(i%37)/37*(hi-lo-width)
+			if _, err := ix.ScanQuery(geom.Interval{Lo: qlo, Hi: qlo + width}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkContours measures isoline extraction + assembly through the
+// value index (extension E4).
+func BenchmarkContours(b *testing.B) {
+	dem, err := fielddb.TerrainDEM(128, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := fielddb.Open(dem, fielddb.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		level := vr.Lo + (0.2+0.6*float64(i%29)/29)*vr.Length()
+		if _, err := db.Contours(level); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mathSin(x float64) float64 { return math.Sin(x) }
+func mathCos(x float64) float64 { return math.Cos(x) }

@@ -1,0 +1,98 @@
+// Command fieldbench regenerates the paper's evaluation: every figure's
+// series table (average query execution time per method and Qinterval) plus
+// the ablation studies.
+//
+// Usage:
+//
+//	fieldbench -list                 # show available experiments
+//	fieldbench -fig fig8a            # run one figure at default (1/4) scale
+//	fieldbench -fig all -full        # run everything at the paper's sizes
+//	fieldbench -fig fig11-H0.9 -csv out.csv
+//
+// Default scale divides the paper's linear dataset sizes by 4 and the
+// query count by 4, which preserves every qualitative shape while running
+// in seconds; -full uses the paper's exact sizes (512×512 terrain,
+// 1024×1024 fractals, ~9,000-triangle TIN, 200 queries per point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fielddb/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment name (see -list) or 'all'")
+		full    = flag.Bool("full", false, "use the paper's full dataset sizes")
+		queries = flag.Int("queries", 0, "override queries per Qinterval point")
+		csvPath = flag.String("csv", "", "append CSV rows to this file")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		chart   = flag.Bool("chart", false, "render each figure as an ASCII bar chart")
+		metric  = flag.String("metric", "wall", "chart metric: wall | sim")
+	)
+	flag.Parse()
+
+	scale := bench.Scale{Full: *full}
+	if *list {
+		for _, e := range bench.All(scale) {
+			fmt.Printf("%-16s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var exps []bench.Experiment
+	if *fig == "all" {
+		exps = bench.All(scale)
+	} else {
+		for _, name := range strings.Split(*fig, ",") {
+			e, err := bench.ByName(strings.TrimSpace(name), scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		var err error
+		csv, err = os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer csv.Close()
+	}
+
+	for _, exp := range exps {
+		if *queries > 0 {
+			exp.Queries = *queries
+		}
+		start := time.Now()
+		rep, err := bench.Run(exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Table())
+		if *chart {
+			fmt.Println(rep.Chart(*metric))
+		}
+		if ratio, err := rep.GeoMeanRatio("LinearScan", "I-Hilbert", true); err == nil {
+			fmt.Printf("geo-mean speedup of I-Hilbert over LinearScan (sim): %.1fx\n", ratio)
+		}
+		fmt.Printf("experiment wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+		if csv != nil {
+			if _, err := csv.WriteString(rep.CSV()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Ocean fishing: the paper's motivating multi-field query (§1) —
+//
+//	"Find regions where the temperature is between 20° and 25° and the
+//	 salinity is between 12% and 13%"
+//
+// — over two scalar fields (sea-surface temperature and salinity) sampled at
+// the same scattered stations and triangulated into TINs. Each field gets
+// its own I-Hilbert index; the conjunction intersects the two exact answer
+// regions with convex clipping.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"fielddb"
+	"fielddb/internal/geom"
+	"fielddb/internal/tin"
+)
+
+func main() {
+	// Synthetic ocean: 60×40 km, temperature falls with latitude and near
+	// a cold upwelling; salinity rises away from a river mouth.
+	const width, height = 60000.0, 40000.0
+	rng := rand.New(rand.NewSource(7))
+
+	temperature := func(p geom.Point) float64 {
+		base := 26 - 8*(p.Y/height) // warm south, cold north
+		upwell := -6 * math.Exp(-p.Dist(geom.Pt(45000, 10000))/9000)
+		eddy := 1.5 * math.Sin(p.X/7000) * math.Cos(p.Y/6000)
+		return base + upwell + eddy
+	}
+	salinity := func(p geom.Point) float64 {
+		river := -4 * math.Exp(-p.Dist(geom.Pt(8000, 38000))/12000) // fresh plume
+		return 13.5 + river + 0.5*math.Sin(p.Y/9000)
+	}
+
+	// One shared station layout — the common case for oceanographic casts.
+	const stations = 1500
+	pts := make([]geom.Point, 0, stations+4)
+	pts = append(pts, geom.Pt(0, 0), geom.Pt(width, 0), geom.Pt(width, height), geom.Pt(0, height))
+	for len(pts) < stations {
+		pts = append(pts, geom.Pt(rng.Float64()*width, rng.Float64()*height))
+	}
+	tempVals := make([]float64, len(pts))
+	salVals := make([]float64, len(pts))
+	for i, p := range pts {
+		tempVals[i] = temperature(p)
+		salVals[i] = salinity(p)
+	}
+	tris, err := tin.Delaunay(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tempField, err := tin.New(pts, tempVals, tris)
+	if err != nil {
+		log.Fatal(err)
+	}
+	salField, err := tin.New(pts, salVals, tris)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tempDB, err := fielddb.Open(tempField, fielddb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	salDB, err := fielddb.Open(salField, fielddb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("temperature: %d cells in %d subfields, range %v °C\n",
+		tempDB.Stats().Cells, tempDB.Stats().Groups, tempField.ValueRange())
+	fmt.Printf("salinity:    %d cells in %d subfields, range %v %%\n\n",
+		salDB.Stats().Cells, salDB.Stats().Groups, salField.ValueRange())
+
+	// The salmon query.
+	res, err := fielddb.And(
+		[]*fielddb.DB{tempDB, salDB},
+		[]fielddb.Interval{{Lo: 20, Hi: 25}, {Lo: 12, Hi: 13}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("salmon waters: 20–25 °C AND 12–13 % salinity")
+	for i, r := range res.PerField {
+		name := [...]string{"temperature", "salinity"}[i]
+		fmt.Printf("  %-11s: %d subfields selected, %d cells matched, area %.1f km²\n",
+			name, r.CandidateGroups, r.CellsMatched, r.Area/1e6)
+	}
+	fmt.Printf("  conjunction: %d regions, %.1f km² (%.1f%% of the survey area)\n",
+		len(res.Regions), res.Area/1e6, 100*res.Area/(width*height))
+
+	// Largest fishing ground.
+	var best fielddb.Polygon
+	for _, pg := range res.Regions {
+		if pg.Area() > best.Area() {
+			best = pg
+		}
+	}
+	if len(best) > 0 {
+		c := best.Centroid()
+		fmt.Printf("  best ground: %.2f km² centered at (%.1f km, %.1f km)\n",
+			best.Area()/1e6, c.X/1000, c.Y/1000)
+	}
+}

@@ -1,0 +1,110 @@
+// Terrain: renders the paper's Figure 7 — the subfield map of a terrain
+// field — plus an elevation-band (isoband) overlay, as a standalone SVG.
+//
+// Elevations are drawn as a grayscale hillshade; subfield boundaries (cells
+// whose neighbors belong to different subfields of the I-Hilbert partition)
+// are outlined, and the answer region of one value query is highlighted.
+//
+// Run:
+//
+//	go run ./examples/terrain            # writes terrain.svg
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+
+	"fielddb"
+	"fielddb/internal/field"
+)
+
+const (
+	side    = 128 // cells per axis
+	cellPix = 6   // pixels per cell
+)
+
+func main() {
+	dem, err := fielddb.TerrainDEM(side, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := fielddb.Open(dem, fielddb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	subs := db.Subfields()
+	fmt.Printf("terrain: %d cells, %d subfields\n", dem.NumCells(), len(subs))
+
+	// groupOf maps every cell to its subfield.
+	groupOf := make([]int, dem.NumCells())
+	for gi, s := range subs {
+		for _, id := range s.Cells {
+			groupOf[id] = gi
+		}
+	}
+
+	// One value query to highlight: the upper quartile of elevations.
+	vr := dem.ValueRange()
+	lo := vr.Lo + 0.75*vr.Length()
+	res, err := db.ValueQuery(lo, vr.Hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("highlight query [%.0f, %.0f] m: %d subfields, %d cells matched, %.1f%% of the area\n",
+		lo, vr.Hi, res.CandidateGroups, res.CellsMatched, 100*res.Area/dem.Bounds().Area())
+
+	out, err := os.Create("terrain.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	size := side * cellPix
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", size, size)
+
+	// Cells: grayscale by mean elevation.
+	var c field.Cell
+	for id := 0; id < dem.NumCells(); id++ {
+		dem.Cell(fielddb.CellID(id), &c)
+		mean := (c.Values[0] + c.Values[1] + c.Values[2] + c.Values[3]) / 4
+		shade := int(255 * (mean - vr.Lo) / vr.Length())
+		col, row := id%side, id/side
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+			col*cellPix, (side-1-row)*cellPix, cellPix, cellPix, shade, shade, shade)
+	}
+
+	// Highlighted answer region (cells matched by the query).
+	for id := 0; id < dem.NumCells(); id++ {
+		dem.Cell(fielddb.CellID(id), &c)
+		if !c.Interval().Intersects(fielddb.Interval{Lo: lo, Hi: vr.Hi}) {
+			continue
+		}
+		col, row := id%side, id/side
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgba(220,60,40,0.45)"/>`+"\n",
+			col*cellPix, (side-1-row)*cellPix, cellPix, cellPix)
+	}
+
+	// Subfield boundaries: edges between cells of different subfields.
+	fmt.Fprintf(w, `<g stroke="rgb(30,90,200)" stroke-width="1">`+"\n")
+	for id := 0; id < dem.NumCells(); id++ {
+		col, row := id%side, id/side
+		x, y := col*cellPix, (side-1-row)*cellPix
+		if col+1 < side && groupOf[id] != groupOf[id+1] {
+			fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+				x+cellPix, y, x+cellPix, y+cellPix)
+		}
+		if row+1 < side && groupOf[id] != groupOf[id+side] {
+			fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+				x, y, x+cellPix, y)
+		}
+	}
+	fmt.Fprintln(w, `</g>`)
+	fmt.Fprintln(w, `</svg>`)
+	fmt.Println("wrote terrain.svg (hillshade + subfield boundaries + query highlight)")
+}

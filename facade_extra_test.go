@@ -1,0 +1,237 @@
+package fielddb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"fielddb/internal/geom"
+	"fielddb/internal/storage"
+)
+
+func TestSubfieldsPartitionCells(t *testing.T) {
+	dem, _ := TerrainDEM(32, 11)
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := db.Subfields()
+	if len(subs) == 0 {
+		t.Fatal("no subfields")
+	}
+	seen := make(map[CellID]bool, dem.NumCells())
+	for si, s := range subs {
+		if len(s.Cells) == 0 {
+			t.Fatalf("subfield %d empty", si)
+		}
+		if s.Interval.IsEmpty() {
+			t.Fatalf("subfield %d has empty interval", si)
+		}
+		for _, id := range s.Cells {
+			if seen[id] {
+				t.Fatalf("cell %d in two subfields", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != dem.NumCells() {
+		t.Fatalf("subfields cover %d of %d cells", len(seen), dem.NumCells())
+	}
+	// LinearScan has no partition.
+	db2, _ := Open(dem, Options{Method: LinearScan})
+	if db2.Subfields() != nil {
+		t.Fatal("LinearScan returned subfields")
+	}
+}
+
+func TestConcurrentPointQueries(t *testing.T) {
+	// The spatial index path must be safe for concurrent readers (the
+	// pager serializes page access internally).
+	dem, _ := TerrainDEM(32, 13)
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := geom.Pt(float64((g*53+i*17)%900)+10, float64((g*31+i*29)%900)+10)
+				if _, err := db.PointQuery(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomDiskModelAndPageSize(t *testing.T) {
+	dem, _ := TerrainDEM(16, 3)
+	slow := storage.DiskModel{RandomRead: 100, SequentialRead: 10}
+	db, err := Open(dem, Options{DiskModel: &slow, PageSize: 1024, PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ValueQuery(dem.ValueRange().Lo, dem.ValueRange().Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsMatched != dem.NumCells() {
+		t.Fatalf("matched %d", res.CellsMatched)
+	}
+	// Smaller pages mean more of them.
+	if db.Stats().CellPages <= 16 {
+		t.Fatalf("cellPages = %d with 1 KiB pages", db.Stats().CellPages)
+	}
+}
+
+func TestIQuadFacadeThreshold(t *testing.T) {
+	dem, _ := TerrainDEM(16, 3)
+	db, err := Open(dem, Options{Method: IQuad, QuadMaxSizeFrac: 1.0 / 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Method() != IQuad {
+		t.Fatalf("method = %s", db.Method())
+	}
+	subs := db.Subfields()
+	vr := dem.ValueRange()
+	for _, s := range subs {
+		if len(s.Cells) > 1 && s.Interval.Length() > vr.Length()/8+1 {
+			t.Fatalf("subfield interval %v exceeds quad threshold", s.Interval)
+		}
+	}
+}
+
+func TestCurveOptionChangesPartitionNotAnswers(t *testing.T) {
+	dem, _ := TerrainDEM(16, 9)
+	vr := dem.ValueRange()
+	lo, hi := vr.Lo+0.3*vr.Length(), vr.Lo+0.4*vr.Length()
+	var areas []float64
+	for _, curve := range []string{"hilbert", "zorder", "gray"} {
+		db, err := Open(dem, Options{Curve: curve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.ValueQuery(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas = append(areas, res.Area)
+	}
+	for i := 1; i < len(areas); i++ {
+		if math.Abs(areas[i]-areas[0]) > 1e-9*(1+areas[0]) {
+			t.Fatalf("curve changed answers: %v", areas)
+		}
+	}
+}
+
+func TestSaveOpenIndexFacade(t *testing.T) {
+	dem, _ := TerrainDEM(16, 5)
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/idx.fidx"
+	if err := db.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	si, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Method() != IHilbert {
+		t.Fatalf("method = %s", si.Method())
+	}
+	vr := dem.ValueRange()
+	lo, hi := vr.Lo+0.3*vr.Length(), vr.Lo+0.4*vr.Length()
+	want, err := db.ValueQuery(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := si.ValueQuery(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CellsMatched != want.CellsMatched || math.Abs(got.Area-want.Area) > 1e-9*(1+want.Area) {
+		t.Fatalf("stored index disagrees: %d/%g vs %d/%g",
+			got.CellsMatched, got.Area, want.CellsMatched, want.Area)
+	}
+	if len(si.Subfields()) != len(db.Subfields()) {
+		t.Fatal("partition changed across save/open")
+	}
+	if _, err := si.ValueQuery(2, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	// LinearScan cannot be saved.
+	db2, _ := Open(dem, Options{Method: LinearScan})
+	if err := db2.SaveIndex(t.TempDir() + "/nope"); err == nil {
+		t.Fatal("LinearScan save accepted")
+	}
+}
+
+func TestContoursFacade(t *testing.T) {
+	dem, _ := TerrainDEM(32, 9)
+	db, _ := Open(dem, Options{})
+	vr := dem.ValueRange()
+	lines, err := db.Contours(vr.Lo + vr.Length()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no contours at median level")
+	}
+	for _, l := range lines {
+		if len(l) < 2 {
+			t.Fatalf("degenerate polyline %v", l)
+		}
+	}
+}
+
+func TestAutoMethodFacade(t *testing.T) {
+	dem, _ := TerrainDEM(16, 5)
+	db, err := Open(dem, Options{Method: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Method() != Auto {
+		t.Fatalf("method = %s", db.Method())
+	}
+	vr := dem.ValueRange()
+	res, err := db.ValueQuery(vr.Lo, vr.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsMatched != dem.NumCells() {
+		t.Fatalf("matched %d", res.CellsMatched)
+	}
+}
+
+func TestApproxValueQueryFacade(t *testing.T) {
+	dem, _ := TerrainDEM(16, 5)
+	db, _ := Open(dem, Options{})
+	vr := dem.ValueRange()
+	approx, err := db.ApproxValueQuery(vr.Lo, vr.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.CellsUpperBound != dem.NumCells() {
+		t.Fatalf("full-range upper bound %d, want %d", approx.CellsUpperBound, dem.NumCells())
+	}
+	if _, err := db.ApproxValueQuery(2, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	ls, _ := Open(dem, Options{Method: LinearScan})
+	if _, err := ls.ApproxValueQuery(vr.Lo, vr.Hi); err == nil {
+		t.Fatal("LinearScan approx accepted")
+	}
+}

@@ -1,0 +1,366 @@
+// Package fielddb is a continuous-field database with value-domain indexing,
+// reproducing "Indexing Values in Continuous Field Databases" (Kang,
+// Faloutsos, Laurini, Servigne — EDBT 2002).
+//
+// A continuous field represents a natural phenomenon — terrain elevation,
+// temperature, urban noise — as a subdivision of space into cells carrying
+// measured sample points, plus interpolation functions that define the value
+// everywhere else. fielddb answers the two query classes of such databases:
+//
+//   - conventional queries, F(v'): the value at a position, served by a 2-D
+//     R*-tree over cell extents;
+//   - field value queries, F⁻¹(w' ≤ w ≤ w″): the regions where the value
+//     falls in a range, served by the paper's I-Hilbert subfield index.
+//
+// # Quick start
+//
+//	dem, _ := fielddb.TerrainDEM(256, 42)           // or grid.New / tin.New
+//	db, _ := fielddb.Open(dem, fielddb.Options{})   // builds the I-Hilbert index
+//	res, _ := db.ValueQuery(700, 750)               // elevations in [700, 750]
+//	for _, region := range res.Regions { ... }      // exact answer polygons
+//	w, _ := db.PointQuery(geom.Pt(12.5, 90.25))     // conventional query
+//
+// The heavy lifting lives in the internal packages (documented in
+// DESIGN.md): internal/core implements LinearScan, I-All, I-Hilbert and the
+// Interval-Quadtree comparator over a paged storage layer with a simulated
+// disk clock; internal/bench regenerates every figure of the paper's
+// evaluation.
+package fielddb
+
+import (
+	"fmt"
+
+	"fielddb/internal/contour"
+	"fielddb/internal/core"
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/grid"
+	"fielddb/internal/rstar"
+	"fielddb/internal/sfc"
+	"fielddb/internal/storage"
+	"fielddb/internal/subfield"
+	"fielddb/internal/tin"
+	"fielddb/internal/workload"
+)
+
+// Re-exported core types, so typical applications only import fielddb and
+// the geometry package.
+type (
+	// Field is a continuous scalar field: a cell subdivision plus linear
+	// interpolation. *grid.DEM and *tin.TIN implement it.
+	Field = field.Field
+	// Cell is one element of a field's subdivision.
+	Cell = field.Cell
+	// Result is the outcome of a value query.
+	Result = core.Result
+	// IndexStats describes a built index.
+	IndexStats = core.IndexStats
+	// Interval is a closed range on the value domain.
+	Interval = geom.Interval
+	// Point is a spatial position.
+	Point = geom.Point
+	// Polygon is an answer region.
+	Polygon = geom.Polygon
+	// Method names a query-processing strategy.
+	Method = core.Method
+	// CellID identifies a cell within a field.
+	CellID = field.CellID
+)
+
+// Subfield describes one subfield of a partition-based value index: its
+// value interval and member cells in physical storage order.
+type Subfield struct {
+	Interval Interval
+	Cells    []CellID
+}
+
+// The query-processing strategies of the paper, plus the adaptive planner.
+const (
+	LinearScan = core.MethodLinearScan
+	IAll       = core.MethodIAll
+	IHilbert   = core.MethodIHilbert
+	IQuad      = core.MethodIQuad
+	Auto       = core.MethodAuto
+)
+
+// Options configures Open.
+type Options struct {
+	// Method selects the value index; the default is IHilbert, the paper's
+	// proposed method.
+	Method Method
+	// PageSize is the storage page size in bytes (default 4096, as in the
+	// paper's experiments).
+	PageSize int
+	// PoolPages is the buffer-pool capacity in pages (default 65536).
+	// Queries always start cold; the pool dedups page accesses within one
+	// query.
+	PoolPages int
+	// CostEpsilon overrides the subfield cost model constant (default 1,
+	// the paper's worked example).
+	CostEpsilon float64
+	// QuadMaxSizeFrac sets the Interval Quadtree threshold as a fraction
+	// of the value range (only for Method == IQuad; default 1/16).
+	QuadMaxSizeFrac float64
+	// Curve overrides the space-filling curve ("hilbert", "zorder",
+	// "gray"; default "hilbert").
+	Curve string
+	// DiskModel overrides the simulated disk cost model.
+	DiskModel *storage.DiskModel
+}
+
+// DB is an opened continuous-field database: one field, one value index,
+// and one spatial index, sharing a paged store.
+type DB struct {
+	field   Field
+	index   core.Index
+	spatial *core.SpatialIndex
+	pager   *storage.Pager
+}
+
+// Open builds the value and spatial indexes for f.
+func Open(f Field, opts Options) (*DB, error) {
+	if f == nil {
+		return nil, fmt.Errorf("fielddb: nil field")
+	}
+	if f.NumCells() == 0 {
+		return nil, fmt.Errorf("fielddb: field has no cells")
+	}
+	pageSize := opts.PageSize
+	if pageSize == 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	pool := opts.PoolPages
+	if pool == 0 {
+		pool = 1 << 16
+	}
+	model := storage.DefaultDiskModel
+	if opts.DiskModel != nil {
+		model = *opts.DiskModel
+	}
+	pager := storage.NewPager(storage.NewMemDisk(pageSize), model, pool)
+
+	method := opts.Method
+	if method == "" {
+		method = IHilbert
+	}
+	var curve sfc.Curve
+	if opts.Curve != "" {
+		var err error
+		curve, err = sfc.New(opts.Curve, 16, 2)
+		if err != nil {
+			return nil, fmt.Errorf("fielddb: %w", err)
+		}
+	}
+	cost := subfield.CostModel{Epsilon: opts.CostEpsilon}
+	var (
+		idx core.Index
+		err error
+	)
+	switch method {
+	case Auto:
+		idx, err = core.BuildAuto(f, pager, core.AutoOptions{
+			Hilbert: core.HilbertOptions{Curve: curve, Cost: cost},
+		})
+	case LinearScan:
+		idx, err = core.BuildLinearScan(f, pager)
+	case IAll:
+		idx, err = core.BuildIAll(f, pager, core.IAllOptions{})
+	case IHilbert:
+		idx, err = core.BuildIHilbert(f, pager, core.HilbertOptions{Curve: curve, Cost: cost})
+	case IQuad:
+		frac := opts.QuadMaxSizeFrac
+		if frac <= 0 {
+			frac = 1.0 / 16
+		}
+		vr := f.ValueRange()
+		idx, err = core.BuildIQuad(f, pager, core.ThresholdOptions{
+			MaxSize: vr.Length()*frac + 1,
+			Cost:    cost,
+		})
+	default:
+		return nil, fmt.Errorf("fielddb: unknown method %q", method)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fielddb: building %s: %w", method, err)
+	}
+
+	// The spatial index gets its own pager so Q1 and Q2 accounting stay
+	// independent.
+	spPager := storage.NewPager(storage.NewMemDisk(pageSize), model, pool)
+	sp, err := core.BuildSpatial(f, spPager, rstar.Params{PageSize: pageSize})
+	if err != nil {
+		return nil, fmt.Errorf("fielddb: spatial index: %w", err)
+	}
+	return &DB{field: f, index: idx, spatial: sp, pager: pager}, nil
+}
+
+// Field returns the underlying field.
+func (db *DB) Field() Field { return db.field }
+
+// Method returns the value-index strategy in use.
+func (db *DB) Method() Method { return db.index.Method() }
+
+// Stats describes the built value index.
+func (db *DB) Stats() IndexStats { return db.index.Stats() }
+
+// ValueQuery answers the field value query F⁻¹(lo ≤ w ≤ hi): the exact
+// regions where the field's value lies in [lo, hi]. With lo == hi the answer
+// geometry is returned as isolines.
+func (db *DB) ValueQuery(lo, hi float64) (*Result, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+	}
+	return db.index.Query(geom.Interval{Lo: lo, Hi: hi})
+}
+
+// ValueAbove answers "where is the value at least lo" (the urban noise
+// query of the paper's introduction).
+func (db *DB) ValueAbove(lo float64) (*Result, error) {
+	return db.ValueQuery(lo, db.field.ValueRange().Hi)
+}
+
+// ValueBelow answers "where is the value at most hi".
+func (db *DB) ValueBelow(hi float64) (*Result, error) {
+	return db.ValueQuery(db.field.ValueRange().Lo, hi)
+}
+
+// ApproxResult is the outcome of an approximate value query answered from
+// subfield metadata alone (no cell pages read).
+type ApproxResult = core.ApproxResult
+
+// ApproxValueQuery answers F⁻¹(lo ≤ w ≤ hi) approximately using only the
+// subfield R*-tree and per-subfield summaries (the paper's §3 suggestion of
+// storing e.g. the average value per subfield): an upper bound on matching
+// cells and a summary average, at filter-step cost. Only partition-based
+// methods support it.
+func (db *DB) ApproxValueQuery(lo, hi float64) (*ApproxResult, error) {
+	p, ok := db.index.(*core.Partitioned)
+	if !ok {
+		return nil, fmt.Errorf("fielddb: method %s has no subfield summaries", db.Method())
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+	}
+	return p.ApproxQuery(geom.Interval{Lo: lo, Hi: hi})
+}
+
+// Polyline is a connected isoline chain; closed contours repeat their first
+// point at the end.
+type Polyline = contour.Polyline
+
+// Contours answers the exact value query F⁻¹(w = level) and assembles the
+// per-cell isoline segments into connected polylines — an isoline map
+// extracted through the value index instead of an exhaustive scan.
+func (db *DB) Contours(level float64) ([]Polyline, error) {
+	res, err := db.ValueQuery(level, level)
+	if err != nil {
+		return nil, err
+	}
+	return contour.Assemble(res.Isolines, 1e-9), nil
+}
+
+// PointQuery answers the conventional query F(v'): the interpolated value at
+// point p, through the spatial R*-tree.
+func (db *DB) PointQuery(p Point) (float64, error) {
+	w, _, err := db.spatial.PointQuery(p)
+	return w, err
+}
+
+// Subfields returns the subfield partition of the value index, or nil for
+// methods without one (LinearScan, I-All). The cells of each subfield are
+// copies and safe to retain.
+func (db *DB) Subfields() []Subfield {
+	p, ok := db.index.(*core.Partitioned)
+	if !ok {
+		return nil
+	}
+	var out []Subfield
+	p.ForEachGroup(func(_ int, iv Interval, cells []CellID) bool {
+		cp := make([]CellID, len(cells))
+		copy(cp, cells)
+		out = append(out, Subfield{Interval: iv, Cells: cp})
+		return true
+	})
+	return out
+}
+
+// IOStats returns the cumulative page-access statistics of the value index's
+// store.
+func (db *DB) IOStats() storage.Stats { return db.pager.Stats() }
+
+// And runs a conjunctive value query across databases sharing the same
+// spatial domain: region where every db's value lies in its interval.
+func And(dbs []*DB, intervals []Interval) (*core.ConjunctiveResult, error) {
+	idxs := make([]core.Index, len(dbs))
+	for i, db := range dbs {
+		idxs[i] = db.index
+	}
+	return core.ConjunctiveQuery(idxs, intervals)
+}
+
+// SaveIndex writes the built value index (cell heap, R*-tree pages and
+// catalog) to a single database file that OpenIndex can query without
+// rebuilding. Only partition-based methods (I-Hilbert, I-Quad, I-Threshold)
+// can be saved.
+func (db *DB) SaveIndex(path string) error {
+	p, ok := db.index.(*core.Partitioned)
+	if !ok {
+		return fmt.Errorf("fielddb: method %s has no on-disk format", db.Method())
+	}
+	return p.SaveFile(path)
+}
+
+// StoredIndex is a value index opened from a database file written by
+// SaveIndex: it answers value queries straight from the file's pages,
+// without the original Field.
+type StoredIndex struct {
+	index *core.Partitioned
+}
+
+// OpenIndex opens a database file written by SaveIndex.
+func OpenIndex(path string) (*StoredIndex, error) {
+	p, err := core.OpenFile(path, storage.DefaultDiskModel, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	return &StoredIndex{index: p}, nil
+}
+
+// Method returns the stored index's strategy.
+func (s *StoredIndex) Method() Method { return s.index.Method() }
+
+// Stats describes the stored index.
+func (s *StoredIndex) Stats() IndexStats { return s.index.Stats() }
+
+// ValueQuery answers F⁻¹(lo ≤ w ≤ hi) from the stored pages.
+func (s *StoredIndex) ValueQuery(lo, hi float64) (*Result, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+	}
+	return s.index.Query(geom.Interval{Lo: lo, Hi: hi})
+}
+
+// Subfields returns the stored partition.
+func (s *StoredIndex) Subfields() []Subfield {
+	var out []Subfield
+	s.index.ForEachGroup(func(_ int, iv Interval, cells []CellID) bool {
+		cp := make([]CellID, len(cells))
+		copy(cp, cells)
+		out = append(out, Subfield{Interval: iv, Cells: cp})
+		return true
+	})
+	return out
+}
+
+// TerrainDEM builds a deterministic fractal terrain DEM with side×side
+// cells (side must be a power of two) — a convenient realistic dataset for
+// examples and tests.
+func TerrainDEM(side int, seed int64) (*grid.DEM, error) {
+	return workload.Terrain(side, seed)
+}
+
+// NoiseTIN builds a synthetic urban-noise TIN with roughly 2×points
+// triangles, mirroring the paper's Lyon dataset.
+func NoiseTIN(points int, seed int64) (*tin.TIN, error) {
+	return workload.NoiseTIN(points, seed)
+}

@@ -1,0 +1,3 @@
+module fielddb
+
+go 1.22

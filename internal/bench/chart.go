@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the report as a grouped horizontal bar chart — a terminal
+// rendition of the paper's figures. metric selects "wall" (default) or
+// "sim" milliseconds.
+func (r *Report) Chart(metric string) string {
+	value := func(p Point) float64 {
+		if metric == "sim" {
+			return p.SimMs
+		}
+		return p.WallMs
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, s := range r.Series {
+		if len(s.Label) > maxLabel {
+			maxLabel = len(s.Label)
+		}
+		for _, p := range s.Points {
+			if v := value(p); v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const width = 50
+	var b strings.Builder
+	unit := "wall ms"
+	if metric == "sim" {
+		unit = "sim ms"
+	}
+	fmt.Fprintf(&b, "%s — %s (%s per query; bar = %g ms full scale)\n",
+		r.Experiment.Name, r.Experiment.Title, unit, maxVal)
+	for pi, qi := range r.Experiment.QIntervals {
+		fmt.Fprintf(&b, "Qinterval %.3f\n", qi)
+		for _, s := range r.Series {
+			v := value(s.Points[pi])
+			n := int(v / maxVal * width)
+			if n > width {
+				n = width
+			}
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.2f\n", maxLabel, s.Label, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}

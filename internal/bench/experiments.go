@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+
+	"fielddb/internal/core"
+	"fielddb/internal/field"
+	"fielddb/internal/grid"
+	"fielddb/internal/sfc"
+	"fielddb/internal/storage"
+	"fielddb/internal/subfield"
+	"fielddb/internal/workload"
+)
+
+// Scale selects dataset sizes. The paper's full sizes (512×512 terrain,
+// 1024×1024 fractals, ~9,000-triangle TIN, 200 queries per point) take
+// minutes per figure; the default scale divides the linear size by 4 and the
+// query count by 4 while preserving every qualitative shape.
+type Scale struct {
+	Full bool
+}
+
+func (s Scale) side(full int) int {
+	if s.Full {
+		return full
+	}
+	return full / 4
+}
+
+func (s Scale) queries() int {
+	if s.Full {
+		return workload.QueryCount
+	}
+	return workload.QueryCount / 4
+}
+
+func (s Scale) noisePoints() int {
+	if s.Full {
+		return 4600
+	}
+	return 1200
+}
+
+// Figure8a is the real-terrain experiment: 512×512 DEM, Qinterval 0–0.1,
+// LinearScan vs I-All vs I-Hilbert.
+func Figure8a(s Scale) Experiment {
+	return Experiment{
+		Name:  "fig8a",
+		Title: "terrain DEM (USGS stand-in), execution time vs Qinterval",
+		Dataset: func() (field.Field, error) {
+			return workload.Terrain(s.side(512), 4217)
+		},
+		QIntervals: workload.QIntervalsReal,
+		Specs:      SpecsForMethods(core.MethodLinearScan, core.MethodIAll, core.MethodIHilbert),
+		Queries:    s.queries(),
+		Seed:       81,
+	}
+}
+
+// Figure8b is the urban-noise experiment: ~9,000-triangle TIN.
+func Figure8b(s Scale) Experiment {
+	return Experiment{
+		Name:  "fig8b",
+		Title: "urban noise TIN (Lyon stand-in), execution time vs Qinterval",
+		Dataset: func() (field.Field, error) {
+			return workload.NoiseTIN(s.noisePoints(), 907)
+		},
+		QIntervals: workload.QIntervalsReal,
+		Specs:      SpecsForMethods(core.MethodLinearScan, core.MethodIAll, core.MethodIHilbert),
+		Queries:    s.queries(),
+		Seed:       82,
+	}
+}
+
+// Figure11 is the fractal sweep: one experiment per roughness H over a
+// 1024×1024 diamond-square DEM.
+func Figure11(h float64, s Scale) Experiment {
+	return Experiment{
+		Name:  fmt.Sprintf("fig11-H%.1f", h),
+		Title: fmt.Sprintf("fractal DEM, H = %.1f, execution time vs Qinterval", h),
+		Dataset: func() (field.Field, error) {
+			return workload.FractalDEM(s.side(1024), h, 1100+int64(h*10))
+		},
+		QIntervals: workload.QIntervalsSynthetic,
+		Specs:      SpecsForMethods(core.MethodLinearScan, core.MethodIAll, core.MethodIHilbert),
+		Queries:    s.queries(),
+		Seed:       110 + int64(h*100),
+	}
+}
+
+// Figure12b is the monotonic-field experiment: w(x, y) = x + y on 512×512.
+func Figure12b(s Scale) Experiment {
+	return Experiment{
+		Name:  "fig12b",
+		Title: "monotonic DEM w(x,y) = x + y, execution time vs Qinterval",
+		Dataset: func() (field.Field, error) {
+			return workload.Monotonic(s.side(512))
+		},
+		QIntervals: append([]float64{}, 0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06),
+		Specs:      SpecsForMethods(core.MethodLinearScan, core.MethodIAll, core.MethodIHilbert),
+		Queries:    s.queries(),
+		Seed:       120,
+	}
+}
+
+// AblationCurves compares the space-filling curve driving the
+// linearization: Hilbert vs Z-order vs Gray-code (refs [6, 7, 13] of the
+// paper claim Hilbert clusters best).
+func AblationCurves(s Scale) Experiment {
+	specs := make([]IndexSpec, 0, 3)
+	for _, name := range []string{"hilbert", "zorder", "gray"} {
+		name := name
+		specs = append(specs, IndexSpec{
+			Label: "I-" + name,
+			Build: func(f field.Field, p *storage.Pager) (core.Index, error) {
+				curve, err := sfc.New(name, 16, 2)
+				if err != nil {
+					return nil, err
+				}
+				return core.BuildIHilbert(f, p, core.HilbertOptions{Curve: curve})
+			},
+		})
+	}
+	return Experiment{
+		Name:  "ablation-curves",
+		Title: "I-Hilbert with Hilbert vs Z-order vs Gray-code linearization",
+		Dataset: func() (field.Field, error) {
+			return workload.Terrain(s.side(512), 4217)
+		},
+		QIntervals: workload.QIntervalsReal,
+		Specs:      specs,
+		Queries:    s.queries(),
+		Seed:       130,
+	}
+}
+
+// AblationQuadThreshold sweeps the Interval Quadtree threshold and compares
+// against I-Hilbert — the paper's motivation: no fixed threshold is best
+// everywhere, while the cost-based grouping needs no tuning.
+func AblationQuadThreshold(s Scale) Experiment {
+	specs := []IndexSpec{
+		SpecsForMethods(core.MethodIHilbert)[0],
+	}
+	for _, frac := range []float64{1.0 / 4, 1.0 / 16, 1.0 / 64} {
+		frac := frac
+		specs = append(specs, IndexSpec{
+			Label: fmt.Sprintf("I-Quad/%g", 1/frac),
+			Build: func(f field.Field, p *storage.Pager) (core.Index, error) {
+				vr := f.ValueRange()
+				return core.BuildIQuad(f, p, core.ThresholdOptions{MaxSize: vr.Length()*frac + 1})
+			},
+		})
+	}
+	return Experiment{
+		Name:  "ablation-quad",
+		Title: "Interval Quadtree threshold sweep vs I-Hilbert",
+		Dataset: func() (field.Field, error) {
+			return workload.Terrain(s.side(512), 4217)
+		},
+		QIntervals: workload.QIntervalsReal,
+		Specs:      specs,
+		Queries:    s.queries(),
+		Seed:       140,
+	}
+}
+
+// AblationCostEpsilon sweeps the cost model's additive constant (the
+// query-length term of P = L + q).
+func AblationCostEpsilon(s Scale) Experiment {
+	var specs []IndexSpec
+	for _, eps := range []float64{0.25, 1, 4, 16} {
+		eps := eps
+		specs = append(specs, IndexSpec{
+			Label: fmt.Sprintf("I-Hilbert/eps=%g", eps),
+			Build: func(f field.Field, p *storage.Pager) (core.Index, error) {
+				return core.BuildIHilbert(f, p, core.HilbertOptions{
+					Cost: subfield.CostModel{Epsilon: eps},
+				})
+			},
+		})
+	}
+	return Experiment{
+		Name:  "ablation-eps",
+		Title: "cost-model constant sweep (P = L + q)",
+		Dataset: func() (field.Field, error) {
+			return workload.Terrain(s.side(512), 4217)
+		},
+		QIntervals: workload.QIntervalsReal,
+		Specs:      specs,
+		Queries:    s.queries(),
+		Seed:       150,
+	}
+}
+
+// RelatedIPIndex compares the paper's related work (§2.3) — one IP-index
+// per DEM row, continuity along one axis only — against I-Hilbert and
+// LinearScan on the terrain dataset.
+func RelatedIPIndex(s Scale) Experiment {
+	ipSpec := IndexSpec{
+		Label: string(core.MethodIPRow),
+		Build: func(f field.Field, p *storage.Pager) (core.Index, error) {
+			d, ok := f.(*grid.DEM)
+			if !ok {
+				return nil, fmt.Errorf("bench: IP-Row requires a DEM, got %T", f)
+			}
+			return core.BuildIPRow(d, p)
+		},
+	}
+	itSpec := IndexSpec{
+		Label: string(core.MethodIntervalTree),
+		Build: func(f field.Field, p *storage.Pager) (core.Index, error) {
+			return core.BuildITree(f, p)
+		},
+	}
+	specs := append(SpecsForMethods(core.MethodLinearScan, core.MethodIHilbert), itSpec)
+	return Experiment{
+		Name:  "related-ipindex",
+		Title: "related work: row-wise IP-index and main-memory interval tree vs I-Hilbert",
+		Dataset: func() (field.Field, error) {
+			return workload.Terrain(s.side(512), 4217)
+		},
+		QIntervals: workload.QIntervalsReal,
+		Specs:      append(specs, ipSpec),
+		Queries:    s.queries(),
+		Seed:       160,
+	}
+}
+
+// ExtensionAuto compares the adaptive planner (histogram-driven choice
+// between subfield filtering and sequential scan) against both fixed
+// strategies, over a Qinterval grid that reaches into the high-selectivity
+// regime where LinearScan wins.
+func ExtensionAuto(s Scale) Experiment {
+	autoSpec := IndexSpec{
+		Label: string(core.MethodAuto),
+		Build: func(f field.Field, p *storage.Pager) (core.Index, error) {
+			return core.BuildAuto(f, p, core.AutoOptions{})
+		},
+	}
+	return Experiment{
+		Name:  "extension-auto",
+		Title: "adaptive planner (I-Auto) vs fixed strategies, wide Qinterval sweep",
+		Dataset: func() (field.Field, error) {
+			return workload.FractalDEM(s.side(1024)/2, 0.3, 1103)
+		},
+		QIntervals: []float64{0, 0.05, 0.2, 0.4, 0.6, 0.8},
+		Specs:      append(SpecsForMethods(core.MethodLinearScan, core.MethodIHilbert), autoSpec),
+		Queries:    s.queries(),
+		Seed:       170,
+	}
+}
+
+// All returns every experiment of the evaluation at the given scale, in
+// paper order.
+func All(s Scale) []Experiment {
+	out := []Experiment{Figure8a(s), Figure8b(s)}
+	for _, h := range workload.HSweep {
+		out = append(out, Figure11(h, s))
+	}
+	out = append(out, Figure12b(s), AblationCurves(s), AblationQuadThreshold(s),
+		AblationCostEpsilon(s), RelatedIPIndex(s), ExtensionAuto(s))
+	return out
+}
+
+// ByName returns the experiment with the given name at the given scale.
+func ByName(name string, s Scale) (Experiment, error) {
+	for _, e := range All(s) {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", name)
+}

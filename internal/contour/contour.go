@@ -1,0 +1,144 @@
+// Package contour assembles the per-cell isoline segments produced by the
+// estimation step of exact value queries (F⁻¹(w = w′)) into connected
+// polylines — the isoline maps of the paper's related work (van Kreveld's
+// TIN isoline extraction, §2.3) built on top of the I-Hilbert index's
+// candidate cells instead of an exhaustive scan.
+package contour
+
+import (
+	"math"
+	"sort"
+
+	"fielddb/internal/geom"
+)
+
+// Polyline is a connected chain of points. Closed contours repeat their
+// first point at the end.
+type Polyline []geom.Point
+
+// Closed reports whether the polyline is a ring.
+func (p Polyline) Closed() bool {
+	return len(p) > 2 && p[0] == p[len(p)-1]
+}
+
+// Length returns the total arc length.
+func (p Polyline) Length() float64 {
+	sum := 0.0
+	for i := 1; i < len(p); i++ {
+		sum += p[i].Dist(p[i-1])
+	}
+	return sum
+}
+
+// Assemble joins segments that share endpoints (within tol) into maximal
+// polylines. Segments are undirected; each is used exactly once. Zero-length
+// segments are dropped.
+func Assemble(segments [][2]geom.Point, tol float64) []Polyline {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	type seg struct {
+		a, b geom.Point
+		used bool
+	}
+	segs := make([]seg, 0, len(segments))
+	// Duplicate segments arise when a shared cell edge lies exactly on the
+	// queried level (both incident triangles emit it); keep one copy.
+	type segKey struct{ ax, ay, bx, by float64 }
+	canon := func(a, b geom.Point) segKey {
+		if b.X < a.X || (b.X == a.X && b.Y < a.Y) {
+			a, b = b, a
+		}
+		return segKey{a.X, a.Y, b.X, b.Y}
+	}
+	seen := make(map[segKey]bool, len(segments))
+	for _, s := range segments {
+		if s[0].Dist(s[1]) <= tol {
+			continue
+		}
+		k := canon(s[0], s[1])
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		segs = append(segs, seg{a: s[0], b: s[1]})
+	}
+	// Endpoint index: quantized grid buckets for near-equality lookup.
+	quant := func(p geom.Point) [2]int64 {
+		return [2]int64{int64(math.Round(p.X / tol / 4)), int64(math.Round(p.Y / tol / 4))}
+	}
+	index := make(map[[2]int64][]int)
+	addEnd := func(p geom.Point, i int) {
+		q := quant(p)
+		index[q] = append(index[q], i)
+	}
+	for i := range segs {
+		addEnd(segs[i].a, i)
+		addEnd(segs[i].b, i)
+	}
+	// find returns an unused segment with an endpoint within tol of p,
+	// along with that endpoint's far end.
+	find := func(p geom.Point) (int, geom.Point, bool) {
+		q := quant(p)
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, i := range index[[2]int64{q[0] + dx, q[1] + dy}] {
+					if segs[i].used {
+						continue
+					}
+					if segs[i].a.Dist(p) <= tol {
+						return i, segs[i].b, true
+					}
+					if segs[i].b.Dist(p) <= tol {
+						return i, segs[i].a, true
+					}
+				}
+			}
+		}
+		return 0, geom.Point{}, false
+	}
+
+	var out []Polyline
+	for i := range segs {
+		if segs[i].used {
+			continue
+		}
+		segs[i].used = true
+		line := Polyline{segs[i].a, segs[i].b}
+		// Extend forward from the tail.
+		for {
+			j, far, ok := find(line[len(line)-1])
+			if !ok {
+				break
+			}
+			segs[j].used = true
+			line = append(line, far)
+		}
+		// Extend backward from the head.
+		for {
+			j, far, ok := find(line[0])
+			if !ok {
+				break
+			}
+			segs[j].used = true
+			line = append(Polyline{far}, line...)
+		}
+		// Snap closed rings exactly.
+		if len(line) > 2 && line[0].Dist(line[len(line)-1]) <= tol {
+			line[len(line)-1] = line[0]
+		}
+		out = append(out, line)
+	}
+	// Deterministic output order: by first point, then length.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i][0], out[j][0]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return len(out[i]) < len(out[j])
+	})
+	return out
+}

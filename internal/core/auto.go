@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/storage"
+)
+
+// MethodAuto is the adaptive planner: per query it estimates selectivity
+// from a value histogram and chooses between the I-Hilbert filter pipeline
+// and a plain sequential scan. The experiments (Fig 11a at H = 0.1, wide
+// Qintervals on Fig 8a) show both regimes exist: subfield filtering wins at
+// low selectivity while a pure sequential scan is hard to beat when most
+// cells match anyway.
+const MethodAuto Method = "I-Auto"
+
+// Auto wraps an I-Hilbert index with a selectivity-based choice of access
+// path over the same heap file.
+type Auto struct {
+	part *Partitioned
+	// hist[i] counts cells whose interval intersects the i-th equi-width
+	// bin of the value range.
+	hist     []int
+	binWidth float64
+	histLo   float64
+	cells    int
+	// scanThreshold is the estimated matched-cell fraction above which the
+	// planner prefers the sequential scan.
+	scanThreshold float64
+	// ScanQueries / FilterQueries count the planner's decisions.
+	ScanQueries   int
+	FilterQueries int
+}
+
+// AutoOptions tunes BuildAuto.
+type AutoOptions struct {
+	// Hilbert carries the underlying index options.
+	Hilbert HilbertOptions
+	// Bins is the histogram resolution (default 64).
+	Bins int
+	// ScanThreshold is the estimated selectivity above which the planner
+	// scans (default 0.45: the subfield path's random run starts stop
+	// paying off roughly when half the data matches).
+	ScanThreshold float64
+}
+
+// BuildAuto builds the I-Hilbert index plus the selectivity histogram.
+func BuildAuto(f field.Field, pager *storage.Pager, opts AutoOptions) (*Auto, error) {
+	part, err := BuildIHilbert(f, pager, opts.Hilbert)
+	if err != nil {
+		return nil, err
+	}
+	bins := opts.Bins
+	if bins <= 0 {
+		bins = 64
+	}
+	threshold := opts.ScanThreshold
+	if threshold <= 0 || threshold >= 1 {
+		threshold = 0.45
+	}
+	vr := f.ValueRange()
+	width := vr.Length() / float64(bins)
+	if width <= 0 {
+		width = 1
+	}
+	a := &Auto{
+		part:          part,
+		hist:          make([]int, bins),
+		binWidth:      width,
+		histLo:        vr.Lo,
+		cells:         f.NumCells(),
+		scanThreshold: threshold,
+	}
+	var c field.Cell
+	for id := 0; id < f.NumCells(); id++ {
+		f.Cell(field.CellID(id), &c)
+		iv := c.Interval()
+		b0, b1 := a.binOf(iv.Lo), a.binOf(iv.Hi)
+		for b := b0; b <= b1; b++ {
+			a.hist[b]++
+		}
+	}
+	return a, nil
+}
+
+func (a *Auto) binOf(w float64) int {
+	b := int((w - a.histLo) / a.binWidth)
+	if b < 0 {
+		return 0
+	}
+	if b >= len(a.hist) {
+		return len(a.hist) - 1
+	}
+	return b
+}
+
+// EstimateSelectivity returns the histogram's (over-)estimate of the
+// fraction of cells whose interval intersects q.
+func (a *Auto) EstimateSelectivity(q geom.Interval) float64 {
+	if a.cells == 0 || q.IsEmpty() {
+		return 0
+	}
+	b0, b1 := a.binOf(q.Lo), a.binOf(q.Hi)
+	max := 0
+	for b := b0; b <= b1; b++ {
+		// Bins double-count cells spanning several bins; taking the max
+		// rather than the sum keeps the estimate in [0, 1] and close for
+		// narrow queries, while wide queries are dominated by the largest
+		// bin anyway.
+		if a.hist[b] > max {
+			max = a.hist[b]
+		}
+	}
+	est := float64(max) / float64(a.cells) * float64(b1-b0+1)
+	if est > 1 {
+		est = 1
+	}
+	return est
+}
+
+// Method implements Index.
+func (a *Auto) Method() Method { return MethodAuto }
+
+// Stats implements Index.
+func (a *Auto) Stats() IndexStats {
+	st := a.part.Stats()
+	st.Method = MethodAuto
+	return st
+}
+
+// Query implements Index: plan, then run the chosen access path.
+func (a *Auto) Query(q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	if a.EstimateSelectivity(q) > a.scanThreshold {
+		a.ScanQueries++
+		return a.scanAll(q)
+	}
+	a.FilterQueries++
+	return a.part.Query(q)
+}
+
+// scanAll runs the LinearScan access path over the partitioned index's own
+// heap file.
+func (a *Auto) scanAll(q geom.Interval) (*Result, error) {
+	a.part.pager.DropCache()
+	before := a.part.pager.Stats()
+	res := &Result{Query: q}
+	var c field.Cell
+	err := a.part.heap.Scan(func(_ storage.RID, rec []byte) bool {
+		if err := field.DecodeCell(rec, &c); err != nil {
+			return false
+		}
+		estimateCell(res, &c, q)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.IO = a.part.pager.Stats().Sub(before)
+	return res, nil
+}
+
+var _ Index = (*Auto)(nil)

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/storage"
+)
+
+// On-disk database file layout for a built Partitioned index:
+//
+//	pages [0, N)       the build pager's pages verbatim — the Hilbert-ordered
+//	                   cell heap file followed by the R*-tree nodes
+//	pages [N, N+K)     the catalog blob (see below), split across pages
+//	page  N+K          the superblock (last page of the file):
+//	                   magic "FSUP", version u32, catalogStart u32,
+//	                   catalogPages u32, blobLen u64
+//
+// Catalog blob (little endian):
+//
+//	magic "FCAT", version u32
+//	method: u16 length + bytes
+//	cells u64
+//	heap page count u64, then that many page ids u32
+//	tree: root u32, nodes u32, height u32
+//	group count u64, then per group:
+//	    interval lo, hi f64; avg f64; firstPage, lastPage u32;
+//	    startRef, endRef u64
+//	cell order: cells × u32
+const catalogVersion = 1
+
+var (
+	catalogMagic    = [4]byte{'F', 'C', 'A', 'T'}
+	superblockMagic = [4]byte{'F', 'S', 'U', 'P'}
+)
+
+// SaveFile writes the built index — cell heap, R*-tree pages, and catalog —
+// to a single database file that OpenFile can query without rebuilding.
+func (p *Partitioned) SaveFile(path string) error {
+	disk, err := storage.OpenFileDisk(path, p.pager.PageSize())
+	if err != nil {
+		return err
+	}
+	defer disk.Close()
+	if disk.NumPages() != 0 {
+		return fmt.Errorf("core: %s is not empty", path)
+	}
+	if err := p.heap.Flush(); err != nil {
+		return err
+	}
+	if err := p.pager.SnapshotTo(disk); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	blob := p.encodeCatalog()
+	catalogStart := disk.NumPages()
+	ps := disk.PageSize()
+	for off := 0; off < len(blob); off += ps {
+		end := off + ps
+		if end > len(blob) {
+			end = len(blob)
+		}
+		id, err := disk.Alloc()
+		if err != nil {
+			return err
+		}
+		page := make([]byte, ps)
+		copy(page, blob[off:end])
+		if err := disk.WritePage(id, page); err != nil {
+			return err
+		}
+	}
+	catalogPages := disk.NumPages() - catalogStart
+	superID, err := disk.Alloc()
+	if err != nil {
+		return err
+	}
+	super := make([]byte, ps)
+	copy(super[0:4], superblockMagic[:])
+	binary.LittleEndian.PutUint32(super[4:8], catalogVersion)
+	binary.LittleEndian.PutUint32(super[8:12], uint32(catalogStart))
+	binary.LittleEndian.PutUint32(super[12:16], uint32(catalogPages))
+	binary.LittleEndian.PutUint64(super[16:24], uint64(len(blob)))
+	if err := disk.WritePage(superID, super); err != nil {
+		return err
+	}
+	return disk.Close()
+}
+
+func (p *Partitioned) encodeCatalog() []byte {
+	var b bytes.Buffer
+	b.Write(catalogMagic[:])
+	writeU32(&b, catalogVersion)
+	method := []byte(p.method)
+	writeU16(&b, uint16(len(method)))
+	b.Write(method)
+	writeU64(&b, uint64(p.cells))
+	pages := p.heap.Pages()
+	writeU64(&b, uint64(len(pages)))
+	for _, id := range pages {
+		writeU32(&b, uint32(id))
+	}
+	writeU32(&b, uint32(p.tree.RootPage()))
+	writeU32(&b, uint32(p.tree.PersistedNodes()))
+	writeU32(&b, uint32(p.tree.Height()))
+	writeU64(&b, uint64(len(p.groups)))
+	for _, g := range p.groups {
+		writeF64(&b, g.interval.Lo)
+		writeF64(&b, g.interval.Hi)
+		writeF64(&b, g.avg)
+		writeU32(&b, uint32(g.firstPage))
+		writeU32(&b, uint32(g.lastPage))
+		writeU64(&b, uint64(g.startRef))
+		writeU64(&b, uint64(g.endRef))
+	}
+	for _, id := range p.order {
+		writeU32(&b, uint32(id))
+	}
+	return b.Bytes()
+}
+
+// OpenFile opens a database file produced by SaveFile and returns a
+// query-ready Partitioned index backed by the file's pages. The simulated
+// disk model and buffer-pool size mirror the Open options used at build
+// time; pass pool 0 for strict cold-cache accounting.
+func OpenFile(path string, model storage.DiskModel, pool int) (*Partitioned, error) {
+	return openFilePageSize(path, storage.DefaultPageSize, model, pool)
+}
+
+func openFilePageSize(path string, pageSize int, model storage.DiskModel, pool int) (*Partitioned, error) {
+	disk, err := storage.OpenFileDisk(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	n := disk.NumPages()
+	if n < 2 {
+		disk.Close()
+		return nil, fmt.Errorf("core: %s: too small to be a database file", path)
+	}
+	buf := make([]byte, pageSize)
+	if err := disk.ReadPage(storage.PageID(n-1), buf); err != nil {
+		disk.Close()
+		return nil, err
+	}
+	if !bytes.Equal(buf[0:4], superblockMagic[:]) {
+		disk.Close()
+		return nil, fmt.Errorf("core: %s: bad superblock magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != catalogVersion {
+		disk.Close()
+		return nil, fmt.Errorf("core: %s: unsupported catalog version %d", path, v)
+	}
+	catalogStart := int(binary.LittleEndian.Uint32(buf[8:12]))
+	catalogPages := int(binary.LittleEndian.Uint32(buf[12:16]))
+	blobLen := int(binary.LittleEndian.Uint64(buf[16:24]))
+	if catalogStart < 0 || catalogPages <= 0 || catalogStart+catalogPages != n-1 ||
+		blobLen <= 0 || blobLen > catalogPages*pageSize {
+		disk.Close()
+		return nil, fmt.Errorf("core: %s: corrupt superblock", path)
+	}
+	blob := make([]byte, 0, catalogPages*pageSize)
+	for i := 0; i < catalogPages; i++ {
+		if err := disk.ReadPage(storage.PageID(catalogStart+i), buf); err != nil {
+			disk.Close()
+			return nil, err
+		}
+		blob = append(blob, buf...)
+	}
+	blob = blob[:blobLen]
+
+	dec, err := decodeCatalog(blob)
+	if err != nil {
+		disk.Close()
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	pager := storage.NewPager(disk, model, pool)
+	dec.p.pager = pager
+	dec.p.heap = storage.OpenHeapFile(pager, dec.heapPages, dec.cells)
+	tree, err := rstar.OpenPaged(pager, dec.treeRoot, 1,
+		rstar.Params{PageSize: pageSize}, len(dec.groups), dec.treeNodes, dec.treeHeight)
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	dec.p.tree = tree
+	return dec.p, nil
+}
+
+// decodedCatalog carries the intermediate decode state.
+type decodedCatalog struct {
+	p          *Partitioned
+	cells      int
+	heapPages  []storage.PageID
+	treeRoot   storage.PageID
+	treeNodes  int
+	treeHeight int
+	groups     []groupMeta
+}
+
+func decodeCatalog(blob []byte) (*decodedCatalog, error) {
+	r := &byteReader{buf: blob}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != catalogMagic {
+		return nil, fmt.Errorf("bad catalog magic")
+	}
+	if v := r.u32(); v != catalogVersion {
+		return nil, fmt.Errorf("unsupported catalog version %d", v)
+	}
+	methodLen := int(r.u16())
+	method := make([]byte, methodLen)
+	r.bytes(method)
+	cells := int(r.u64())
+	numPages := int(r.u64())
+	if r.err != nil || cells < 0 || numPages <= 0 || numPages > 1<<28 {
+		return nil, fmt.Errorf("corrupt catalog header")
+	}
+	heapPages := make([]storage.PageID, numPages)
+	for i := range heapPages {
+		heapPages[i] = storage.PageID(r.u32())
+	}
+	treeRoot := storage.PageID(r.u32())
+	treeNodes := int(r.u32())
+	treeHeight := int(r.u32())
+	numGroups := int(r.u64())
+	if r.err != nil || numGroups <= 0 || numGroups > cells {
+		return nil, fmt.Errorf("corrupt catalog group count")
+	}
+	groups := make([]groupMeta, numGroups)
+	pos := 0
+	for i := range groups {
+		groups[i] = groupMeta{
+			interval:  geom.Interval{Lo: r.f64(), Hi: r.f64()},
+			avg:       r.f64(),
+			firstPage: int(r.u32()),
+			lastPage:  int(r.u32()),
+		}
+		groups[i].startRef = int(r.u64())
+		groups[i].endRef = int(r.u64())
+		groups[i].cells = groups[i].endRef - groups[i].startRef
+		if r.err != nil {
+			break
+		}
+		// Groups must tile [0, cells) and reference valid heap pages; a
+		// violated invariant means a corrupt (or hostile) file.
+		g := groups[i]
+		if g.startRef != pos || g.endRef <= g.startRef || g.endRef > cells ||
+			g.firstPage < 0 || g.lastPage < g.firstPage || g.lastPage >= numPages {
+			return nil, fmt.Errorf("corrupt catalog group %d", i)
+		}
+		pos = g.endRef
+	}
+	if r.err == nil && pos != cells {
+		return nil, fmt.Errorf("catalog groups cover %d of %d cells", pos, cells)
+	}
+	order := make([]field.CellID, cells)
+	for i := range order {
+		order[i] = field.CellID(r.u32())
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("catalog truncated")
+	}
+	part := &Partitioned{
+		method: Method(method),
+		groups: groups,
+		order:  order,
+		cells:  cells,
+	}
+	return &decodedCatalog{
+		p:          part,
+		cells:      cells,
+		heapPages:  heapPages,
+		treeRoot:   treeRoot,
+		treeNodes:  treeNodes,
+		treeHeight: treeHeight,
+		groups:     groups,
+	}, nil
+}
+
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("catalog short read")
+		return make([]byte, n)
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) bytes(dst []byte) { copy(dst, r.take(len(dst))) }
+func (r *byteReader) u16() uint16      { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *byteReader) u32() uint32      { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *byteReader) u64() uint64      { return binary.LittleEndian.Uint64(r.take(8)) }
+func (r *byteReader) f64() float64     { return math.Float64frombits(r.u64()) }
+
+func writeU16(b *bytes.Buffer, v uint16) {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func writeU64(b *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func writeF64(b *bytes.Buffer, v float64) { writeU64(b, math.Float64bits(v)) }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/storage"
+)
+
+func rstarEntryForTest() rstar.Entry {
+	return rstar.Entry{MBR: rstar.Interval1D(0, 1), Data: 1}
+}
+
+func TestSaveOpenRoundtrip(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "terrain.fidx")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenFile(path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Method() != MethodIHilbert {
+		t.Fatalf("method = %s", opened.Method())
+	}
+	bs, os_ := built.Stats(), opened.Stats()
+	if bs.Cells != os_.Cells || bs.CellPages != os_.CellPages ||
+		bs.IndexPages != os_.IndexPages || bs.Groups != os_.Groups || bs.TreeHeight != os_.TreeHeight {
+		t.Fatalf("stats changed: built %+v, opened %+v", bs, os_)
+	}
+	// Queries over the reopened file agree with the in-memory index and
+	// with brute force.
+	rng := rand.New(rand.NewSource(21))
+	vr := f.ValueRange()
+	for trial := 0; trial < 20; trial++ {
+		lo := vr.Lo + rng.Float64()*vr.Length()
+		q := geom.Interval{Lo: lo, Hi: lo + rng.Float64()*vr.Length()*0.1}
+		want, wantArea := bruteForce(f, q)
+		r1, err := built.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := opened.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.CellsMatched != len(want) || r2.CellsMatched != len(want) {
+			t.Fatalf("query %v: matched %d / %d, want %d", q, r1.CellsMatched, r2.CellsMatched, len(want))
+		}
+		if math.Abs(r2.Area-wantArea) > 1e-6*(1+wantArea) {
+			t.Fatalf("query %v: area %g, want %g", q, r2.Area, wantArea)
+		}
+		// Same filter selectivity, same physical page runs.
+		if r1.CandidateGroups != r2.CandidateGroups || r1.CellsFetched != r2.CellsFetched {
+			t.Fatalf("pipeline differs: %d/%d groups, %d/%d cells",
+				r1.CandidateGroups, r2.CandidateGroups, r1.CellsFetched, r2.CellsFetched)
+		}
+	}
+	// The subfield partition survives the roundtrip.
+	count := 0
+	opened.ForEachGroup(func(_ int, iv geom.Interval, cells []field.CellID) bool {
+		count += len(cells)
+		return true
+	})
+	if count != f.NumCells() {
+		t.Fatalf("reopened groups cover %d of %d cells", count, f.NumCells())
+	}
+}
+
+func TestSaveFileRefusesNonEmpty(t *testing.T) {
+	f := testDEM(t, 8, 0.5)
+	built, _ := BuildIHilbert(f, newPager(), HilbertOptions{})
+	path := filepath.Join(t.TempDir(), "x.fidx")
+	if err := os.WriteFile(path, make([]byte, storage.DefaultPageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := built.SaveFile(path); err == nil {
+		t.Fatal("non-empty target accepted")
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	// Not a multiple of the page size.
+	bad1 := filepath.Join(dir, "bad1")
+	os.WriteFile(bad1, []byte("short"), 0o644)
+	if _, err := OpenFile(bad1, storage.DefaultDiskModel, 0); err == nil {
+		t.Fatal("short file accepted")
+	}
+	// Page-aligned zeros: bad superblock magic.
+	bad2 := filepath.Join(dir, "bad2")
+	os.WriteFile(bad2, make([]byte, 2*storage.DefaultPageSize), 0o644)
+	if _, err := OpenFile(bad2, storage.DefaultDiskModel, 0); err == nil {
+		t.Fatal("zero file accepted")
+	}
+}
+
+func TestOpenedFileIsReadOnly(t *testing.T) {
+	f := testDEM(t, 8, 0.5)
+	built, _ := BuildIHilbert(f, newPager(), HilbertOptions{})
+	path := filepath.Join(t.TempDir(), "ro.fidx")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenFile(path, storage.DefaultDiskModel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reopened tree is a paged-only handle.
+	if !opened.tree.IsPagedOnly() {
+		t.Fatal("reopened tree not paged-only")
+	}
+	if err := opened.tree.Insert(rstarEntryForTest()); err == nil {
+		t.Fatal("insert into paged-only tree accepted")
+	}
+}
+
+func TestOpenFileRejectsTamperedCatalog(t *testing.T) {
+	f := testDEM(t, 8, 0.5)
+	built, _ := BuildIHilbert(f, newPager(), HilbertOptions{})
+	path := filepath.Join(t.TempDir(), "tampered.fidx")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in the middle of the catalog region (just before the
+	// superblock) and expect a decode error, not a panic.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := storage.DefaultPageSize
+	catStart := len(raw) - 2*ps // last catalog page
+	for i := 0; i < 64; i++ {
+		raw[catStart+16+i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, storage.DefaultDiskModel, 0); err == nil {
+		t.Fatal("tampered catalog accepted")
+	}
+}
+
+func TestApproxQuery(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := f.ValueRange()
+	q := geom.Interval{Lo: vr.Lo + 0.3*vr.Length(), Hi: vr.Lo + 0.4*vr.Length()}
+	approx, err := p.ApproxQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := p.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The approximate cell count is an upper bound on the exact match count.
+	if approx.CellsUpperBound < exact.CellsMatched {
+		t.Fatalf("upper bound %d below exact %d", approx.CellsUpperBound, exact.CellsMatched)
+	}
+	if approx.Groups != exact.CandidateGroups {
+		t.Fatalf("groups %d vs %d", approx.Groups, exact.CandidateGroups)
+	}
+	// No cell pages touched: I/O limited to the small R*-tree.
+	if approx.IO.Reads >= exact.IO.Reads {
+		t.Fatalf("approx read %d pages, exact %d", approx.IO.Reads, exact.IO.Reads)
+	}
+	if approx.IO.Reads > p.Stats().IndexPages+1 {
+		t.Fatalf("approx read %d pages, index has %d", approx.IO.Reads, p.Stats().IndexPages)
+	}
+	// The summary average of the selected subfields lies inside (a modest
+	// widening of) the query interval's neighborhood: selected groups may
+	// legitimately straddle the query, so just require a finite value inside
+	// the field's range.
+	if math.IsNaN(approx.AvgValue) || approx.AvgValue < vr.Lo || approx.AvgValue > vr.Hi {
+		t.Fatalf("avg %g outside field range %v", approx.AvgValue, vr)
+	}
+	// Out-of-range query: no groups, NaN average.
+	miss, err := p.ApproxQuery(geom.Interval{Lo: vr.Hi + 10, Hi: vr.Hi + 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Groups != 0 || !math.IsNaN(miss.AvgValue) {
+		t.Fatalf("out-of-range approx = %+v", miss)
+	}
+	if _, err := p.ApproxQuery(geom.EmptyInterval()); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// The summaries survive a save/open roundtrip.
+	path := filepath.Join(t.TempDir(), "avg.fidx")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenFile(path, storage.DefaultDiskModel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := reopened.ApproxQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CellsUpperBound != approx.CellsUpperBound || math.Abs(again.AvgValue-approx.AvgValue) > 1e-12 {
+		t.Fatalf("approx changed across roundtrip: %+v vs %+v", again, approx)
+	}
+}

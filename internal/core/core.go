@@ -1,0 +1,158 @@
+// Package core implements the paper's primary contribution: value-domain
+// indexes for field value queries in continuous field databases.
+//
+// Four query-processing methods are provided:
+//
+//   - LinearScan — scan every cell page sequentially and test each cell
+//     interval (§2.2.2, the no-index baseline).
+//   - I-All — every individual cell interval stored in a 1-D R*-tree; each
+//     candidate cell is then fetched with a random page access (§3, the
+//     straightforward indexing baseline the paper shows can lose to
+//     LinearScan).
+//   - I-Hilbert — the proposed method: cells linearized by the Hilbert value
+//     of their centers, grouped into subfields by the cost model of §3.1.2,
+//     subfield intervals indexed in a 1-D R*-tree whose leaves point at the
+//     contiguous cell run of each subfield (§3).
+//   - I-Quad / I-Threshold — the Interval Quadtree of the authors' earlier
+//     work and a fixed-threshold run grouping, for the paper's motivating
+//     comparison and ablations.
+//
+// All methods share one storage substrate (internal/storage): cells live in
+// a slotted heap file, index nodes in R*-tree pages, and every page access
+// during a query is charged to a simulated disk clock so the methods are
+// compared under the paper's cost model (4 KiB pages, sequential vs random
+// access).
+package core
+
+import (
+	"fmt"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/storage"
+)
+
+// Method identifies a query-processing strategy.
+type Method string
+
+// The methods evaluated in the paper plus the ablation strategies.
+const (
+	MethodLinearScan Method = "LinearScan"
+	MethodIAll       Method = "I-All"
+	MethodIHilbert   Method = "I-Hilbert"
+	MethodIQuad      Method = "I-Quad"
+	MethodIThresh    Method = "I-Threshold"
+)
+
+// Result carries the outcome of one field value query.
+type Result struct {
+	// Query is the value interval that was asked.
+	Query geom.Interval
+	// CandidateGroups is the number of subfields the filter step selected
+	// (the number of candidate cell intervals for I-All, 0 for LinearScan).
+	CandidateGroups int
+	// CellsFetched is the number of cells read and tested during the
+	// estimation step (every cell for LinearScan).
+	CellsFetched int
+	// CellsMatched is the number of fetched cells whose interval
+	// intersects the query — the candidate cells of §2.2.2.
+	CellsMatched int
+	// Regions are the exact answer polygons computed by inverse
+	// interpolation (empty for zero-width queries).
+	Regions []geom.Polygon
+	// Isolines are the answer segments of an exact (zero-width) query.
+	Isolines [][2]geom.Point
+	// Area is the total area of Regions.
+	Area float64
+	// IO is the page-access activity of this query, including the
+	// simulated disk time — the quantity the paper's figures plot.
+	IO storage.Stats
+}
+
+// IndexStats describes a built index.
+type IndexStats struct {
+	Method     Method
+	Cells      int
+	CellPages  int // heap-file pages holding cell records
+	IndexPages int // R*-tree pages (0 for LinearScan)
+	Groups     int // subfields (cells for I-All, 0 for LinearScan)
+	TreeHeight int
+}
+
+// String implements fmt.Stringer.
+func (s IndexStats) String() string {
+	return fmt.Sprintf("%s: cells=%d cellPages=%d indexPages=%d groups=%d height=%d",
+		s.Method, s.Cells, s.CellPages, s.IndexPages, s.Groups, s.TreeHeight)
+}
+
+// Index answers field value queries over one field.
+type Index interface {
+	// Method returns the strategy this index implements.
+	Method() Method
+	// Query runs the filter + estimation pipeline for the value interval q
+	// and returns the exact answer regions along with cost accounting.
+	Query(q geom.Interval) (*Result, error)
+	// Stats describes the built index.
+	Stats() IndexStats
+}
+
+// estimateCell runs the shared estimation logic for one fetched cell:
+// testing its interval against the query and, on a match, computing the
+// exact answer geometry by inverse interpolation.
+func estimateCell(res *Result, c *field.Cell, q geom.Interval) {
+	res.CellsFetched++
+	if !c.Interval().Intersects(q) {
+		return
+	}
+	res.CellsMatched++
+	if q.Length() == 0 {
+		res.Isolines = append(res.Isolines, field.Isolines(c, q.Lo)...)
+		return
+	}
+	for _, pg := range field.Band(c, q.Lo, q.Hi) {
+		// Boundary cells can contribute degenerate slivers (the band
+		// touches the cell only along an edge); they carry no area and
+		// break downstream convex clipping, so drop them.
+		a := pg.Area()
+		if a <= 1e-12 {
+			continue
+		}
+		res.Regions = append(res.Regions, pg)
+		res.Area += a
+	}
+}
+
+// writeCells appends the cells of f to a fresh heap file on pager in the
+// order given by ids, returning the heap file and the RID of every cell in
+// write order.
+func writeCells(f field.Field, pager *storage.Pager, ids []field.CellID) (*storage.HeapFile, []storage.RID, error) {
+	heap := storage.NewHeapFile(pager)
+	rids := make([]storage.RID, len(ids))
+	var c field.Cell
+	var buf []byte
+	for i, id := range ids {
+		f.Cell(id, &c)
+		if err := c.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		buf = field.AppendCell(buf[:0], &c)
+		rid, err := heap.Append(buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: storing cell %d: %w", id, err)
+		}
+		rids[i] = rid
+	}
+	if err := heap.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return heap, rids, nil
+}
+
+// identityOrder returns the cell ids of f in natural order.
+func identityOrder(f field.Field) []field.CellID {
+	ids := make([]field.CellID, f.NumCells())
+	for i := range ids {
+		ids[i] = field.CellID(i)
+	}
+	return ids
+}

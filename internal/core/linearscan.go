@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/storage"
+)
+
+// LinearScan is the no-index baseline: every query scans all cell pages
+// sequentially and tests every cell interval.
+type LinearScan struct {
+	pager *storage.Pager
+	heap  *storage.HeapFile
+	cells int
+}
+
+// BuildLinearScan stores the field's cells in a heap file (in natural cell
+// order) and returns the scan-based query processor.
+func BuildLinearScan(f field.Field, pager *storage.Pager) (*LinearScan, error) {
+	heap, _, err := writeCells(f, pager, identityOrder(f))
+	if err != nil {
+		return nil, err
+	}
+	return &LinearScan{pager: pager, heap: heap, cells: f.NumCells()}, nil
+}
+
+// Method implements Index.
+func (ls *LinearScan) Method() Method { return MethodLinearScan }
+
+// Stats implements Index.
+func (ls *LinearScan) Stats() IndexStats {
+	return IndexStats{
+		Method:    MethodLinearScan,
+		Cells:     ls.cells,
+		CellPages: ls.heap.NumPages(),
+	}
+}
+
+// Query implements Index by scanning the entire heap file.
+func (ls *LinearScan) Query(q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	// Queries are independent: start cold, but allow within-query page
+	// reuse through the pager's pool (the paper's warm-OS-cache setting).
+	ls.pager.DropCache()
+	before := ls.pager.Stats()
+	res := &Result{Query: q}
+	var c field.Cell
+	err := ls.heap.Scan(func(_ storage.RID, rec []byte) bool {
+		if err := field.DecodeCell(rec, &c); err != nil {
+			return false
+		}
+		estimateCell(res, &c, q)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.IO = ls.pager.Stats().Sub(before)
+	return res, nil
+}
+
+var _ Index = (*LinearScan)(nil)

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/sfc"
+	"fielddb/internal/storage"
+	"fielddb/internal/subfield"
+)
+
+// Magnitude indexes the Euclidean norm of a vector field (the paper's
+// future-work case, §5 — "vector field databases such as wind") with a
+// filter-and-refine pipeline: each cell carries a conservative magnitude
+// interval (field.VectorField.MagnitudeBounds), cells are grouped into
+// subfields exactly as I-Hilbert does, and queries refine candidates by
+// evaluating the true magnitude on a sample lattice inside each cell.
+//
+// The filter never misses an answer (the bounds are conservative); the
+// refinement controls the trade-off between cost and area accuracy through
+// its sampling density.
+type Magnitude struct {
+	vf     *field.VectorField
+	pager  *storage.Pager
+	order  []field.CellID
+	bounds []geom.Interval // per order position
+	groups []subfield.Group
+	tree   *rstar.Tree
+	// refineGrid is the per-axis sample count of the refinement lattice.
+	refineGrid int
+}
+
+// MagnitudeOptions tunes BuildMagnitude.
+type MagnitudeOptions struct {
+	// RefineGrid is the per-axis sample count used to estimate the answer
+	// area inside a candidate cell (default 4, i.e. 16 samples per cell).
+	RefineGrid int
+	// Cost overrides the subfield cost model.
+	Cost subfield.CostModel
+}
+
+// MagnitudeResult is the outcome of a magnitude band query.
+type MagnitudeResult struct {
+	Query           geom.Interval
+	CandidateGroups int
+	CellsTested     int
+	// CandidateCells passed the conservative-interval filter.
+	CandidateCells []field.CellID
+	// MatchedCells contain at least one refinement sample inside the band.
+	MatchedCells []field.CellID
+	// Area estimates the answer region's area from the refinement lattice.
+	Area float64
+	IO   storage.Stats
+}
+
+// BuildMagnitude builds the magnitude index over vf.
+func BuildMagnitude(vf *field.VectorField, pager *storage.Pager, opts MagnitudeOptions) (*Magnitude, error) {
+	refine := opts.RefineGrid
+	if refine <= 0 {
+		refine = 4
+	}
+	cost := opts.Cost
+	if cost.Epsilon == 0 {
+		cost = subfield.DefaultCostModel
+	}
+	comp0 := vf.Component(0)
+	curve, err := sfc.NewHilbert(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := sfc.NewMapper(curve, vf.Bounds())
+	if err != nil {
+		return nil, err
+	}
+	n := vf.NumCells()
+	type keyed struct {
+		id  field.CellID
+		key uint64
+		iv  geom.Interval
+	}
+	cells := make([]keyed, n)
+	var c field.Cell
+	for id := 0; id < n; id++ {
+		comp0.Cell(field.CellID(id), &c)
+		cells[id] = keyed{
+			id:  field.CellID(id),
+			key: mapper.Index(c.Center()),
+			iv:  vf.MagnitudeBounds(field.CellID(id)),
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].key != cells[j].key {
+			return cells[i].key < cells[j].key
+		}
+		return cells[i].id < cells[j].id
+	})
+	refs := make([]subfield.CellRef, n)
+	order := make([]field.CellID, n)
+	bounds := make([]geom.Interval, n)
+	for i, k := range cells {
+		refs[i] = subfield.CellRef{Key: k.key, Interval: k.iv}
+		order[i] = k.id
+		bounds[i] = k.iv
+	}
+	groups := subfield.BuildGreedy(refs, cost)
+	tree, err := rstar.New(1, rstar.Params{PageSize: pager.PageSize()})
+	if err != nil {
+		return nil, err
+	}
+	for gi, g := range groups {
+		if err := tree.Insert(rstar.Entry{
+			MBR:  rstar.Interval1D(g.Interval.Lo, g.Interval.Hi),
+			Data: uint64(gi),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := tree.Persist(pager); err != nil {
+		return nil, err
+	}
+	return &Magnitude{
+		vf: vf, pager: pager, order: order, bounds: bounds,
+		groups: groups, tree: tree, refineGrid: refine,
+	}, nil
+}
+
+// NumGroups returns the number of subfields over the magnitude bounds.
+func (m *Magnitude) NumGroups() int { return len(m.groups) }
+
+// Query answers "where is |v| in [q.Lo, q.Hi]".
+func (m *Magnitude) Query(q geom.Interval) (*MagnitudeResult, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	m.pager.DropCache()
+	before := m.pager.Stats()
+	res := &MagnitudeResult{Query: q}
+	var selected []int
+	err := m.tree.PagedSearch(rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+		selected = append(selected, int(e.Data))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CandidateGroups = len(selected)
+	comp0 := m.vf.Component(0)
+	var c field.Cell
+	k := m.refineGrid
+	for _, gi := range selected {
+		g := m.groups[gi]
+		for pos := g.Start; pos < g.End; pos++ {
+			res.CellsTested++
+			if !m.bounds[pos].Intersects(q) {
+				continue
+			}
+			id := m.order[pos]
+			res.CandidateCells = append(res.CandidateCells, id)
+			// Refine: sample the true magnitude on a k×k lattice.
+			comp0.Cell(id, &c)
+			b := c.Bounds()
+			in := 0
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					p := geom.Pt(
+						b.Min.X+(float64(i)+0.5)/float64(k)*b.Width(),
+						b.Min.Y+(float64(j)+0.5)/float64(k)*b.Height(),
+					)
+					mag, ok := m.magnitudeInCell(id, p)
+					if ok && q.Contains(mag) {
+						in++
+					}
+				}
+			}
+			if in > 0 {
+				res.MatchedCells = append(res.MatchedCells, id)
+				res.Area += b.Area() * float64(in) / float64(k*k)
+			}
+		}
+	}
+	res.IO = m.pager.Stats().Sub(before)
+	return res, nil
+}
+
+// magnitudeInCell evaluates the norm of the component interpolants at p
+// using the known containing cell, avoiding a Locate per sample.
+func (m *Magnitude) magnitudeInCell(id field.CellID, p geom.Point) (float64, bool) {
+	var c field.Cell
+	sum := 0.0
+	for i := 0; i < m.vf.Dims(); i++ {
+		m.vf.Component(i).Cell(id, &c)
+		w, ok := field.Interpolate(&c, p)
+		if !ok {
+			return 0, false
+		}
+		sum += w * w
+	}
+	return sqrt(sum), true
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/sfc"
+	"fielddb/internal/storage"
+	"fielddb/internal/subfield"
+)
+
+// groupMeta is the leaf payload of a subfield index: the subfield's value
+// interval and the physical run of heap-file pages holding its cells —
+// the (ptr_start, ptr_end) pointers of the paper's Figure 6.
+type groupMeta struct {
+	interval  geom.Interval
+	firstPage int // index into the heap file's page list
+	lastPage  int
+	cells     int
+	startRef  int // [startRef, endRef) into the partition's cell order
+	endRef    int
+	// avg is the mean of the member cells' interval midpoints — the extra
+	// per-subfield summary the paper suggests appending (§3: "We may append
+	// other kinds of values ... for example, the average of field values of
+	// subfield"). It powers approximate aggregate queries that never touch
+	// cell pages.
+	avg float64
+}
+
+// Partitioned is a subfield-based value index: cells are stored in a heap
+// file in partition order (each subfield a contiguous run of pages) and the
+// subfield intervals are indexed in a 1-D R*-tree. I-Hilbert, I-Quad and
+// I-Threshold are Partitioned indexes that differ only in how the partition
+// was formed.
+type Partitioned struct {
+	method Method
+	pager  *storage.Pager
+	heap   *storage.HeapFile
+	tree   *rstar.Tree
+	groups []groupMeta
+	order  []field.CellID // heap-file cell order (partition order)
+	cells  int
+}
+
+// HilbertOptions tunes BuildIHilbert.
+type HilbertOptions struct {
+	// Curve linearizes the cells; nil selects a Hilbert curve of order 16.
+	// Z-order or Gray-code curves can be substituted for the clustering
+	// ablation.
+	Curve sfc.Curve
+	// Cost is the subfield cost model; the zero value selects the paper's
+	// model (Epsilon = 1).
+	Cost subfield.CostModel
+	// Params override the R*-tree parameters.
+	Params rstar.Params
+}
+
+// BuildIHilbert builds the paper's proposed index: Hilbert linearization,
+// greedy cost-based subfields, 1-D R*-tree over subfield intervals.
+func BuildIHilbert(f field.Field, pager *storage.Pager, opts HilbertOptions) (*Partitioned, error) {
+	curve := opts.Curve
+	if curve == nil {
+		var err error
+		curve, err = sfc.NewHilbert(16, 2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cost := opts.Cost
+	if cost.Epsilon == 0 {
+		cost = subfield.DefaultCostModel
+	}
+	refs, err := subfield.Linearize(f, curve)
+	if err != nil {
+		return nil, err
+	}
+	groups := subfield.BuildGreedy(refs, cost)
+	return buildPartitioned(MethodIHilbert, f, pager, refs, groups, opts.Params)
+}
+
+// ThresholdOptions tunes BuildIThreshold and BuildIQuad.
+type ThresholdOptions struct {
+	// MaxSize is the maximum subfield interval size (cost-model size,
+	// i.e. length + Epsilon).
+	MaxSize float64
+	// Curve linearizes the cells for I-Threshold; nil selects Hilbert.
+	Curve sfc.Curve
+	// Cost is the cost model used for interval sizes.
+	Cost subfield.CostModel
+	// Params override the R*-tree parameters.
+	Params rstar.Params
+	// MaxDepth bounds the quadtree recursion for I-Quad (0 = default).
+	MaxDepth int
+}
+
+// BuildIThreshold is the fixed-threshold ablation: Hilbert linearization
+// with subfields cut whenever the interval size would exceed MaxSize.
+func BuildIThreshold(f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Partitioned, error) {
+	curve := opts.Curve
+	if curve == nil {
+		var err error
+		curve, err = sfc.NewHilbert(16, 2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cost := opts.Cost
+	if cost.Epsilon == 0 {
+		cost = subfield.DefaultCostModel
+	}
+	if opts.MaxSize <= 0 {
+		return nil, fmt.Errorf("core: I-Threshold needs MaxSize > 0")
+	}
+	refs, err := subfield.Linearize(f, curve)
+	if err != nil {
+		return nil, err
+	}
+	groups := subfield.BuildThreshold(refs, cost, opts.MaxSize)
+	p, err := buildPartitioned(MethodIThresh, f, pager, refs, groups, opts.Params)
+	return p, err
+}
+
+// BuildIQuad builds the Interval Quadtree comparator (Kang et al. CIKM'99):
+// quadtree partitioning with a fixed interval-size threshold; cells are
+// clustered on disk by quadrant.
+func BuildIQuad(f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Partitioned, error) {
+	cost := opts.Cost
+	if cost.Epsilon == 0 {
+		cost = subfield.DefaultCostModel
+	}
+	if opts.MaxSize <= 0 {
+		return nil, fmt.Errorf("core: I-Quad needs MaxSize > 0")
+	}
+	// The quadtree needs centers and intervals but no curve keys; reuse
+	// Linearize with a trivial curve order to fill the refs, then let the
+	// quadtree impose its own order.
+	curve, err := sfc.NewHilbert(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	refs, err := subfield.Linearize(f, curve)
+	if err != nil {
+		return nil, err
+	}
+	ordered, groups := subfield.BuildQuad(refs, f.Bounds(), cost, opts.MaxSize, opts.MaxDepth)
+	return buildPartitioned(MethodIQuad, f, pager, ordered, groups, opts.Params)
+}
+
+// buildPartitioned stores cells in partition order and indexes the group
+// intervals.
+func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
+	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params) (*Partitioned, error) {
+	if err := subfield.Validate(refs, groups); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if params.PageSize == 0 {
+		params.PageSize = pager.PageSize()
+	}
+	ids := make([]field.CellID, len(refs))
+	for i, r := range refs {
+		ids[i] = r.ID
+	}
+	heap, rids, err := writeCells(f, pager, ids)
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]groupMeta, len(groups))
+	entries := make([]rstar.Entry, len(groups))
+	for gi, g := range groups {
+		first := heap.PageIndex(rids[g.Start].Page)
+		last := heap.PageIndex(rids[g.End-1].Page)
+		if first < 0 || last < 0 {
+			return nil, fmt.Errorf("core: group %d pages not found", gi)
+		}
+		sum := 0.0
+		for i := g.Start; i < g.End; i++ {
+			iv := refs[i].Interval
+			sum += (iv.Lo + iv.Hi) / 2
+		}
+		metas[gi] = groupMeta{
+			interval: g.Interval, firstPage: first, lastPage: last,
+			cells: g.Len(), startRef: g.Start, endRef: g.End,
+			avg: sum / float64(g.Len()),
+		}
+		entries[gi] = rstar.Entry{
+			MBR:  rstar.Interval1D(g.Interval.Lo, g.Interval.Hi),
+			Data: uint64(gi),
+		}
+	}
+	// Subfield intervals are few; the tree is built by R* insertion, as in
+	// the paper.
+	tree, err := rstar.New(1, params)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := tree.Insert(e); err != nil {
+			return nil, err
+		}
+	}
+	if err := tree.Persist(pager); err != nil {
+		return nil, err
+	}
+	return &Partitioned{
+		method: method,
+		pager:  pager,
+		heap:   heap,
+		tree:   tree,
+		groups: metas,
+		order:  ids,
+		cells:  len(refs),
+	}, nil
+}
+
+// Method implements Index.
+func (p *Partitioned) Method() Method { return p.method }
+
+// Stats implements Index.
+func (p *Partitioned) Stats() IndexStats {
+	return IndexStats{
+		Method:     p.method,
+		Cells:      p.cells,
+		CellPages:  p.heap.NumPages(),
+		IndexPages: p.tree.PersistedNodes(),
+		Groups:     len(p.groups),
+		TreeHeight: p.tree.Height(),
+	}
+}
+
+// NumGroups returns the number of subfields in the partition.
+func (p *Partitioned) NumGroups() int { return len(p.groups) }
+
+// GroupIntervals returns the value interval of every subfield, for
+// inspection and visualization (Figure 7).
+func (p *Partitioned) GroupIntervals() []geom.Interval {
+	out := make([]geom.Interval, len(p.groups))
+	for i, g := range p.groups {
+		out[i] = g.interval
+	}
+	return out
+}
+
+// ApproxResult is the outcome of an approximate value query answered purely
+// from subfield metadata, without fetching a single cell page.
+type ApproxResult struct {
+	Query geom.Interval
+	// Groups is the number of subfields whose interval intersects the query.
+	Groups int
+	// CellsUpperBound is the total cell count of those subfields — an upper
+	// bound on the number of matching cells.
+	CellsUpperBound int
+	// AvgValue is the cell-weighted mean of the selected subfields' average
+	// values (the paper's suggested per-subfield summary), or NaN when no
+	// subfield matches.
+	AvgValue float64
+	IO       storage.Stats
+}
+
+// ApproxQuery answers a value query approximately using only the R*-tree and
+// the per-subfield summaries (§3's "average of field values of subfield"):
+// it never reads cell pages, so its cost is the filter step alone. The cell
+// count is an upper bound; the average is exact over the selected subfields'
+// midpoint summaries.
+func (p *Partitioned) ApproxQuery(q geom.Interval) (*ApproxResult, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	p.pager.DropCache()
+	before := p.pager.Stats()
+	res := &ApproxResult{Query: q}
+	var sum float64
+	err := p.tree.PagedSearch(rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+		g := p.groups[e.Data]
+		res.Groups++
+		res.CellsUpperBound += g.cells
+		sum += g.avg * float64(g.cells)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.CellsUpperBound > 0 {
+		res.AvgValue = sum / float64(res.CellsUpperBound)
+	} else {
+		res.AvgValue = math.NaN()
+	}
+	res.IO = p.pager.Stats().Sub(before)
+	return res, nil
+}
+
+// ForEachGroup visits every subfield with its value interval and member
+// cells (in physical storage order) — the data behind the paper's Figure 7
+// subfield map. The cells slice is only valid during the call.
+func (p *Partitioned) ForEachGroup(fn func(group int, iv geom.Interval, cells []field.CellID) bool) {
+	for gi, g := range p.groups {
+		if !fn(gi, g.interval, p.order[g.startRef:g.endRef]) {
+			return
+		}
+	}
+}
+
+// Query implements Index: Step 1 (filter) finds the subfields whose
+// intervals intersect q through the persisted R*-tree; Step 2 (estimation)
+// reads each selected subfield's contiguous cell run — merging overlapping
+// runs so shared boundary pages are read once — and computes the exact
+// answer regions.
+func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	// Start cold; merged runs already avoid re-reading shared pages, and
+	// the pool covers any remaining within-query reuse.
+	p.pager.DropCache()
+	before := p.pager.Stats()
+	res := &Result{Query: q}
+	query1d := rstar.Interval1D(q.Lo, q.Hi)
+	var selected []int
+	err := p.tree.PagedSearch(query1d, func(e rstar.Entry) bool {
+		selected = append(selected, int(e.Data))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CandidateGroups = len(selected)
+	if len(selected) == 0 {
+		res.IO = p.pager.Stats().Sub(before)
+		return res, nil
+	}
+
+	// Merge the selected subfields' page runs: consecutive subfields share
+	// boundary pages, and reading each run once keeps the I/O sequential.
+	type run struct{ first, last int }
+	runs := make([]run, 0, len(selected))
+	for _, gi := range selected {
+		runs = append(runs, run{p.groups[gi].firstPage, p.groups[gi].lastPage})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].first < runs[j].first })
+	merged := runs[:1]
+	for _, r := range runs[1:] {
+		last := &merged[len(merged)-1]
+		if r.first <= last.last+1 {
+			if r.last > last.last {
+				last.last = r.last
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+
+	var c field.Cell
+	for _, r := range merged {
+		err := p.heap.ScanPages(r.first, r.last, func(_ storage.RID, rec []byte) bool {
+			if err := field.DecodeCell(rec, &c); err != nil {
+				return false
+			}
+			estimateCell(res, &c, q)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.IO = p.pager.Stats().Sub(before)
+	return res, nil
+}
+
+var _ Index = (*Partitioned)(nil)

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/sfc"
+	"fielddb/internal/storage"
+)
+
+// SpatialIndex supports the conventional queries of §2.2.1 (type Q1): a
+// 2-D R*-tree over cell extents locates the cell containing a query point,
+// and the interpolation function of that cell produces the field value.
+type SpatialIndex struct {
+	pager *storage.Pager
+	heap  *storage.HeapFile
+	tree  *rstar.Tree
+	rids  []storage.RID
+	cells int
+}
+
+// BuildSpatial stores the cells (in Hilbert order, for locality) and indexes
+// their bounding rectangles in a 2-D R*-tree built with Hilbert packing.
+func BuildSpatial(f field.Field, pager *storage.Pager, params rstar.Params) (*SpatialIndex, error) {
+	if params.PageSize == 0 {
+		params.PageSize = pager.PageSize()
+	}
+	curve, err := sfc.NewHilbert(16, 2)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := sfc.NewMapper(curve, f.Bounds())
+	if err != nil {
+		return nil, err
+	}
+	heap, rids, err := writeCells(f, pager, identityOrder(f))
+	if err != nil {
+		return nil, err
+	}
+	n := f.NumCells()
+	entries := make([]rstar.Entry, n)
+	keys := make([]uint64, n)
+	var c field.Cell
+	for id := 0; id < n; id++ {
+		f.Cell(field.CellID(id), &c)
+		b := c.Bounds()
+		entries[id] = rstar.Entry{
+			MBR:  rstar.Rect2D(b.Min.X, b.Max.X, b.Min.Y, b.Max.Y),
+			Data: uint64(id),
+		}
+		keys[id] = mapper.Index(c.Center())
+	}
+	tree, err := rstar.BulkLoad(2, params, entries, func(a, b rstar.Entry) bool {
+		return keys[a.Data] < keys[b.Data]
+	}, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Persist(pager); err != nil {
+		return nil, err
+	}
+	return &SpatialIndex{pager: pager, heap: heap, tree: tree, rids: rids, cells: n}, nil
+}
+
+// PointQuery answers F(v'): the field value at point pt, via the paged
+// R*-tree and one cell fetch. The boolean is false when pt lies outside
+// every cell.
+func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error) {
+	s.pager.DropCache()
+	before := s.pager.Stats()
+	query := rstar.Rect2D(pt.X, pt.X, pt.Y, pt.Y)
+	var candidates []uint64
+	err := s.tree.PagedSearch(query, func(e rstar.Entry) bool {
+		candidates = append(candidates, e.Data)
+		return true
+	})
+	if err != nil {
+		return 0, storage.Stats{}, err
+	}
+	var c field.Cell
+	buf := make([]byte, s.pager.PageSize())
+	for _, id := range candidates {
+		rec, err := s.heap.Get(s.rids[id], buf)
+		if err != nil {
+			return 0, storage.Stats{}, err
+		}
+		if err := field.DecodeCell(rec, &c); err != nil {
+			return 0, storage.Stats{}, err
+		}
+		if w, ok := field.Interpolate(&c, pt); ok {
+			return w, s.pager.Stats().Sub(before), nil
+		}
+	}
+	return 0, s.pager.Stats().Sub(before), fmt.Errorf("core: point %v outside the field", pt)
+}
+
+// Stats describes the built index.
+func (s *SpatialIndex) Stats() IndexStats {
+	return IndexStats{
+		Method:     "Spatial",
+		Cells:      s.cells,
+		CellPages:  s.heap.NumPages(),
+		IndexPages: s.tree.PersistedNodes(),
+		TreeHeight: s.tree.Height(),
+	}
+}

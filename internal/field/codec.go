@@ -1,0 +1,72 @@
+package field
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fielddb/internal/geom"
+)
+
+// Cell record layout (little endian):
+//
+//	[0:4)  cell id
+//	[4:5)  vertex count k (3 or 4)
+//	then k × (x float64, y float64, w float64).
+//
+// A 4-vertex DEM cell is 101 bytes, so a 4 KiB page holds ~38 cells; the
+// 512×512 terrain of Fig 8a occupies ~6,900 pages, matching the paper's
+// "large field database" setting.
+
+// EncodedSize returns the record size for a cell with k vertices.
+func EncodedSize(k int) int { return 5 + 24*k }
+
+// AppendCell serializes c onto dst and returns the extended slice.
+func AppendCell(dst []byte, c *Cell) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(c.ID))
+	hdr[4] = byte(len(c.Vertices))
+	dst = append(dst, hdr[:]...)
+	var b [8]byte
+	for i, p := range c.Vertices {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.X))
+		dst = append(dst, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.Y))
+		dst = append(dst, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(c.Values[i]))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// DecodeCell parses a record produced by AppendCell into dst, reusing its
+// slices when capacities allow.
+func DecodeCell(rec []byte, dst *Cell) error {
+	if len(rec) < 5 {
+		return fmt.Errorf("field: cell record too short: %d bytes", len(rec))
+	}
+	k := int(rec[4])
+	if k != 3 && k != 4 {
+		return fmt.Errorf("field: cell record has vertex count %d", k)
+	}
+	if want := EncodedSize(k); len(rec) != want {
+		return fmt.Errorf("field: cell record is %d bytes, want %d", len(rec), want)
+	}
+	dst.ID = CellID(binary.LittleEndian.Uint32(rec[0:4]))
+	if cap(dst.Vertices) < k {
+		dst.Vertices = make([]geom.Point, k)
+	}
+	dst.Vertices = dst.Vertices[:k]
+	if cap(dst.Values) < k {
+		dst.Values = make([]float64, k)
+	}
+	dst.Values = dst.Values[:k]
+	off := 5
+	for i := 0; i < k; i++ {
+		dst.Vertices[i].X = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+		dst.Vertices[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(rec[off+8:]))
+		dst.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off+16:]))
+		off += 24
+	}
+	return nil
+}

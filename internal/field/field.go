@@ -1,0 +1,185 @@
+// Package field defines the continuous-field abstraction of the paper's §2.1:
+// a field is a pair (C, F) — a subdivision of the spatial domain into cells
+// carrying sample points, and interpolation functions deriving the implicit
+// value at every non-sampled position.
+//
+// Concrete models (the regular-grid DEM in internal/grid, the TIN in
+// internal/tin) implement the Field interface; the value-query indexes in
+// internal/core operate only on this interface plus the serialized cell
+// records in the heap file.
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"fielddb/internal/band"
+	"fielddb/internal/geom"
+)
+
+// CellID identifies a cell within one field, numbered 0..NumCells-1.
+type CellID uint32
+
+// Cell is one element of the subdivision: its sample points (vertices) and
+// the measured values at them. Cells with 3 vertices are triangles
+// (TIN cells); cells with 4 vertices are axis-aligned DEM quads with
+// vertices in counter-clockwise order starting at the min corner.
+type Cell struct {
+	ID       CellID
+	Vertices []geom.Point
+	Values   []float64
+}
+
+// Interval returns the 1-D MBR of every value inside the cell. Linear
+// interpolation attains its extremes at the sample points, so this is the
+// min/max over the vertex values (the paper's note about interpolants that
+// introduce interior extrema is handled by the Interpolator interface).
+func (c *Cell) Interval() geom.Interval {
+	iv := geom.EmptyInterval()
+	for _, w := range c.Values {
+		if w < iv.Lo {
+			iv.Lo = w
+		}
+		if w > iv.Hi {
+			iv.Hi = w
+		}
+	}
+	return iv
+}
+
+// Bounds returns the spatial bounding rectangle of the cell.
+func (c *Cell) Bounds() geom.Rect { return geom.RectFromPoints(c.Vertices...) }
+
+// Center returns the centroid of the cell's vertices — the position whose
+// Hilbert value orders the cell (§3.1.2).
+func (c *Cell) Center() geom.Point {
+	var sx, sy float64
+	for _, p := range c.Vertices {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(c.Vertices))
+	return geom.Pt(sx/n, sy/n)
+}
+
+// Validate reports structural problems with the cell.
+func (c *Cell) Validate() error {
+	if len(c.Vertices) != len(c.Values) {
+		return fmt.Errorf("field: cell %d has %d vertices but %d values", c.ID, len(c.Vertices), len(c.Values))
+	}
+	if len(c.Vertices) != 3 && len(c.Vertices) != 4 {
+		return fmt.Errorf("field: cell %d has unsupported vertex count %d", c.ID, len(c.Vertices))
+	}
+	for i, w := range c.Values {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("field: cell %d value %d is %g", c.ID, i, w)
+		}
+	}
+	return nil
+}
+
+// Field is a continuous scalar field (C, F).
+type Field interface {
+	// NumCells returns the number of cells in the subdivision.
+	NumCells() int
+	// Cell materializes the cell with the given id into dst (reusing its
+	// slices when possible) and returns it.
+	Cell(id CellID, dst *Cell) *Cell
+	// Bounds returns the spatial extent of the field.
+	Bounds() geom.Rect
+	// ValueRange returns the interval covering every sample value.
+	ValueRange() geom.Interval
+	// Locate returns the id of a cell containing p, if any.
+	Locate(p geom.Point) (CellID, bool)
+}
+
+// ValueAt evaluates the field at p by locating the containing cell and
+// applying linear interpolation on its sample points — the conventional
+// query F(v') of §2.2.1.
+func ValueAt(f Field, p geom.Point) (float64, bool) {
+	id, ok := f.Locate(p)
+	if !ok {
+		return 0, false
+	}
+	var c Cell
+	f.Cell(id, &c)
+	return Interpolate(&c, p)
+}
+
+// Interpolate evaluates the cell's linear interpolant at p.
+func Interpolate(c *Cell, p geom.Point) (float64, bool) {
+	switch len(c.Vertices) {
+	case 3:
+		return band.TriangleValue(c.Vertices[0], c.Vertices[1], c.Vertices[2],
+			c.Values[0], c.Values[1], c.Values[2], p)
+	case 4:
+		return band.QuadValue(c.Bounds(), c.Values[0], c.Values[1], c.Values[2], c.Values[3], p)
+	default:
+		return 0, false
+	}
+}
+
+// Band returns the exact answer region of the cell for the value band
+// [lo, hi]: the set of points where the interpolated value falls inside.
+func Band(c *Cell, lo, hi float64) []geom.Polygon {
+	switch len(c.Vertices) {
+	case 3:
+		if pg := band.TriangleBand(c.Vertices[0], c.Vertices[1], c.Vertices[2],
+			c.Values[0], c.Values[1], c.Values[2], lo, hi); pg != nil {
+			return []geom.Polygon{pg}
+		}
+		return nil
+	case 4:
+		return band.QuadBand(c.Bounds(), c.Values[0], c.Values[1], c.Values[2], c.Values[3], lo, hi)
+	default:
+		return nil
+	}
+}
+
+// Isolines returns the segments inside the cell where the interpolated value
+// equals w — the answer geometry of an exact value query (Qinterval = 0),
+// whose answer region has measure zero.
+func Isolines(c *Cell, w float64) [][2]geom.Point {
+	segFrom := func(pts []geom.Point) ([2]geom.Point, bool) {
+		if len(pts) != 2 {
+			return [2]geom.Point{}, false
+		}
+		return [2]geom.Point{pts[0], pts[1]}, true
+	}
+	switch len(c.Vertices) {
+	case 3:
+		if s, ok := segFrom(band.Isoline(c.Vertices[0], c.Vertices[1], c.Vertices[2],
+			c.Values[0], c.Values[1], c.Values[2], w)); ok {
+			return [][2]geom.Point{s}
+		}
+		return nil
+	case 4:
+		r := c.Bounds()
+		p0 := r.Min
+		p1 := geom.Pt(r.Max.X, r.Min.Y)
+		p2 := r.Max
+		p3 := geom.Pt(r.Min.X, r.Max.Y)
+		var out [][2]geom.Point
+		if s, ok := segFrom(band.Isoline(p0, p1, p2, c.Values[0], c.Values[1], c.Values[2], w)); ok {
+			out = append(out, s)
+		}
+		if s, ok := segFrom(band.Isoline(p0, p2, p3, c.Values[0], c.Values[2], c.Values[3], w)); ok {
+			out = append(out, s)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// ValueRangeOf computes the value range of any Field by scanning its cells;
+// models with a cheaper way to answer should implement ValueRange directly.
+func ValueRangeOf(f Field) geom.Interval {
+	iv := geom.EmptyInterval()
+	var c Cell
+	for id := 0; id < f.NumCells(); id++ {
+		f.Cell(CellID(id), &c)
+		iv = iv.Union(c.Interval())
+	}
+	return iv
+}

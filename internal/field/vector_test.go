@@ -1,0 +1,133 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fielddb/internal/geom"
+)
+
+// gridStub is a minimal Field over an nx×ny unit grid sampling fn at the
+// vertices, avoiding an import cycle with internal/grid.
+type gridStub struct {
+	nx, ny int
+	fn     func(x, y float64) float64
+}
+
+func (g *gridStub) NumCells() int { return g.nx * g.ny }
+
+func (g *gridStub) Cell(id CellID, dst *Cell) *Cell {
+	col, row := int(id)%g.nx, int(id)/g.nx
+	x0, y0 := float64(col), float64(row)
+	dst.ID = id
+	dst.Vertices = append(dst.Vertices[:0],
+		geom.Pt(x0, y0), geom.Pt(x0+1, y0), geom.Pt(x0+1, y0+1), geom.Pt(x0, y0+1))
+	dst.Values = append(dst.Values[:0],
+		g.fn(x0, y0), g.fn(x0+1, y0), g.fn(x0+1, y0+1), g.fn(x0, y0+1))
+	return dst
+}
+
+func (g *gridStub) Bounds() geom.Rect {
+	return geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(float64(g.nx), float64(g.ny))}
+}
+
+func (g *gridStub) ValueRange() geom.Interval { return ValueRangeOf(g) }
+
+func (g *gridStub) Locate(p geom.Point) (CellID, bool) {
+	if !g.Bounds().ContainsPoint(p) {
+		return 0, false
+	}
+	col, row := int(p.X), int(p.Y)
+	if col >= g.nx {
+		col = g.nx - 1
+	}
+	if row >= g.ny {
+		row = g.ny - 1
+	}
+	return CellID(row*g.nx + col), true
+}
+
+func TestNewVectorFieldValidation(t *testing.T) {
+	u := &gridStub{nx: 4, ny: 4, fn: func(x, y float64) float64 { return x }}
+	if _, err := NewVectorField(u); err == nil {
+		t.Fatal("single component accepted")
+	}
+	mismatch := &gridStub{nx: 5, ny: 4, fn: func(x, y float64) float64 { return y }}
+	if _, err := NewVectorField(u, mismatch); err == nil {
+		t.Fatal("mismatched cell counts accepted")
+	}
+}
+
+func TestVectorFieldEvaluation(t *testing.T) {
+	u := &gridStub{nx: 8, ny: 8, fn: func(x, y float64) float64 { return 3 }}
+	v := &gridStub{nx: 8, ny: 8, fn: func(x, y float64) float64 { return 4 }}
+	w, err := NewVectorField(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dims() != 2 || w.NumCells() != 64 {
+		t.Fatalf("dims/cells = %d/%d", w.Dims(), w.NumCells())
+	}
+	if w.Component(0) != Field(u) {
+		t.Fatal("component accessor broken")
+	}
+	ws, ok := w.At(geom.Pt(2.5, 3.5))
+	if !ok || ws[0] != 3 || ws[1] != 4 {
+		t.Fatalf("At = %v, %v", ws, ok)
+	}
+	m, ok := w.MagnitudeAt(geom.Pt(2.5, 3.5))
+	if !ok || math.Abs(m-5) > 1e-12 {
+		t.Fatalf("magnitude = %g", m)
+	}
+	if _, ok := w.At(geom.Pt(-1, -1)); ok {
+		t.Fatal("outside point evaluated")
+	}
+	if _, ok := w.MagnitudeAt(geom.Pt(-1, -1)); ok {
+		t.Fatal("outside magnitude evaluated")
+	}
+}
+
+func TestMagnitudeBoundsAreConservative(t *testing.T) {
+	// Wind-like field: u and v vary smoothly and change sign.
+	u := &gridStub{nx: 8, ny: 8, fn: func(x, y float64) float64 { return math.Sin(x/2) * 5 }}
+	v := &gridStub{nx: 8, ny: 8, fn: func(x, y float64) float64 { return math.Cos(y/3)*4 - 2 }}
+	w, err := NewVectorField(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for id := 0; id < w.NumCells(); id++ {
+		bounds := w.MagnitudeBounds(CellID(id))
+		if bounds.IsEmpty() || bounds.Lo < 0 {
+			t.Fatalf("cell %d: bad bounds %v", id, bounds)
+		}
+		// Sample magnitudes inside the cell; all must fall within bounds.
+		col, row := id%8, id/8
+		for s := 0; s < 30; s++ {
+			p := geom.Pt(float64(col)+rng.Float64(), float64(row)+rng.Float64())
+			m, ok := w.MagnitudeAt(p)
+			if !ok {
+				continue
+			}
+			if m < bounds.Lo-1e-9 || m > bounds.Hi+1e-9 {
+				t.Fatalf("cell %d: magnitude %g outside bounds %v at %v", id, m, bounds, p)
+			}
+		}
+	}
+}
+
+func TestMagnitudeBoundsZeroCrossing(t *testing.T) {
+	// A component whose interval straddles zero contributes a zero lower
+	// bound for its square.
+	u := &gridStub{nx: 1, ny: 1, fn: func(x, y float64) float64 { return x*2 - 1 }} // [-1, 1]
+	v := &gridStub{nx: 1, ny: 1, fn: func(x, y float64) float64 { return 3 }}
+	w, _ := NewVectorField(u, v)
+	b := w.MagnitudeBounds(0)
+	if math.Abs(b.Lo-3) > 1e-12 {
+		t.Fatalf("Lo = %g, want 3", b.Lo)
+	}
+	if math.Abs(b.Hi-math.Sqrt(10)) > 1e-12 {
+		t.Fatalf("Hi = %g, want sqrt(10)", b.Hi)
+	}
+}

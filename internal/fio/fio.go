@@ -1,0 +1,295 @@
+// Package fio reads and writes field datasets as portable binary files, so
+// the command-line tools can generate a dataset once (fieldgen) and query it
+// repeatedly (fieldquery, fieldbench).
+//
+// Format (little endian):
+//
+//	magic   [4]byte "FDB1"
+//	kind    u8      1 = DEM, 2 = TIN
+//	DEM:    originX, originY, dx, dy float64; nx, ny uint32;
+//	        (nx+1)*(ny+1) float64 vertex heights (row-major)
+//	TIN:    nPoints, nTris uint32;
+//	        nPoints × (x, y, w float64); nTris × (a, b, c uint32)
+package fio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/grid"
+	"fielddb/internal/tin"
+)
+
+var magic = [4]byte{'F', 'D', 'B', '1'}
+
+const (
+	kindDEM = 1
+	kindTIN = 2
+)
+
+// SaveDEM writes d to w.
+func SaveDEM(w io.Writer, d *grid.DEM) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(kindDEM); err != nil {
+		return err
+	}
+	nx, ny := d.Size()
+	b := d.Bounds()
+	dx := b.Width() / float64(nx)
+	dy := b.Height() / float64(ny)
+	for _, v := range []float64{b.Min.X, b.Min.Y, dx, dy} {
+		if err := writeF64(bw, v); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(nx)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(ny)); err != nil {
+		return err
+	}
+	for r := 0; r <= ny; r++ {
+		for c := 0; c <= nx; c++ {
+			if err := writeF64(bw, d.VertexHeight(c, r)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveTIN writes t to w.
+func SaveTIN(w io.Writer, t *tin.TIN) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(kindTIN); err != nil {
+		return err
+	}
+	// Reconstruct the point/triangle arrays through the Field interface.
+	pts, vals, tris := flattenTIN(t)
+	if err := writeU32(bw, uint32(len(pts))); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(tris))); err != nil {
+		return err
+	}
+	for i, p := range pts {
+		if err := writeF64(bw, p.X); err != nil {
+			return err
+		}
+		if err := writeF64(bw, p.Y); err != nil {
+			return err
+		}
+		if err := writeF64(bw, vals[i]); err != nil {
+			return err
+		}
+	}
+	for _, tr := range tris {
+		for _, v := range tr {
+			if err := writeU32(bw, uint32(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// flattenTIN extracts unique vertices and triangle index triples from a TIN
+// via its cells.
+func flattenTIN(t *tin.TIN) ([]geom.Point, []float64, []tin.Triangle) {
+	type key struct{ x, y float64 }
+	indexOf := map[key]int32{}
+	var pts []geom.Point
+	var vals []float64
+	var tris []tin.Triangle
+	var c field.Cell
+	for id := 0; id < t.NumCells(); id++ {
+		t.Cell(field.CellID(id), &c)
+		var tr tin.Triangle
+		for i := 0; i < 3; i++ {
+			k := key{c.Vertices[i].X, c.Vertices[i].Y}
+			idx, ok := indexOf[k]
+			if !ok {
+				idx = int32(len(pts))
+				indexOf[k] = idx
+				pts = append(pts, c.Vertices[i])
+				vals = append(vals, c.Values[i])
+			}
+			tr[i] = idx
+		}
+		tris = append(tris, tr)
+	}
+	return pts, vals, tris
+}
+
+// Load reads a field file and returns the field (either *grid.DEM or
+// *tin.TIN).
+func Load(r io.Reader) (field.Field, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("fio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("fio: bad magic %q", m)
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case kindDEM:
+		return loadDEM(br)
+	case kindTIN:
+		return loadTIN(br)
+	default:
+		return nil, fmt.Errorf("fio: unknown field kind %d", kind)
+	}
+}
+
+func loadDEM(br *bufio.Reader) (*grid.DEM, error) {
+	var hdr [4]float64
+	for i := range hdr {
+		v, err := readF64(br)
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	nx, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	ny, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nx == 0 || ny == 0 || nx > 1<<20 || ny > 1<<20 {
+		return nil, fmt.Errorf("fio: implausible DEM size %dx%d", nx, ny)
+	}
+	heights := make([]float64, (nx+1)*(ny+1))
+	for i := range heights {
+		v, err := readF64(br)
+		if err != nil {
+			return nil, err
+		}
+		heights[i] = v
+	}
+	return grid.New(geom.Pt(hdr[0], hdr[1]), hdr[2], hdr[3], int(nx), int(ny), heights)
+}
+
+func loadTIN(br *bufio.Reader) (*tin.TIN, error) {
+	nPoints, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nTris, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nPoints < 3 || nPoints > 1<<26 || nTris == 0 || nTris > 1<<27 {
+		return nil, fmt.Errorf("fio: implausible TIN size %d points / %d triangles", nPoints, nTris)
+	}
+	pts := make([]geom.Point, nPoints)
+	vals := make([]float64, nPoints)
+	for i := range pts {
+		x, err := readF64(br)
+		if err != nil {
+			return nil, err
+		}
+		y, err := readF64(br)
+		if err != nil {
+			return nil, err
+		}
+		w, err := readF64(br)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = geom.Pt(x, y)
+		vals[i] = w
+	}
+	tris := make([]tin.Triangle, nTris)
+	for i := range tris {
+		for j := 0; j < 3; j++ {
+			v, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			tris[i][j] = int32(v)
+		}
+	}
+	return tin.New(pts, vals, tris)
+}
+
+// SaveFile writes f (a *grid.DEM or *tin.TIN) to path.
+func SaveFile(path string, f field.Field) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	switch v := f.(type) {
+	case *grid.DEM:
+		if err := SaveDEM(out, v); err != nil {
+			return err
+		}
+	case *tin.TIN:
+		if err := SaveTIN(out, v); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("fio: unsupported field type %T", f)
+	}
+	return out.Close()
+}
+
+// LoadFile reads a field file from path.
+func LoadFile(path string) (field.Field, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Load(in)
+}
+
+func writeF64(w io.Writer, v float64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

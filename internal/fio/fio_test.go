@@ -1,0 +1,147 @@
+package fio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/grid"
+	"fielddb/internal/tin"
+	"fielddb/internal/workload"
+)
+
+func TestDEMRoundtrip(t *testing.T) {
+	d, err := workload.Terrain(32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDEM(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, ok := f.(*grid.DEM)
+	if !ok {
+		t.Fatalf("loaded %T", f)
+	}
+	if d2.NumCells() != d.NumCells() {
+		t.Fatalf("cells %d vs %d", d2.NumCells(), d.NumCells())
+	}
+	if d2.Bounds() != d.Bounds() {
+		t.Fatalf("bounds %v vs %v", d2.Bounds(), d.Bounds())
+	}
+	nx, ny := d.Size()
+	for r := 0; r <= ny; r += 5 {
+		for c := 0; c <= nx; c += 5 {
+			if d2.VertexHeight(c, r) != d.VertexHeight(c, r) {
+				t.Fatalf("height (%d,%d) differs", c, r)
+			}
+		}
+	}
+}
+
+func TestTINRoundtrip(t *testing.T) {
+	tn, err := workload.NoiseTIN(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTIN(&buf, tn); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn2, ok := f.(*tin.TIN)
+	if !ok {
+		t.Fatalf("loaded %T", f)
+	}
+	if tn2.NumCells() != tn.NumCells() {
+		t.Fatalf("cells %d vs %d", tn2.NumCells(), tn.NumCells())
+	}
+	// Interpolated values agree at random probes.
+	for i := 0; i < 100; i++ {
+		p := geom.Pt(float64(i%10)*400+10, float64(i/10)*300+10)
+		w1, ok1 := field.ValueAt(tn, p)
+		w2, ok2 := field.ValueAt(tn2, p)
+		if ok1 != ok2 {
+			t.Fatalf("probe %v: coverage differs", p)
+		}
+		if ok1 && math.Abs(w1-w2) > 1e-9 {
+			t.Fatalf("probe %v: %g vs %g", p, w1, w2)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "field.fdb")
+	d, _ := workload.Monotonic(8)
+	if err := SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCells() != 64 {
+		t.Fatalf("cells = %d", f.NumCells())
+	}
+	if err := SaveFile(filepath.Join(t.TempDir(), "x"), nil); err == nil {
+		t.Fatal("nil field accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("BOGUS!"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte{'F', 'D', 'B', '1', 9})); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated DEM payload.
+	var buf bytes.Buffer
+	d, _ := workload.Monotonic(4)
+	if err := SaveDEM(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated DEM accepted")
+	}
+}
+
+func TestSaveFileTINAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	tn, err := workload.NoiseTIN(60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "noise.fdb")
+	if err := SaveFile(path, tn); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCells() != tn.NumCells() {
+		t.Fatalf("cells %d vs %d", f.NumCells(), tn.NumCells())
+	}
+	// Unwritable path.
+	if err := SaveFile(filepath.Join(dir, "nodir", "x.fdb"), tn); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.fdb")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package fractal generates random fractal terrains with the diamond-square
+// algorithm using midpoint displacement, exactly as the paper's §4.2: the
+// grid is recursively subdivided, each pass computing diamond midpoints and
+// square midpoints as the average of their four neighbours plus a random
+// offset, and the random range shrinking by the factor 2^(-H) per pass.
+//
+// H in [0,1] is the roughness constant: H=1 halves the random range every
+// pass (very smooth), H=0 keeps it constant (very jagged). Figure 10 of the
+// paper shows H=0.2 vs H=0.8 surfaces; Figure 11 sweeps H over
+// {0.1, 0.3, 0.6, 0.9}.
+package fractal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DiamondSquare returns a (side+1) × (side+1) height grid in row-major
+// order, with heights in [-1, 1] before any normalization drift. side must
+// be a power of two. The generator is fully deterministic in seed.
+func DiamondSquare(side int, h float64, seed int64) ([]float64, error) {
+	if side < 1 || side&(side-1) != 0 {
+		return nil, fmt.Errorf("fractal: side must be a positive power of two, got %d", side)
+	}
+	if h < 0 || h > 1 {
+		return nil, fmt.Errorf("fractal: H must be in [0,1], got %g", h)
+	}
+	n := side + 1
+	g := make([]float64, n*n)
+	rng := rand.New(rand.NewSource(seed))
+
+	at := func(x, y int) float64 { return g[y*n+x] }
+	set := func(x, y int, v float64) { g[y*n+x] = v }
+
+	// Initial heights chosen at random at the four corners, range [-1, 1].
+	rangeScale := 1.0
+	set(0, 0, rng.Float64()*2-1)
+	set(side, 0, rng.Float64()*2-1)
+	set(0, side, rng.Float64()*2-1)
+	set(side, side, rng.Float64()*2-1)
+
+	reduce := math.Pow(2, -h)
+	for step := side; step > 1; step /= 2 {
+		half := step / 2
+		// Diamond step: center of every square = average of its four
+		// corners plus a random displacement.
+		for y := half; y < n; y += step {
+			for x := half; x < n; x += step {
+				avg := (at(x-half, y-half) + at(x+half, y-half) +
+					at(x-half, y+half) + at(x+half, y+half)) / 4
+				set(x, y, avg+(rng.Float64()*2-1)*rangeScale)
+			}
+		}
+		// Square step: the remaining midpoints = average of their (up to
+		// four) orthogonal neighbours plus a random displacement.
+		for y := 0; y < n; y += half {
+			x0 := half
+			if (y/half)%2 == 1 {
+				x0 = 0
+			}
+			for x := x0; x < n; x += step {
+				sum, cnt := 0.0, 0
+				if x-half >= 0 {
+					sum += at(x-half, y)
+					cnt++
+				}
+				if x+half < n {
+					sum += at(x+half, y)
+					cnt++
+				}
+				if y-half >= 0 {
+					sum += at(x, y-half)
+					cnt++
+				}
+				if y+half < n {
+					sum += at(x, y+half)
+					cnt++
+				}
+				set(x, y, sum/float64(cnt)+(rng.Float64()*2-1)*rangeScale)
+			}
+		}
+		// The random value range is reduced by 2^(-H) each pass.
+		rangeScale *= reduce
+	}
+	return g, nil
+}
+
+// Normalize rescales heights in place to [lo, hi]. A constant surface maps
+// to the midpoint of the target range.
+func Normalize(g []float64, lo, hi float64) {
+	if len(g) == 0 {
+		return
+	}
+	mn, mx := g[0], g[0]
+	for _, v := range g {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx == mn {
+		mid := (lo + hi) / 2
+		for i := range g {
+			g[i] = mid
+		}
+		return
+	}
+	scale := (hi - lo) / (mx - mn)
+	for i := range g {
+		g[i] = lo + (g[i]-mn)*scale
+	}
+}

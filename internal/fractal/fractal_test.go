@@ -1,0 +1,142 @@
+package fractal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiamondSquareValidation(t *testing.T) {
+	if _, err := DiamondSquare(0, 0.5, 1); err == nil {
+		t.Fatal("side 0 accepted")
+	}
+	if _, err := DiamondSquare(3, 0.5, 1); err == nil {
+		t.Fatal("non-power-of-two side accepted")
+	}
+	if _, err := DiamondSquare(8, -0.1, 1); err == nil {
+		t.Fatal("H < 0 accepted")
+	}
+	if _, err := DiamondSquare(8, 1.1, 1); err == nil {
+		t.Fatal("H > 1 accepted")
+	}
+}
+
+func TestDiamondSquareShapeAndDeterminism(t *testing.T) {
+	g1, err := DiamondSquare(32, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1) != 33*33 {
+		t.Fatalf("len = %d", len(g1))
+	}
+	for i, v := range g1 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite height at %d", i)
+		}
+	}
+	g2, _ := DiamondSquare(32, 0.5, 42)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("same seed produced different terrain")
+		}
+	}
+	g3, _ := DiamondSquare(32, 0.5, 43)
+	same := true
+	for i := range g1 {
+		if g1[i] != g3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical terrain")
+	}
+}
+
+// roughness measures the mean absolute height difference between horizontally
+// adjacent vertices, normalized by the total height range.
+func roughness(g []float64, side int) float64 {
+	n := side + 1
+	mn, mx := g[0], g[0]
+	for _, v := range g {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx == mn {
+		return 0
+	}
+	sum, cnt := 0.0, 0
+	for y := 0; y < n; y++ {
+		for x := 0; x+1 < n; x++ {
+			sum += math.Abs(g[y*n+x+1] - g[y*n+x])
+			cnt++
+		}
+	}
+	return sum / float64(cnt) / (mx - mn)
+}
+
+func TestRoughnessDecreasesWithH(t *testing.T) {
+	// The paper: "With H set to 1.0 ... a very smooth fractal. With H set
+	// to 0.0 ... something quite jagged." Average over several seeds to
+	// avoid flakiness.
+	avg := func(h float64) float64 {
+		s := 0.0
+		for seed := int64(0); seed < 5; seed++ {
+			g, err := DiamondSquare(64, h, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += roughness(g, 64)
+		}
+		return s / 5
+	}
+	r01, r05, r09 := avg(0.1), avg(0.5), avg(0.9)
+	if !(r01 > r05 && r05 > r09) {
+		t.Fatalf("roughness not monotone in H: H=0.1:%g H=0.5:%g H=0.9:%g", r01, r05, r09)
+	}
+	if r01 < 2*r09 {
+		t.Fatalf("jagged (%g) vs smooth (%g) contrast too weak", r01, r09)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g := []float64{-3, 0, 5}
+	Normalize(g, 0, 1)
+	if g[0] != 0 || g[2] != 1 {
+		t.Fatalf("Normalize = %v", g)
+	}
+	if g[1] != 3.0/8 {
+		t.Fatalf("mid value = %g, want 0.375", g[1])
+	}
+	// Constant input maps to midpoint.
+	c := []float64{4, 4, 4}
+	Normalize(c, 10, 20)
+	for _, v := range c {
+		if v != 15 {
+			t.Fatalf("constant normalize = %v", c)
+		}
+	}
+	// Empty input is a no-op.
+	Normalize(nil, 0, 1)
+}
+
+func TestSide1(t *testing.T) {
+	g, err := DiamondSquare(1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 4 {
+		t.Fatalf("len = %d", len(g))
+	}
+}
+
+func BenchmarkDiamondSquare256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DiamondSquare(256, 0.7, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package geom provides the geometric primitives shared by every layer of
+// fielddb: points, axis-aligned rectangles, one-dimensional value intervals,
+// and simple polygons with convex clipping.
+//
+// All coordinates are float64. The package is free of I/O and allocation-heavy
+// abstractions so it can sit on the hot path of index construction and the
+// estimation step of value queries.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2-D spatial domain of a field.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Orient returns the orientation of the triple (a, b, c):
+// positive for counter-clockwise, negative for clockwise, zero for collinear.
+func Orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Interval is a closed range [Lo, Hi] on the field value domain.
+// It is the 1-D minimum bounding rectangle used throughout the paper:
+// the interval of a cell bounds every explicit and interpolated value
+// inside that cell.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// EmptyInterval returns the identity element for Union: an interval that
+// contains nothing and leaves any interval unchanged when united with it.
+func EmptyInterval() Interval {
+	return Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
+}
+
+// IsEmpty reports whether iv contains no values.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Length returns Hi-Lo, or 0 for an empty interval.
+func (iv Interval) Length() float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether the value w lies in the closed interval.
+func (iv Interval) Contains(w float64) bool { return !iv.IsEmpty() && iv.Lo <= w && w <= iv.Hi }
+
+// Intersects reports whether the closed intervals iv and other share a value.
+func (iv Interval) Intersects(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return false
+	}
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Union returns the smallest interval containing both iv and other.
+func (iv Interval) Union(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, other.Lo), math.Max(iv.Hi, other.Hi)}
+}
+
+// Intersect returns the overlap of the two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	out := Interval{math.Max(iv.Lo, other.Lo), math.Min(iv.Hi, other.Hi)}
+	if out.Lo > out.Hi {
+		return EmptyInterval()
+	}
+	return out
+}
+
+// Expand returns iv grown by eps on both ends.
+func (iv Interval) Expand(eps float64) Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	return Interval{iv.Lo - eps, iv.Hi + eps}
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi)
+}
+
+// Rect is a closed axis-aligned rectangle in the spatial domain.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect returns the identity element for Union.
+func EmptyRect() Rect {
+	return Rect{
+		Min: Point{math.Inf(1), math.Inf(1)},
+		Max: Point{math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// RectFromPoints returns the bounding rectangle of the given points.
+func RectFromPoints(pts ...Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// IsEmpty reports whether r contains no points.
+func (r Rect) IsEmpty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Width returns the extent along X.
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the extent along Y.
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the midpoint of r. The Hilbert value of a cell is, per the
+// paper, the Hilbert value of the center of the cell.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// ContainsPoint reports whether p lies inside the closed rectangle.
+func (r Rect) ContainsPoint(p Point) bool {
+	return !r.IsEmpty() &&
+		r.Min.X <= p.X && p.X <= r.Max.X &&
+		r.Min.Y <= p.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether the closed rectangles overlap.
+func (r Rect) Intersects(o Rect) bool {
+	if r.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if r.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// ExtendPoint returns the smallest rectangle containing r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return r.Union(Rect{Min: p, Max: p})
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "[empty rect]"
+	}
+	return fmt.Sprintf("[%v - %v]", r.Min, r.Max)
+}
+
+// Polygon is a simple polygon given by its vertices in order.
+// Answer regions produced by the estimation step are polygons.
+type Polygon []Point
+
+// Area returns the absolute area of the polygon (shoelace formula).
+func (pg Polygon) Area() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		sum += pg[i].Cross(pg[j])
+	}
+	return math.Abs(sum) / 2
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate polygons
+// (fewer than 3 vertices or zero area) it returns the vertex average.
+func (pg Polygon) Centroid() Point {
+	if len(pg) == 0 {
+		return Point{}
+	}
+	var cx, cy, a float64
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		cr := pg[i].Cross(pg[j])
+		cx += (pg[i].X + pg[j].X) * cr
+		cy += (pg[i].Y + pg[j].Y) * cr
+		a += cr
+	}
+	if math.Abs(a) < 1e-12 {
+		var sx, sy float64
+		for _, p := range pg {
+			sx += p.X
+			sy += p.Y
+		}
+		n := float64(len(pg))
+		return Point{sx / n, sy / n}
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}
+
+// Bounds returns the bounding rectangle of the polygon.
+func (pg Polygon) Bounds() Rect { return RectFromPoints(pg...) }
+
+// Clone returns a deep copy of the polygon.
+func (pg Polygon) Clone() Polygon {
+	out := make(Polygon, len(pg))
+	copy(out, pg)
+	return out
+}
+
+// HalfPlane describes the set of points p with N·p <= C. Clipping a convex
+// polygon against half-planes is how the estimation step carves the exact
+// answer region out of a triangle or grid cell under linear interpolation.
+type HalfPlane struct {
+	N Point   // outward normal
+	C float64 // offset: inside means N·p <= C
+}
+
+// Inside reports whether p satisfies the half-plane constraint.
+func (h HalfPlane) Inside(p Point) bool { return h.N.Dot(p) <= h.C+1e-12 }
+
+// ClipConvex clips the convex polygon pg against the half-plane h using the
+// Sutherland–Hodgman step. The result is convex (possibly empty).
+func ClipConvex(pg Polygon, h HalfPlane) Polygon {
+	if len(pg) == 0 {
+		return nil
+	}
+	out := make(Polygon, 0, len(pg)+2)
+	for i := range pg {
+		cur := pg[i]
+		nxt := pg[(i+1)%len(pg)]
+		curIn, nxtIn := h.Inside(cur), h.Inside(nxt)
+		if curIn {
+			out = append(out, cur)
+		}
+		if curIn != nxtIn {
+			// Edge crosses the boundary N·p = C; find the crossing point.
+			d := nxt.Sub(cur)
+			denom := h.N.Dot(d)
+			if math.Abs(denom) > 1e-300 {
+				t := (h.C - h.N.Dot(cur)) / denom
+				if t < 0 {
+					t = 0
+				} else if t > 1 {
+					t = 1
+				}
+				out = append(out, cur.Add(d.Scale(t)))
+			}
+		}
+	}
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+// ClipConvexBand clips a convex polygon against both half-planes of a value
+// band: given a linear value function value(p) = G·p + b, keep the region
+// where lo <= value(p) <= hi.
+func ClipConvexBand(pg Polygon, grad Point, b float64, lo, hi float64) Polygon {
+	// value(p) <= hi   <=>   G·p <= hi - b
+	pg = ClipConvex(pg, HalfPlane{N: grad, C: hi - b})
+	if pg == nil {
+		return nil
+	}
+	// value(p) >= lo   <=>   -G·p <= b - lo
+	return ClipConvex(pg, HalfPlane{N: Point{-grad.X, -grad.Y}, C: b - lo})
+}
+
+// ConvexIntersect returns the intersection of two convex polygons by clipping
+// a against every edge of b. Degenerate (zero-area) operands yield nil: a
+// zero-length edge has no well-defined inside half-plane.
+func ConvexIntersect(a, b Polygon) Polygon {
+	if len(a) < 3 || len(b) < 3 {
+		return nil
+	}
+	if a.Area() <= 1e-12 || b.Area() <= 1e-12 {
+		return nil
+	}
+	b = EnsureCCW(b)
+	out := a
+	for i := range b {
+		p, q := b[i], b[(i+1)%len(b)]
+		// Inside of edge p->q for a CCW polygon is the left side:
+		// cross(q-p, x-p) >= 0  <=>  n·x <= c with n = perp(q-p) pointing right.
+		e := q.Sub(p)
+		n := Point{e.Y, -e.X} // right-pointing normal; inside is n·x <= n·p
+		out = ClipConvex(out, HalfPlane{N: n, C: n.Dot(p)})
+		if out == nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// SignedArea returns the signed area (positive for counter-clockwise).
+func (pg Polygon) SignedArea() float64 {
+	sum := 0.0
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		sum += pg[i].Cross(pg[j])
+	}
+	return sum / 2
+}
+
+// EnsureCCW returns pg with counter-clockwise orientation, reversing a copy
+// if necessary.
+func EnsureCCW(pg Polygon) Polygon {
+	if pg.SignedArea() >= 0 {
+		return pg
+	}
+	out := make(Polygon, len(pg))
+	for i, p := range pg {
+		out[len(pg)-1-i] = p
+	}
+	return out
+}

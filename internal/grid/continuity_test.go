@@ -1,0 +1,89 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/fractal"
+	"fielddb/internal/geom"
+)
+
+// TestInterpolationContinuityAcrossCells verifies the defining property of
+// the continuous-field representation (§2.1 / Figure 1): the interpolated
+// surface has no jumps across cell boundaries — the within-cell variation
+// is preserved and adjacent cells agree along their shared edge.
+func TestInterpolationContinuityAcrossCells(t *testing.T) {
+	heights, err := fractal.DiamondSquare(16, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fractal.Normalize(heights, 0, 50)
+	d, err := New(geom.Pt(0, 0), 1, 1, 16, 16, heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	var left, right field.Cell
+	for trial := 0; trial < 300; trial++ {
+		// A random interior vertical edge between cells (col,row) and
+		// (col+1,row), probed at a random height along the edge.
+		col := rng.Intn(15)
+		row := rng.Intn(16)
+		y := float64(row) + rng.Float64()
+		x := float64(col + 1)
+		d.Cell(field.CellID(row*16+col), &left)
+		d.Cell(field.CellID(row*16+col+1), &right)
+		wl, okl := field.Interpolate(&left, geom.Pt(x, y))
+		wr, okr := field.Interpolate(&right, geom.Pt(x, y))
+		if !okl || !okr {
+			t.Fatalf("edge point (%g,%g) not inside both cells", x, y)
+		}
+		if math.Abs(wl-wr) > 1e-9 {
+			t.Fatalf("discontinuity at (%g,%g): %g vs %g", x, y, wl, wr)
+		}
+		// Horizontal edges too.
+		col = rng.Intn(16)
+		row = rng.Intn(15)
+		x = float64(col) + rng.Float64()
+		y = float64(row + 1)
+		d.Cell(field.CellID(row*16+col), &left)
+		d.Cell(field.CellID((row+1)*16+col), &right)
+		wl, okl = field.Interpolate(&left, geom.Pt(x, y))
+		wr, okr = field.Interpolate(&right, geom.Pt(x, y))
+		if !okl || !okr {
+			t.Fatalf("edge point (%g,%g) not inside both cells", x, y)
+		}
+		if math.Abs(wl-wr) > 1e-9 {
+			t.Fatalf("discontinuity at (%g,%g): %g vs %g", x, y, wl, wr)
+		}
+	}
+}
+
+// TestBandTilesCell checks that complementary bands partition each cell:
+// area(w < t) + area(w >= t) = cell area.
+func TestBandTilesCell(t *testing.T) {
+	heights, _ := fractal.DiamondSquare(8, 0.5, 4)
+	fractal.Normalize(heights, 0, 10)
+	d, _ := New(geom.Pt(0, 0), 1, 1, 8, 8, heights)
+	var c field.Cell
+	rng := rand.New(rand.NewSource(11))
+	for id := 0; id < d.NumCells(); id++ {
+		d.Cell(field.CellID(id), &c)
+		iv := c.Interval()
+		tsplit := iv.Lo + rng.Float64()*iv.Length()
+		lowArea := 0.0
+		for _, pg := range field.Band(&c, iv.Lo-1, tsplit) {
+			lowArea += pg.Area()
+		}
+		highArea := 0.0
+		for _, pg := range field.Band(&c, tsplit, iv.Hi+1) {
+			highArea += pg.Area()
+		}
+		if math.Abs(lowArea+highArea-1) > 1e-6 {
+			t.Fatalf("cell %d: bands cover %g of unit cell (split %g in %v)",
+				id, lowArea+highArea, tsplit, iv)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Pt(0, 0), 1, 1, 0, 3, nil); err == nil {
+		t.Fatal("0 cells accepted")
+	}
+	if _, err := New(geom.Pt(0, 0), 0, 1, 2, 2, make([]float64, 9)); err == nil {
+		t.Fatal("zero cell size accepted")
+	}
+	if _, err := New(geom.Pt(0, 0), 1, 1, 2, 2, make([]float64, 5)); err == nil {
+		t.Fatal("wrong height count accepted")
+	}
+	h := make([]float64, 9)
+	h[3] = math.NaN()
+	if _, err := New(geom.Pt(0, 0), 1, 1, 2, 2, h); err == nil {
+		t.Fatal("NaN height accepted")
+	}
+}
+
+func TestFigure1DEM(t *testing.T) {
+	// The 3×3 DEM of Figure 1 with the paper's vertex heights:
+	// row 0 (bottom): 40 48 56 80 / row 1: 50 60 90 84 / row 2: 64 74 110 88
+	// row 3: 80 80 110 120. (Values transcribed per the figure's layout.)
+	heights := []float64{
+		40, 48, 56, 80,
+		50, 60, 90, 84,
+		64, 74, 110, 88,
+		80, 80, 110, 120,
+	}
+	d, err := New(geom.Pt(0, 0), 1, 1, 3, 3, heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCells() != 9 {
+		t.Fatalf("NumCells = %d", d.NumCells())
+	}
+	var c field.Cell
+	d.Cell(0, &c)
+	// Cell c1 (bottom-left) has corners 40, 48, 60, 50.
+	want := []float64{40, 48, 60, 50}
+	for i, w := range want {
+		if c.Values[i] != w {
+			t.Fatalf("cell 0 value %d = %g, want %g", i, c.Values[i], w)
+		}
+	}
+	iv := c.Interval()
+	if iv.Lo != 40 || iv.Hi != 60 {
+		t.Fatalf("cell 0 interval = %v", iv)
+	}
+	// The query of §2.2.2: cells whose interval intersects [55, 59].
+	var hits []field.CellID
+	for id := 0; id < d.NumCells(); id++ {
+		d.Cell(field.CellID(id), &c)
+		if c.Interval().Intersects(geom.Interval{Lo: 55, Hi: 59}) {
+			hits = append(hits, field.CellID(id))
+		}
+	}
+	// The paper retrieves candidate cells <c1, c2, c3, c4> (ids 0..3).
+	wantHits := []field.CellID{0, 1, 2, 3}
+	if len(hits) != len(wantHits) {
+		t.Fatalf("candidates = %v, want %v", hits, wantHits)
+	}
+	for i := range hits {
+		if hits[i] != wantHits[i] {
+			t.Fatalf("candidates = %v, want %v", hits, wantHits)
+		}
+	}
+}
+
+func TestCellGeometry(t *testing.T) {
+	d, err := FromFunc(geom.Pt(10, 20), 2, 3, 4, 5, func(x, y float64) float64 { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c field.Cell
+	d.Cell(d.idOf(t, 2, 3), &c)
+	wantMin := geom.Pt(10+2*2, 20+3*3)
+	if c.Vertices[0] != wantMin {
+		t.Fatalf("min corner = %v, want %v", c.Vertices[0], wantMin)
+	}
+	if c.Vertices[2] != geom.Pt(wantMin.X+2, wantMin.Y+3) {
+		t.Fatalf("max corner = %v", c.Vertices[2])
+	}
+	// Monotonic data: value at each vertex is x + y.
+	for i, v := range c.Vertices {
+		if c.Values[i] != v.X+v.Y {
+			t.Fatalf("vertex %d value %g, want %g", i, c.Values[i], v.X+v.Y)
+		}
+	}
+	b := d.Bounds()
+	if b.Min != geom.Pt(10, 20) || b.Max != geom.Pt(18, 35) {
+		t.Fatalf("Bounds = %v", b)
+	}
+}
+
+// idOf computes a cell id from (col, row) for tests.
+func (d *DEM) idOf(t *testing.T, col, row int) field.CellID {
+	t.Helper()
+	nx, _ := d.Size()
+	return field.CellID(row*nx + col)
+}
+
+func TestLocate(t *testing.T) {
+	d, _ := FromFunc(geom.Pt(0, 0), 1, 1, 8, 8, func(x, y float64) float64 { return 0 })
+	id, ok := d.Locate(geom.Pt(3.5, 2.5))
+	if !ok || id != field.CellID(2*8+3) {
+		t.Fatalf("Locate = %d, %v", id, ok)
+	}
+	// Border points clamp into the last cell.
+	id, ok = d.Locate(geom.Pt(8, 8))
+	if !ok || id != field.CellID(63) {
+		t.Fatalf("Locate(corner) = %d, %v", id, ok)
+	}
+	if _, ok := d.Locate(geom.Pt(-0.1, 4)); ok {
+		t.Fatal("outside point located")
+	}
+	if _, ok := d.Locate(geom.Pt(4, 9)); ok {
+		t.Fatal("outside point located")
+	}
+}
+
+func TestValueAtContinuity(t *testing.T) {
+	// The DEM of a linear function reproduces it exactly everywhere —
+	// the continuity property the representation is meant to capture.
+	d, _ := FromFunc(geom.Pt(0, 0), 1, 1, 10, 10, func(x, y float64) float64 { return 3*x - 2*y + 5 })
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		got, ok := field.ValueAt(d, p)
+		if !ok {
+			t.Fatalf("ValueAt(%v) outside", p)
+		}
+		want := 3*p.X - 2*p.Y + 5
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ValueAt(%v) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	d, _ := FromFunc(geom.Pt(0, 0), 1, 1, 4, 4, func(x, y float64) float64 { return x * y })
+	vr := d.ValueRange()
+	if vr.Lo != 0 || vr.Hi != 16 {
+		t.Fatalf("ValueRange = %v", vr)
+	}
+	// Cross-check against the generic scan.
+	if got := field.ValueRangeOf(d); got != vr {
+		t.Fatalf("ValueRangeOf = %v, want %v", got, vr)
+	}
+}
+
+func TestVertexHeight(t *testing.T) {
+	d, _ := FromFunc(geom.Pt(0, 0), 1, 1, 2, 2, func(x, y float64) float64 { return 10*y + x })
+	if got := d.VertexHeight(1, 2); got != 21 {
+		t.Fatalf("VertexHeight(1,2) = %g", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package intervaltree implements a static centered interval tree
+// (Edelsbrunner 1980), the main-memory structure the paper's related work
+// (§2.3) used for isosurface/isoline extraction. It answers "find all
+// intervals intersecting a query interval" in O(log n + k).
+//
+// The paper dismisses it for large field databases because it is a
+// main-memory method; fielddb includes it both as a related-work baseline
+// and as the in-memory filter used to cross-check the R*-tree results in
+// tests.
+package intervaltree
+
+import (
+	"sort"
+
+	"fielddb/internal/geom"
+)
+
+// Item is an interval with an opaque payload.
+type Item struct {
+	Interval geom.Interval
+	Data     uint64
+}
+
+type node struct {
+	center      float64
+	left, right *node
+	// Intervals containing center, sorted two ways for one-sided scans.
+	byLo []Item // ascending Lo
+	byHi []Item // descending Hi
+}
+
+// Tree is an immutable interval tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Build constructs the tree from the given items in O(n log n).
+func Build(items []Item) *Tree {
+	own := make([]Item, len(items))
+	copy(own, items)
+	return &Tree{root: build(own), size: len(items)}
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.size }
+
+func build(items []Item) *node {
+	if len(items) == 0 {
+		return nil
+	}
+	// Median of endpoint values keeps the tree balanced.
+	endpoints := make([]float64, 0, 2*len(items))
+	for _, it := range items {
+		endpoints = append(endpoints, it.Interval.Lo, it.Interval.Hi)
+	}
+	sort.Float64s(endpoints)
+	center := endpoints[len(endpoints)/2]
+
+	var here, left, right []Item
+	for _, it := range items {
+		switch {
+		case it.Interval.Hi < center:
+			left = append(left, it)
+		case it.Interval.Lo > center:
+			right = append(right, it)
+		default:
+			here = append(here, it)
+		}
+	}
+	// Degenerate guard: if every interval lands on one side (possible with
+	// duplicate endpoints), split arbitrarily to guarantee progress.
+	if len(here) == 0 && (len(left) == 0 || len(right) == 0) {
+		all := items
+		sort.Slice(all, func(i, j int) bool { return all[i].Interval.Lo < all[j].Interval.Lo })
+		mid := len(all) / 2
+		here = all[mid : mid+1]
+		left = all[:mid]
+		right = all[mid+1:]
+		center = all[mid].Interval.Lo
+	}
+
+	n := &node{center: center}
+	n.byLo = make([]Item, len(here))
+	copy(n.byLo, here)
+	sort.Slice(n.byLo, func(i, j int) bool { return n.byLo[i].Interval.Lo < n.byLo[j].Interval.Lo })
+	n.byHi = make([]Item, len(here))
+	copy(n.byHi, here)
+	sort.Slice(n.byHi, func(i, j int) bool { return n.byHi[i].Interval.Hi > n.byHi[j].Interval.Hi })
+	n.left = build(left)
+	n.right = build(right)
+	return n
+}
+
+// Query visits every stored item whose interval intersects q. Returning
+// false from fn stops the traversal.
+func (t *Tree) Query(q geom.Interval, fn func(Item) bool) {
+	if q.IsEmpty() {
+		return
+	}
+	query(t.root, q, fn)
+}
+
+func query(n *node, q geom.Interval, fn func(Item) bool) bool {
+	if n == nil {
+		return true
+	}
+	switch {
+	case q.Hi < n.center:
+		// Only items with Lo <= q.Hi can intersect; byLo is ascending.
+		for _, it := range n.byLo {
+			if it.Interval.Lo > q.Hi {
+				break
+			}
+			if !fn(it) {
+				return false
+			}
+		}
+		return query(n.left, q, fn)
+	case q.Lo > n.center:
+		// Only items with Hi >= q.Lo can intersect; byHi is descending.
+		for _, it := range n.byHi {
+			if it.Interval.Hi < q.Lo {
+				break
+			}
+			if !fn(it) {
+				return false
+			}
+		}
+		return query(n.right, q, fn)
+	default:
+		// center is inside q: every item here intersects.
+		for _, it := range n.byLo {
+			if !fn(it) {
+				return false
+			}
+		}
+		if !query(n.left, q, fn) {
+			return false
+		}
+		return query(n.right, q, fn)
+	}
+}
+
+// Stab visits every stored item whose interval contains the value w.
+func (t *Tree) Stab(w float64, fn func(Item) bool) {
+	t.Query(geom.Interval{Lo: w, Hi: w}, fn)
+}

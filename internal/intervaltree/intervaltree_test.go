@@ -1,0 +1,174 @@
+package intervaltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fielddb/internal/geom"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	count := 0
+	tr.Query(geom.Interval{Lo: -1e9, Hi: 1e9}, func(Item) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("empty tree returned items")
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 3000
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		lo := rng.Float64() * 100
+		items[i] = Item{Interval: geom.Interval{Lo: lo, Hi: lo + rng.Float64()*5}, Data: uint64(i)}
+	}
+	tr := Build(items)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for q := 0; q < 200; q++ {
+		lo := rng.Float64() * 100
+		query := geom.Interval{Lo: lo, Hi: lo + rng.Float64()*10}
+		want := map[uint64]bool{}
+		for _, it := range items {
+			if it.Interval.Intersects(query) {
+				want[it.Data] = true
+			}
+		}
+		got := map[uint64]bool{}
+		tr.Query(query, func(it Item) bool { got[it.Data] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d want %d", query, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("query %v: missing %d", query, k)
+			}
+		}
+	}
+}
+
+func TestStab(t *testing.T) {
+	items := []Item{
+		{Interval: geom.Interval{Lo: 0, Hi: 10}, Data: 1},
+		{Interval: geom.Interval{Lo: 5, Hi: 15}, Data: 2},
+		{Interval: geom.Interval{Lo: 20, Hi: 30}, Data: 3},
+	}
+	tr := Build(items)
+	var got []uint64
+	tr.Stab(7, func(it Item) bool { got = append(got, it.Data); return true })
+	if len(got) != 2 {
+		t.Fatalf("Stab(7) = %v", got)
+	}
+	got = nil
+	tr.Stab(25, func(it Item) bool { got = append(got, it.Data); return true })
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Stab(25) = %v", got)
+	}
+	got = nil
+	tr.Stab(17, func(it Item) bool { got = append(got, it.Data); return true })
+	if len(got) != 0 {
+		t.Fatalf("Stab(17) = %v", got)
+	}
+	// Boundary values included (closed intervals).
+	got = nil
+	tr.Stab(10, func(it Item) bool { got = append(got, it.Data); return true })
+	if len(got) != 2 {
+		t.Fatalf("Stab(10) = %v, want both [0,10] and [5,15]", got)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	var items []Item
+	for i := 0; i < 100; i++ {
+		items = append(items, Item{Interval: geom.Interval{Lo: 0, Hi: 1}, Data: uint64(i)})
+	}
+	tr := Build(items)
+	count := 0
+	tr.Query(geom.Interval{Lo: 0, Hi: 1}, func(Item) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestEmptyQueryInterval(t *testing.T) {
+	tr := Build([]Item{{Interval: geom.Interval{Lo: 0, Hi: 1}, Data: 1}})
+	count := 0
+	tr.Query(geom.EmptyInterval(), func(Item) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("empty query returned items")
+	}
+}
+
+func TestDegenerateIdenticalIntervals(t *testing.T) {
+	// All intervals identical — stresses the degenerate split guard.
+	var items []Item
+	for i := 0; i < 500; i++ {
+		items = append(items, Item{Interval: geom.Interval{Lo: 5, Hi: 5}, Data: uint64(i)})
+	}
+	tr := Build(items)
+	count := 0
+	tr.Stab(5, func(Item) bool { count++; return true })
+	if count != 500 {
+		t.Fatalf("found %d of 500 identical intervals", count)
+	}
+	count = 0
+	tr.Stab(4.999, func(Item) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("stab outside found items")
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		items := make([]Item, n)
+		for i := range items {
+			lo := rng.Float64() * 10
+			items[i] = Item{Interval: geom.Interval{Lo: lo, Hi: lo + rng.Float64()*2}, Data: uint64(i)}
+		}
+		tr := Build(items)
+		for q := 0; q < 5; q++ {
+			lo := rng.Float64() * 10
+			query := geom.Interval{Lo: lo, Hi: lo + rng.Float64()*3}
+			want := 0
+			for _, it := range items {
+				if it.Interval.Intersects(query) {
+					want++
+				}
+			}
+			got := 0
+			tr.Query(query, func(Item) bool { got++; return true })
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Item, 100000)
+	for i := range items {
+		lo := rng.Float64() * 1e6
+		items[i] = Item{Interval: geom.Interval{Lo: lo, Hi: lo + 10}, Data: uint64(i)}
+	}
+	tr := Build(items)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 1e6
+		tr.Query(geom.Interval{Lo: lo, Hi: lo + 100}, func(Item) bool { return true })
+	}
+}

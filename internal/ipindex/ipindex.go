@@ -1,0 +1,90 @@
+// Package ipindex implements a row-wise value index in the spirit of the
+// IP-index of Lin, Risch, Sköld & Badal (CIKM 1996), which the paper's
+// related work (§2.3) discusses: Lin & Risch applied one IP-index per DEM
+// row for terrain-aided navigation, treating each row as a 1-D time
+// sequence.
+//
+// For each grid row, the index stores the row's cells ordered by interval
+// low bound, with a running suffix maximum of the high bounds, so the cells
+// of one row whose intervals intersect a query interval are found in
+// O(log n + k) without touching the rest of the row.
+//
+// The paper's critique — that this design exploits continuity along one
+// axis only (the X axis) and therefore cannot cluster candidates the way
+// 2-D Hilbert subfields do — is reproduced by the comparison benchmark in
+// internal/bench: the per-row candidate runs are scattered across the rows
+// of the heap file.
+package ipindex
+
+import (
+	"sort"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/grid"
+)
+
+// rowEntry is one cell of a row, positioned by its value interval.
+type rowEntry struct {
+	cell      field.CellID
+	iv        geom.Interval
+	suffixMax float64 // max of iv.Hi over this and all later entries
+}
+
+// Index is a per-row value index over a regular-grid DEM.
+type Index struct {
+	rows [][]rowEntry
+}
+
+// Build constructs the row-wise index for a DEM.
+func Build(d *grid.DEM) *Index {
+	nx, ny := d.Size()
+	idx := &Index{rows: make([][]rowEntry, ny)}
+	var c field.Cell
+	for row := 0; row < ny; row++ {
+		entries := make([]rowEntry, nx)
+		for col := 0; col < nx; col++ {
+			id := field.CellID(row*nx + col)
+			d.Cell(id, &c)
+			entries[col] = rowEntry{cell: id, iv: c.Interval()}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].iv.Lo < entries[j].iv.Lo })
+		max := entries[len(entries)-1].iv.Hi
+		for i := len(entries) - 1; i >= 0; i-- {
+			if entries[i].iv.Hi > max {
+				max = entries[i].iv.Hi
+			}
+			entries[i].suffixMax = max
+		}
+		idx.rows[row] = entries
+	}
+	return idx
+}
+
+// NumRows returns the number of indexed rows.
+func (ix *Index) NumRows() int { return len(ix.rows) }
+
+// Query visits every cell whose interval intersects q, row by row.
+// Returning false stops the traversal.
+func (ix *Index) Query(q geom.Interval, fn func(field.CellID) bool) {
+	if q.IsEmpty() {
+		return
+	}
+	for _, row := range ix.rows {
+		// Candidates have Lo <= q.Hi; binary search for the cut, then walk
+		// the prefix, pruning via the suffix maximum of Hi.
+		cut := sort.Search(len(row), func(i int) bool { return row[i].iv.Lo > q.Hi })
+		for i := 0; i < cut; i++ {
+			// suffixMax bounds Hi over every entry from i on, so once it
+			// drops below q.Lo nothing later can intersect either.
+			if row[i].suffixMax < q.Lo {
+				break
+			}
+			if row[i].iv.Hi >= q.Lo {
+				if !fn(row[i].cell) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package ipindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fielddb/internal/field"
+	"fielddb/internal/fractal"
+	"fielddb/internal/geom"
+	"fielddb/internal/grid"
+)
+
+func testDEM(t testing.TB, side int) *grid.DEM {
+	t.Helper()
+	heights, err := fractal.DiamondSquare(side, 0.6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fractal.Normalize(heights, 0, 100)
+	d, err := grid.New(geom.Pt(0, 0), 1, 1, side, side, heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	d := testDEM(t, 32)
+	ix := Build(d)
+	if ix.NumRows() != 32 {
+		t.Fatalf("rows = %d", ix.NumRows())
+	}
+	rng := rand.New(rand.NewSource(5))
+	var c field.Cell
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Float64() * 100
+		q := geom.Interval{Lo: lo, Hi: lo + rng.Float64()*20}
+		want := map[field.CellID]bool{}
+		for id := 0; id < d.NumCells(); id++ {
+			d.Cell(field.CellID(id), &c)
+			if c.Interval().Intersects(q) {
+				want[field.CellID(id)] = true
+			}
+		}
+		got := map[field.CellID]bool{}
+		ix.Query(q, func(id field.CellID) bool {
+			got[id] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d want %d", q, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("query %v: missing cell %d", q, id)
+			}
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	d := testDEM(t, 8)
+	ix := Build(d)
+	// Empty query interval.
+	count := 0
+	ix.Query(geom.EmptyInterval(), func(field.CellID) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("empty query returned cells")
+	}
+	// Out-of-range query.
+	ix.Query(geom.Interval{Lo: 1000, Hi: 2000}, func(field.CellID) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("out-of-range query returned cells")
+	}
+	// Full-range query returns every cell.
+	ix.Query(geom.Interval{Lo: -1000, Hi: 2000}, func(field.CellID) bool { count++; return true })
+	if count != d.NumCells() {
+		t.Fatalf("full query returned %d of %d", count, d.NumCells())
+	}
+	// Early stop.
+	count = 0
+	ix.Query(geom.Interval{Lo: -1000, Hi: 2000}, func(field.CellID) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	d := testDEM(t, 16)
+	ix := Build(d)
+	var c field.Cell
+	f := func(rawLo, rawW float64) bool {
+		lo := float64(int(rawLo*1e3)%100+100) / 2 // deterministic fold into [0,100]
+		if lo < 0 {
+			lo = -lo
+		}
+		w := float64(int(rawW*1e3)%40+40) / 2
+		if w < 0 {
+			w = -w
+		}
+		q := geom.Interval{Lo: lo, Hi: lo + w}
+		want := 0
+		for id := 0; id < d.NumCells(); id++ {
+			d.Cell(field.CellID(id), &c)
+			if c.Interval().Intersects(q) {
+				want++
+			}
+		}
+		got := 0
+		ix.Query(q, func(field.CellID) bool { got++; return true })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	d := testDEM(b, 128)
+	ix := Build(d)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 95
+		count := 0
+		ix.Query(geom.Interval{Lo: lo, Hi: lo + 2}, func(field.CellID) bool { count++; return true })
+	}
+}

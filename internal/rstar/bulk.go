@@ -1,0 +1,98 @@
+package rstar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BulkLoad builds a packed tree bottom-up from pre-sorted entries, in the
+// style of Kamel & Faloutsos ("On packing R-trees", CIKM 1993): entries are
+// ordered by a space-filling-curve key and packed into full leaves, then
+// parent levels are packed on top until a single root remains.
+//
+// If less is nil, entries are sorted by the center of their first dimension —
+// the natural order for the 1-D interval trees this package serves. Pass a
+// Hilbert-of-center comparison for 2-D spatial loads.
+//
+// fillRatio in (0, 1] controls leaf packing; the classic packed load uses 1.0.
+func BulkLoad(dims int, params Params, entries []Entry, less func(a, b Entry) bool, fillRatio float64) (*Tree, error) {
+	t, err := New(dims, params)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	for _, e := range entries {
+		if e.MBR.Dims() != dims {
+			return nil, fmt.Errorf("rstar: bulk entry has %d dims, tree has %d", e.MBR.Dims(), dims)
+		}
+	}
+	if fillRatio <= 0 || fillRatio > 1 {
+		fillRatio = 1
+	}
+	perNode := int(float64(t.maxFill) * fillRatio)
+	if perNode < 2 {
+		perNode = 2
+	}
+
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	if less == nil {
+		less = func(a, b Entry) bool { return a.MBR.Center(0) < b.MBR.Center(0) }
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+
+	// Pack leaves. Groups are sized evenly (rather than cutting full nodes
+	// and leaving a deficient tail) so every node satisfies the min-fill
+	// invariant.
+	bounds := evenGroups(len(sorted), perNode)
+	level := make([]*node, 0, len(bounds))
+	for _, g := range bounds {
+		n := &node{level: 0}
+		for _, e := range sorted[g[0]:g[1]] {
+			n.entries = append(n.entries, nodeEntry{mbr: e.MBR.Clone(), data: e.Data})
+		}
+		level = append(level, n)
+	}
+
+	// Pack parents until one node remains.
+	h := 0
+	for len(level) > 1 {
+		h++
+		next := make([]*node, 0, len(level)/perNode+1)
+		for _, g := range evenGroups(len(level), perNode) {
+			p := &node{level: h}
+			for _, child := range level[g[0]:g[1]] {
+				p.entries = append(p.entries, nodeEntry{mbr: child.mbr(dims), child: child})
+			}
+			next = append(next, p)
+		}
+		level = next
+	}
+	t.root = level[0]
+	t.size = len(sorted)
+	return t, nil
+}
+
+// evenGroups splits n items into ceil(n/perGroup) contiguous groups whose
+// sizes differ by at most one, returned as [start, end) pairs.
+func evenGroups(n, perGroup int) [][2]int {
+	numGroups := (n + perGroup - 1) / perGroup
+	if numGroups < 1 {
+		numGroups = 1
+	}
+	base := n / numGroups
+	rem := n % numGroups
+	out := make([][2]int, 0, numGroups)
+	start := 0
+	for g := 0; g < numGroups; g++ {
+		size := base
+		if g < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package rstar_test
+
+import (
+	"fmt"
+
+	"fielddb/internal/rstar"
+	"fielddb/internal/storage"
+)
+
+// Example shows the 1-D interval use of the R*-tree — the configuration the
+// paper's value indexes rely on.
+func Example() {
+	tree, _ := rstar.New(1, rstar.Params{})
+	// Three temperature intervals of three subfields.
+	tree.Insert(rstar.Entry{MBR: rstar.Interval1D(10, 20), Data: 0})
+	tree.Insert(rstar.Entry{MBR: rstar.Interval1D(18, 25), Data: 1})
+	tree.Insert(rstar.Entry{MBR: rstar.Interval1D(30, 40), Data: 2})
+	// Which subfields can contain temperatures in [19, 22]?
+	var hits []uint64
+	tree.Search(rstar.Interval1D(19, 22), func(e rstar.Entry) bool {
+		hits = append(hits, e.Data)
+		return true
+	})
+	fmt.Println(hits)
+	// Output: [0 1]
+}
+
+// Example_paged persists a tree and searches it through the pager, charging
+// every node visit to the simulated disk clock.
+func Example_paged() {
+	tree, _ := rstar.New(1, rstar.Params{})
+	for i := 0; i < 1000; i++ {
+		lo := float64(i)
+		tree.Insert(rstar.Entry{MBR: rstar.Interval1D(lo, lo+1.5), Data: uint64(i)})
+	}
+	pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 0)
+	tree.Persist(pager)
+	count := 0
+	tree.PagedSearch(rstar.Interval1D(500, 502), func(rstar.Entry) bool {
+		count++
+		return true
+	})
+	fmt.Printf("%d matches, %d page reads\n", count, pager.Stats().Reads)
+	// Output: 4 matches, 2 page reads
+}
+
+// Example_nearest finds the nearest stored rectangles to a point.
+func Example_nearest() {
+	tree, _ := rstar.New(2, rstar.Params{})
+	tree.Insert(rstar.Entry{MBR: rstar.Rect2D(0, 1, 0, 1), Data: 100})
+	tree.Insert(rstar.Entry{MBR: rstar.Rect2D(5, 6, 5, 6), Data: 200})
+	tree.Insert(rstar.Entry{MBR: rstar.Rect2D(9, 10, 0, 1), Data: 300})
+	for _, n := range tree.Nearest([]float64{4, 4}, 2) {
+		fmt.Printf("%d at %.2f\n", n.Entry.Data, n.Dist)
+	}
+	// Output:
+	// 200 at 1.41
+	// 100 at 4.24
+}

@@ -1,0 +1,82 @@
+package rstar
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Neighbor is one k-nearest-neighbor result.
+type Neighbor struct {
+	Entry Entry
+	// Dist is the minimum distance from the query point to the entry's MBR
+	// (for point data this is the distance to the point itself).
+	Dist float64
+}
+
+// Nearest returns the k entries whose MBRs are closest to the query point
+// (given as one coordinate per dimension), ordered by ascending distance.
+// It implements the classic best-first search with a priority queue of
+// nodes and entries ordered by minimum distance (Hjaltason & Samet).
+//
+// Nearest requires the in-memory tree; paged-only handles return nil.
+func (t *Tree) Nearest(point []float64, k int) []Neighbor {
+	if t.root == nil || k <= 0 || len(point) != t.dims {
+		return nil
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, nnItem{node: t.root, dist: 0})
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(pq).(nnItem)
+		if it.node == nil {
+			out = append(out, Neighbor{Entry: it.entry, Dist: it.dist})
+			continue
+		}
+		for _, e := range it.node.entries {
+			d := minDist(point, e.mbr)
+			if it.node.isLeaf() {
+				heap.Push(pq, nnItem{entry: Entry{MBR: e.mbr, Data: e.data}, dist: d})
+			} else {
+				heap.Push(pq, nnItem{node: e.child, dist: d})
+			}
+		}
+	}
+	return out
+}
+
+// minDist returns the minimum Euclidean distance from a point to an MBR.
+func minDist(p []float64, m MBR) float64 {
+	sum := 0.0
+	for d := 0; d < len(p); d++ {
+		v := p[d]
+		lo, hi := m.Lo(d), m.Hi(d)
+		switch {
+		case v < lo:
+			sum += (lo - v) * (lo - v)
+		case v > hi:
+			sum += (v - hi) * (v - hi)
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+type nnItem struct {
+	node  *node // nil for entry items
+	entry Entry
+	dist  float64
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,161 @@
+package rstar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fielddb/internal/storage"
+)
+
+// On-page node layout (little endian):
+//
+//	[0:2)  level (0 = leaf)
+//	[2:4)  entry count
+//	[4:8)  reserved
+//	then count entries of (2*dims float64 bounds, uint64 ref) each, where
+//	ref is a child PageID for inner nodes and the opaque payload for leaves.
+const nodeHeaderSize = 8
+
+// Persist writes the tree to pages allocated from the pager, one node per
+// page, and remembers the root page for PagedSearch. Nodes are laid out in
+// depth-first order so the leaves under one parent occupy nearly contiguous
+// pages.
+func (t *Tree) Persist(pager *storage.Pager) error {
+	if t.root == nil {
+		return fmt.Errorf("rstar: cannot persist a paged-only handle")
+	}
+	if pager.PageSize() < t.params.PageSize {
+		return fmt.Errorf("rstar: pager page size %d smaller than tree page size %d",
+			pager.PageSize(), t.params.PageSize)
+	}
+	t.pager = pager
+	t.numNodes = 0
+	root, err := t.persistNode(pager, t.root)
+	if err != nil {
+		return err
+	}
+	t.rootPage = root
+	return nil
+}
+
+func (t *Tree) persistNode(pager *storage.Pager, n *node) (storage.PageID, error) {
+	id, err := pager.Alloc()
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	t.numNodes++
+	buf := make([]byte, pager.PageSize())
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(n.level))
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(n.entries)))
+	off := nodeHeaderSize
+	for _, e := range n.entries {
+		for _, v := range e.mbr {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+		ref := e.data
+		if e.child != nil {
+			childID, err := t.persistNode(pager, e.child)
+			if err != nil {
+				return storage.InvalidPage, err
+			}
+			ref = uint64(childID)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], ref)
+		off += 8
+	}
+	if err := pager.WritePage(id, buf); err != nil {
+		return storage.InvalidPage, err
+	}
+	return id, nil
+}
+
+// OpenPaged returns a query-only tree handle over pages previously written
+// by Persist: PagedSearch works immediately; in-memory operations (Insert,
+// Delete, Search) are unavailable because the node structure is not loaded.
+// Len reports the stored entry count as provided by the caller's catalog.
+func OpenPaged(pager *storage.Pager, root storage.PageID, dims int, params Params, size, nodes, height int) (*Tree, error) {
+	t, err := New(dims, params)
+	if err != nil {
+		return nil, err
+	}
+	if root == storage.InvalidPage {
+		return nil, fmt.Errorf("rstar: invalid root page")
+	}
+	t.root = nil // query-only handle
+	t.size = size
+	t.pager = pager
+	t.rootPage = root
+	t.numNodes = nodes
+	t.pagedHeight = height
+	return t, nil
+}
+
+// IsPagedOnly reports whether the tree is a query-only handle produced by
+// OpenPaged.
+func (t *Tree) IsPagedOnly() bool { return t.root == nil }
+
+// RootPage returns the page id of the persisted root, or storage.InvalidPage
+// if the tree has not been persisted.
+func (t *Tree) RootPage() storage.PageID {
+	if t.pager == nil {
+		return storage.InvalidPage
+	}
+	return t.rootPage
+}
+
+// PersistedNodes returns the number of pages written by the last Persist.
+func (t *Tree) PersistedNodes() int { return t.numNodes }
+
+// PagedSearch visits every persisted entry whose MBR intersects query,
+// reading node pages through the pager so that each visit is charged to the
+// simulated disk clock. Returning false from fn stops the search.
+func (t *Tree) PagedSearch(query MBR, fn func(Entry) bool) error {
+	if t.pager == nil {
+		return fmt.Errorf("rstar: tree not persisted")
+	}
+	buf := make([]byte, t.pager.PageSize())
+	_, err := t.pagedSearchNode(t.rootPage, query, fn, buf)
+	return err
+}
+
+func (t *Tree) pagedSearchNode(id storage.PageID, query MBR, fn func(Entry) bool, buf []byte) (bool, error) {
+	if err := t.pager.ReadPage(id, buf); err != nil {
+		return false, err
+	}
+	level := int(binary.LittleEndian.Uint16(buf[0:2]))
+	count := int(binary.LittleEndian.Uint16(buf[2:4]))
+	entrySize := 16*t.dims + 8
+	// Collect matches first: the shared buf is overwritten by child reads.
+	type hit struct {
+		mbr MBR
+		ref uint64
+	}
+	var hits []hit
+	for i := 0; i < count; i++ {
+		off := nodeHeaderSize + i*entrySize
+		m := make(MBR, 2*t.dims)
+		for j := range m {
+			m[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8*j:]))
+		}
+		if !m.Intersects(query) {
+			continue
+		}
+		ref := binary.LittleEndian.Uint64(buf[off+16*t.dims:])
+		hits = append(hits, hit{mbr: m, ref: ref})
+	}
+	for _, h := range hits {
+		if level == 0 {
+			if !fn(Entry{MBR: h.mbr, Data: h.ref}) {
+				return false, nil
+			}
+		} else {
+			cont, err := t.pagedSearchNode(storage.PageID(h.ref), query, fn, buf)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}

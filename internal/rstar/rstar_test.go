@@ -1,0 +1,594 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fielddb/internal/storage"
+)
+
+func TestMBRBasics(t *testing.T) {
+	m := Rect2D(0, 2, 1, 4)
+	if m.Dims() != 2 {
+		t.Fatalf("Dims = %d", m.Dims())
+	}
+	if m.Area() != 6 {
+		t.Fatalf("Area = %g", m.Area())
+	}
+	if m.Margin() != 5 {
+		t.Fatalf("Margin = %g", m.Margin())
+	}
+	if m.Center(0) != 1 || m.Center(1) != 2.5 {
+		t.Fatalf("Center = %g,%g", m.Center(0), m.Center(1))
+	}
+	o := Rect2D(1, 3, 2, 3)
+	if got := m.OverlapArea(o); got != 1 {
+		t.Fatalf("OverlapArea = %g", got)
+	}
+	u := m.Union(o)
+	if u.Lo(0) != 0 || u.Hi(0) != 3 || u.Lo(1) != 1 || u.Hi(1) != 4 {
+		t.Fatalf("Union = %v", u)
+	}
+	if got := m.Enlargement(o); got != u.Area()-m.Area() {
+		t.Fatalf("Enlargement = %g", got)
+	}
+	if !m.Contains(Rect2D(0.5, 1, 2, 3)) {
+		t.Fatal("Contains false negative")
+	}
+	if m.Contains(o) {
+		t.Fatal("Contains false positive")
+	}
+	if m.String() == "" || NewMBR(1, 2).String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestMBRNewPanicsOnOddBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMBR(1, 2, 3)
+}
+
+func TestInterval1DIntersects(t *testing.T) {
+	a := Interval1D(0, 10)
+	if !a.Intersects(Interval1D(10, 20)) {
+		t.Error("touching intervals must intersect (closed semantics)")
+	}
+	if a.Intersects(Interval1D(10.5, 20)) {
+		t.Error("disjoint intervals intersect")
+	}
+	// Point interval (exact query, Qinterval = 0).
+	if !a.Intersects(Interval1D(5, 5)) {
+		t.Error("point probe missed")
+	}
+}
+
+func newSmallTree(t *testing.T, dims int) *Tree {
+	t.Helper()
+	// Small pages force deep trees so splits/reinserts actually run.
+	tr, err := New(dims, Params{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInsertSearch1D(t *testing.T) {
+	tr := newSmallTree(t, 1)
+	const n = 2000
+	rng := rand.New(rand.NewSource(7))
+	ivs := make([]MBR, n)
+	for i := 0; i < n; i++ {
+		lo := rng.Float64() * 100
+		ivs[i] = Interval1D(lo, lo+rng.Float64()*5)
+		if err := tr.Insert(Entry{MBR: ivs[i], Data: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d — page too big for test to exercise splits", tr.Height())
+	}
+	// Compare search results against brute force for many random queries.
+	for q := 0; q < 100; q++ {
+		lo := rng.Float64() * 100
+		query := Interval1D(lo, lo+rng.Float64()*10)
+		want := map[uint64]bool{}
+		for i, iv := range ivs {
+			if iv.Intersects(query) {
+				want[uint64(i)] = true
+			}
+		}
+		got := map[uint64]bool{}
+		tr.Search(query, func(e Entry) bool {
+			got[e.Data] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d, want %d", query, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("query %v: missing %d", query, k)
+			}
+		}
+	}
+}
+
+func TestInsertSearch2D(t *testing.T) {
+	tr := newSmallTree(t, 2)
+	const n = 1500
+	rng := rand.New(rand.NewSource(11))
+	rects := make([]MBR, n)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		rects[i] = Rect2D(x, x+rng.Float64()*3, y, y+rng.Float64()*3)
+		if err := tr.Insert(Entry{MBR: rects[i], Data: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+	for q := 0; q < 50; q++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		query := Rect2D(x, x+10, y, y+10)
+		want := 0
+		for _, r := range rects {
+			if r.Intersects(query) {
+				want++
+			}
+		}
+		got := 0
+		tr.Search(query, func(Entry) bool { got++; return true })
+		if got != want {
+			t.Fatalf("2-D query: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := newSmallTree(t, 1)
+	for i := 0; i < 500; i++ {
+		tr.Insert(Entry{MBR: Interval1D(0, 1), Data: uint64(i)})
+	}
+	visits := 0
+	tr.Search(Interval1D(0, 1), func(Entry) bool {
+		visits++
+		return visits < 10
+	})
+	if visits != 10 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+}
+
+func TestInsertWrongDims(t *testing.T) {
+	tr := newSmallTree(t, 1)
+	if err := tr.Insert(Entry{MBR: Rect2D(0, 1, 0, 1)}); err == nil {
+		t.Fatal("wrong-dims insert accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Params{}); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	if _, err := New(2, Params{PageSize: 32}); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+	tr, err := New(1, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default 4 KiB page gives a healthy 1-D fan-out.
+	if tr.MaxEntries() < 100 {
+		t.Fatalf("1-D fan-out = %d, want >= 100", tr.MaxEntries())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newSmallTree(t, 1)
+	const n = 800
+	rng := rand.New(rand.NewSource(3))
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		lo := rng.Float64() * 50
+		entries[i] = Entry{MBR: Interval1D(lo, lo+1), Data: uint64(i)}
+		tr.Insert(entries[i])
+	}
+	// Delete half, in random order.
+	perm := rng.Perm(n)
+	for _, i := range perm[:n/2] {
+		if !tr.Delete(entries[i]) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete: %v", err)
+	}
+	// Deleted entries are gone; surviving ones remain findable.
+	deleted := map[uint64]bool{}
+	for _, i := range perm[:n/2] {
+		deleted[uint64(i)] = true
+	}
+	found := map[uint64]bool{}
+	tr.Search(Interval1D(-1e9, 1e9), func(e Entry) bool {
+		found[e.Data] = true
+		return true
+	})
+	if len(found) != n/2 {
+		t.Fatalf("found %d after deletes", len(found))
+	}
+	for d := range found {
+		if deleted[d] {
+			t.Fatalf("deleted entry %d still present", d)
+		}
+	}
+	// Deleting a non-existent entry returns false.
+	if tr.Delete(Entry{MBR: Interval1D(9999, 10000), Data: 424242}) {
+		t.Fatal("phantom delete succeeded")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newSmallTree(t, 1)
+	var entries []Entry
+	for i := 0; i < 300; i++ {
+		e := Entry{MBR: Interval1D(float64(i), float64(i)+0.5), Data: uint64(i)}
+		entries = append(entries, e)
+		tr.Insert(e)
+	}
+	for _, e := range entries {
+		if !tr.Delete(e) {
+			t.Fatalf("delete %d failed", e.Data)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	count := 0
+	tr.Search(Interval1D(-1e9, 1e9), func(Entry) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("%d entries found in emptied tree", count)
+	}
+}
+
+func TestPersistAndPagedSearch(t *testing.T) {
+	tr, err := New(1, Params{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 3000
+	ivs := make([]MBR, n)
+	for i := 0; i < n; i++ {
+		lo := rng.Float64() * 1000
+		ivs[i] = Interval1D(lo, lo+rng.Float64()*2)
+		tr.Insert(Entry{MBR: ivs[i], Data: uint64(i)})
+	}
+	disk := storage.NewMemDisk(512)
+	pager := storage.NewPager(disk, storage.DefaultDiskModel, 0)
+	if err := tr.Persist(pager); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PersistedNodes() != tr.NumNodes() {
+		t.Fatalf("persisted %d nodes, tree has %d", tr.PersistedNodes(), tr.NumNodes())
+	}
+	if tr.RootPage() == storage.InvalidPage {
+		t.Fatal("no root page")
+	}
+	pager.ResetStats()
+	for q := 0; q < 30; q++ {
+		lo := rng.Float64() * 1000
+		query := Interval1D(lo, lo+5)
+		var memGot, pagedGot []uint64
+		tr.Search(query, func(e Entry) bool { memGot = append(memGot, e.Data); return true })
+		err := tr.PagedSearch(query, func(e Entry) bool { pagedGot = append(pagedGot, e.Data); return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(memGot, func(i, j int) bool { return memGot[i] < memGot[j] })
+		sort.Slice(pagedGot, func(i, j int) bool { return pagedGot[i] < pagedGot[j] })
+		if len(memGot) != len(pagedGot) {
+			t.Fatalf("paged %d vs mem %d results", len(pagedGot), len(memGot))
+		}
+		for i := range memGot {
+			if memGot[i] != pagedGot[i] {
+				t.Fatalf("result %d differs", i)
+			}
+		}
+	}
+	if st := pager.Stats(); st.Reads == 0 {
+		t.Fatal("paged search did no I/O")
+	}
+}
+
+func TestPagedSearchEarlyStop(t *testing.T) {
+	tr, _ := New(1, Params{PageSize: 256})
+	for i := 0; i < 500; i++ {
+		tr.Insert(Entry{MBR: Interval1D(0, 1), Data: uint64(i)})
+	}
+	pager := storage.NewPager(storage.NewMemDisk(256), storage.DefaultDiskModel, 0)
+	if err := tr.Persist(pager); err != nil {
+		t.Fatal(err)
+	}
+	visits := 0
+	if err := tr.PagedSearch(Interval1D(0, 1), func(Entry) bool {
+		visits++
+		return visits < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visits != 5 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+}
+
+func TestPagedSearchWithoutPersist(t *testing.T) {
+	tr, _ := New(1, Params{})
+	if err := tr.PagedSearch(Interval1D(0, 1), func(Entry) bool { return true }); err == nil {
+		t.Fatal("PagedSearch on unpersisted tree succeeded")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 5000
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		lo := rng.Float64() * 100
+		entries[i] = Entry{MBR: Interval1D(lo, lo+rng.Float64()), Data: uint64(i)}
+	}
+	tr, err := BulkLoad(1, Params{PageSize: 512}, entries, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("bulk invariants: %v", err)
+	}
+	// Bulk-loaded tree answers queries identically to brute force.
+	for q := 0; q < 40; q++ {
+		lo := rng.Float64() * 100
+		query := Interval1D(lo, lo+2)
+		want := 0
+		for _, e := range entries {
+			if e.MBR.Intersects(query) {
+				want++
+			}
+		}
+		got := 0
+		tr.Search(query, func(Entry) bool { got++; return true })
+		if got != want {
+			t.Fatalf("bulk query: got %d, want %d", got, want)
+		}
+	}
+	// A packed tree should be shallower or equal vs the same data inserted
+	// one by one.
+	ins := newSmallTree(t, 1)
+	for _, e := range entries {
+		ins.Insert(e)
+	}
+	_ = ins
+}
+
+func TestBulkLoadEmptyAndErrors(t *testing.T) {
+	tr, err := BulkLoad(1, Params{}, nil, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty bulk load has entries")
+	}
+	count := 0
+	tr.Search(Interval1D(-1, 1), func(Entry) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	if _, err := BulkLoad(1, Params{}, []Entry{{MBR: Rect2D(0, 1, 0, 1)}}, nil, 1.0); err == nil {
+		t.Fatal("wrong-dims bulk accepted")
+	}
+}
+
+func TestBulkLoadCustomOrder(t *testing.T) {
+	// 2-D load ordered by x center must still produce a correct tree.
+	rng := rand.New(rand.NewSource(17))
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		entries[i] = Entry{MBR: Rect2D(x, x+0.1, y, y+0.1), Data: uint64(i)}
+	}
+	tr, err := BulkLoad(2, Params{PageSize: 512}, entries,
+		func(a, b Entry) bool { return a.MBR.Center(0) < b.MBR.Center(0) }, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	tr.Search(Rect2D(0, 10, 0, 10), func(Entry) bool { got++; return true })
+	if got != len(entries) {
+		t.Fatalf("full query returned %d of %d", got, len(entries))
+	}
+}
+
+func TestEvenGroups(t *testing.T) {
+	cases := []struct {
+		n, per  int
+		nGroups int
+	}{
+		{10, 4, 3}, {12, 4, 3}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2},
+	}
+	for _, c := range cases {
+		gs := evenGroups(c.n, c.per)
+		if len(gs) != c.nGroups {
+			t.Fatalf("evenGroups(%d,%d) = %d groups, want %d", c.n, c.per, len(gs), c.nGroups)
+		}
+		total := 0
+		minSz, maxSz := math.MaxInt, 0
+		for _, g := range gs {
+			sz := g[1] - g[0]
+			total += sz
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if total != c.n {
+			t.Fatalf("groups cover %d of %d", total, c.n)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("uneven groups: min %d max %d", minSz, maxSz)
+		}
+		if maxSz > c.per {
+			t.Fatalf("group size %d exceeds %d", maxSz, c.per)
+		}
+	}
+}
+
+func TestQuickInsertedTreeMatchesBruteForce(t *testing.T) {
+	// Property: for random datasets and random queries, tree search equals
+	// linear filtering.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		tr, _ := New(1, Params{PageSize: 256})
+		ivs := make([]MBR, n)
+		for i := 0; i < n; i++ {
+			lo := rng.Float64() * 20
+			ivs[i] = Interval1D(lo, lo+rng.Float64()*3)
+			tr.Insert(Entry{MBR: ivs[i], Data: uint64(i)})
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			lo := rng.Float64() * 20
+			query := Interval1D(lo, lo+rng.Float64()*5)
+			want := 0
+			for _, iv := range ivs {
+				if iv.Intersects(query) {
+					want++
+				}
+			}
+			got := 0
+			tr.Search(query, func(Entry) bool { got++; return true })
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert1D(b *testing.B) {
+	tr, _ := New(1, Params{})
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 1e6
+		tr.Insert(Entry{MBR: Interval1D(lo, lo+1), Data: uint64(i)})
+	}
+}
+
+func BenchmarkSearch1D(b *testing.B) {
+	tr, _ := New(1, Params{})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		lo := rng.Float64() * 1e6
+		tr.Insert(Entry{MBR: Interval1D(lo, lo+10), Data: uint64(i)})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 1e6
+		tr.Search(Interval1D(lo, lo+100), func(Entry) bool { return true })
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tr := newSmallTree(t, 2)
+	rng := rand.New(rand.NewSource(23))
+	const n = 1000
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+		tr.Insert(Entry{MBR: Rect2D(pts[i][0], pts[i][0], pts[i][1], pts[i][1]), Data: uint64(i)})
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		const k = 7
+		got := tr.Nearest(q, k)
+		if len(got) != k {
+			t.Fatalf("got %d neighbors", len(got))
+		}
+		// Brute-force reference.
+		type dn struct {
+			d  float64
+			id uint64
+		}
+		ref := make([]dn, n)
+		for i, p := range pts {
+			dx, dy := p[0]-q[0], p[1]-q[1]
+			ref[i] = dn{d: math.Sqrt(dx*dx + dy*dy), id: uint64(i)}
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i].d < ref[j].d })
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Dist-ref[i].d) > 1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %g, want %g", trial, i, got[i].Dist, ref[i].d)
+			}
+		}
+		// Results ordered by distance.
+		for i := 1; i < k; i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatal("neighbors not ordered")
+			}
+		}
+	}
+	// Edge cases.
+	if tr.Nearest([]float64{0}, 3) != nil {
+		t.Fatal("wrong-arity query accepted")
+	}
+	if tr.Nearest([]float64{0, 0}, 0) != nil {
+		t.Fatal("k=0 returned results")
+	}
+	if got := tr.Nearest([]float64{0, 0}, n+100); len(got) != n {
+		t.Fatalf("k > n returned %d", len(got))
+	}
+}
+
+func TestNearestOnMBRs(t *testing.T) {
+	// Non-point entries: distance is to the rectangle, zero if inside.
+	tr, _ := New(2, Params{PageSize: 512})
+	tr.Insert(Entry{MBR: Rect2D(0, 10, 0, 10), Data: 1})
+	tr.Insert(Entry{MBR: Rect2D(20, 30, 0, 10), Data: 2})
+	got := tr.Nearest([]float64{5, 5}, 2)
+	if len(got) != 2 || got[0].Entry.Data != 1 || got[0].Dist != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	if math.Abs(got[1].Dist-15) > 1e-12 {
+		t.Fatalf("second dist = %g, want 15", got[1].Dist)
+	}
+}

@@ -1,0 +1,593 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fielddb/internal/storage"
+)
+
+// Entry is one leaf record: a bounding rectangle and an opaque 64-bit
+// payload (fielddb packs subfield ids or cell references into it).
+type Entry struct {
+	MBR  MBR
+	Data uint64
+}
+
+type node struct {
+	level   int // 0 = leaf
+	entries []nodeEntry
+}
+
+type nodeEntry struct {
+	mbr   MBR
+	child *node  // non-nil for inner nodes
+	data  uint64 // leaf payload
+}
+
+func (n *node) isLeaf() bool { return n.level == 0 }
+
+// mbr returns the bounding rectangle of all entries of n.
+func (n *node) mbr(dims int) MBR {
+	if len(n.entries) == 0 {
+		m := make(MBR, 2*dims)
+		for d := 0; d < dims; d++ {
+			m[2*d], m[2*d+1] = math.Inf(1), math.Inf(-1)
+		}
+		return m
+	}
+	m := n.entries[0].mbr.Clone()
+	for _, e := range n.entries[1:] {
+		m.ExtendInPlace(e.mbr)
+	}
+	return m
+}
+
+// Params tunes the tree. Zero values select the R* paper defaults derived
+// from the page size.
+type Params struct {
+	// PageSize determines node fan-out; defaults to storage.DefaultPageSize.
+	PageSize int
+	// MinFillRatio is m/M; the R* paper recommends 0.4.
+	MinFillRatio float64
+	// ReinsertRatio is p/M, the share of entries evicted on first overflow;
+	// the R* paper recommends 0.3.
+	ReinsertRatio float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.PageSize <= 0 {
+		p.PageSize = storage.DefaultPageSize
+	}
+	if p.MinFillRatio <= 0 || p.MinFillRatio > 0.5 {
+		p.MinFillRatio = 0.4
+	}
+	if p.ReinsertRatio <= 0 || p.ReinsertRatio >= 1 {
+		p.ReinsertRatio = 0.3
+	}
+	return p
+}
+
+// Tree is an in-memory R*-tree that can be persisted to pages.
+type Tree struct {
+	dims    int
+	maxFill int // M: max entries per node
+	minFill int // m: min entries per node
+	reins   int // p: entries to reinsert on first overflow
+	root    *node
+	size    int
+	params  Params
+
+	// Set by Persist; used by paged search.
+	pager    *storage.Pager
+	rootPage storage.PageID
+	numNodes int
+	// Set by OpenPaged: the stored height of a query-only handle.
+	pagedHeight int
+}
+
+// New returns an empty tree for dims-dimensional MBRs.
+func New(dims int, params Params) (*Tree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("rstar: dims must be >= 1, got %d", dims)
+	}
+	params = params.withDefaults()
+	maxFill := maxEntriesPerNode(params.PageSize, dims)
+	if maxFill < 4 {
+		return nil, fmt.Errorf("rstar: page size %d too small for %d-D entries", params.PageSize, dims)
+	}
+	minFill := int(float64(maxFill) * params.MinFillRatio)
+	if minFill < 1 {
+		minFill = 1
+	}
+	reins := int(float64(maxFill) * params.ReinsertRatio)
+	if reins < 1 {
+		reins = 1
+	}
+	return &Tree{
+		dims:    dims,
+		maxFill: maxFill,
+		minFill: minFill,
+		reins:   reins,
+		root:    &node{level: 0},
+		params:  params,
+	}, nil
+}
+
+// maxEntriesPerNode computes the node fan-out M from the on-page layout:
+// a 8-byte header followed by entries of 2*dims float64 bounds plus an
+// 8-byte child pointer / payload.
+func maxEntriesPerNode(pageSize, dims int) int {
+	return (pageSize - nodeHeaderSize) / (16*dims + 8)
+}
+
+// Dims returns the dimensionality of the tree's MBRs.
+func (t *Tree) Dims() int { return t.dims }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (a tree with just a root leaf has
+// height 1; an empty tree has height 1 as well).
+func (t *Tree) Height() int {
+	if t.root == nil {
+		return t.pagedHeight
+	}
+	return t.root.level + 1
+}
+
+// MaxEntries returns the node fan-out M (exported for tests and stats).
+func (t *Tree) MaxEntries() int { return t.maxFill }
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int {
+	if t.root == nil {
+		return 0
+	}
+	var count func(n *node) int
+	count = func(n *node) int {
+		c := 1
+		if !n.isLeaf() {
+			for _, e := range n.entries {
+				c += count(e.child)
+			}
+		}
+		return c
+	}
+	return count(t.root)
+}
+
+// Insert adds an entry using the full R* insertion algorithm.
+func (t *Tree) Insert(e Entry) error {
+	if t.root == nil {
+		return fmt.Errorf("rstar: tree is a paged-only handle; Insert unavailable")
+	}
+	if e.MBR.Dims() != t.dims {
+		return fmt.Errorf("rstar: entry has %d dims, tree has %d", e.MBR.Dims(), t.dims)
+	}
+	// overflowed[level] marks levels that already did a forced reinsert
+	// during this insertion (OverflowTreatment is called at most once per
+	// level per insert, R* paper §4.3).
+	overflowed := make(map[int]bool)
+	t.insertAtLevel(nodeEntry{mbr: e.MBR.Clone(), data: e.Data}, 0, overflowed)
+	t.size++
+	return nil
+}
+
+// insertAtLevel routes the entry to a node at the given level (0 = leaf) and
+// handles overflow.
+func (t *Tree) insertAtLevel(e nodeEntry, level int, overflowed map[int]bool) {
+	path := t.choosePath(e.mbr, level)
+	n := path[len(path)-1]
+	n.entries = append(n.entries, e)
+	t.handleOverflow(path, overflowed)
+}
+
+// choosePath descends from the root to a node at targetLevel using the R*
+// ChooseSubtree criterion and returns the nodes along the way.
+func (t *Tree) choosePath(m MBR, targetLevel int) []*node {
+	path := []*node{t.root}
+	n := t.root
+	for n.level > targetLevel {
+		idx := t.chooseSubtree(n, m)
+		n.entries[idx].mbr.ExtendInPlace(m)
+		n = n.entries[idx].child
+		path = append(path, n)
+	}
+	return path
+}
+
+// chooseSubtree returns the index of the child of n best suited to absorb m.
+// If the children are leaves, R* minimizes overlap enlargement (resolving
+// ties by area enlargement, then area); otherwise it minimizes area
+// enlargement (ties by area).
+func (t *Tree) chooseSubtree(n *node, m MBR) int {
+	best := 0
+	if n.level == 1 {
+		// Computing overlap enlargement against every sibling is O(M²);
+		// the R* paper's own optimization considers only the 32 entries
+		// with the least area enlargement.
+		cand := make([]int, len(n.entries))
+		for i := range cand {
+			cand[i] = i
+		}
+		const maxCand = 32
+		if len(cand) > maxCand {
+			enls := make([]float64, len(n.entries))
+			for i, e := range n.entries {
+				enls[i] = e.mbr.Enlargement(m)
+			}
+			sort.Slice(cand, func(a, b int) bool { return enls[cand[a]] < enls[cand[b]] })
+			cand = cand[:maxCand]
+		}
+		bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+		union := make(MBR, 2*t.dims)
+		for _, i := range cand {
+			e := n.entries[i]
+			copy(union, e.mbr)
+			union.ExtendInPlace(m)
+			var overlap float64
+			for j := range n.entries {
+				if j == i {
+					continue
+				}
+				o := n.entries[j].mbr
+				overlap += union.OverlapArea(o) - e.mbr.OverlapArea(o)
+			}
+			enl := union.Area() - e.mbr.Area()
+			area := e.mbr.Area()
+			if overlap < bestOverlap ||
+				(overlap == bestOverlap && enl < bestEnl) ||
+				(overlap == bestOverlap && enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, overlap, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, e := range n.entries {
+		enl := e.mbr.Enlargement(m)
+		area := e.mbr.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// handleOverflow walks the path bottom-up resolving overflowing nodes by
+// forced reinsertion (first overflow on a level) or splitting.
+func (t *Tree) handleOverflow(path []*node, overflowed map[int]bool) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.maxFill {
+			t.tightenPath(path[:i+1])
+			continue
+		}
+		isRoot := i == 0
+		if !isRoot && !overflowed[n.level] {
+			overflowed[n.level] = true
+			t.reinsert(n, path[:i+1], overflowed)
+			// reinsert may grow ancestors; they are handled as the loop
+			// continues upward (their lengths are re-checked).
+			continue
+		}
+		// split mutates n in place to hold the left group (so saved paths
+		// stay valid) and returns the new right sibling.
+		right := t.split(n)
+		if isRoot {
+			newRoot := &node{level: n.level + 1}
+			newRoot.entries = append(newRoot.entries,
+				nodeEntry{mbr: n.mbr(t.dims), child: n},
+				nodeEntry{mbr: right.mbr(t.dims), child: right},
+			)
+			t.root = newRoot
+			return
+		}
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j].mbr = n.mbr(t.dims)
+				break
+			}
+		}
+		parent.entries = append(parent.entries, nodeEntry{mbr: right.mbr(t.dims), child: right})
+	}
+}
+
+// tightenPath recomputes the parent MBRs along the path so ancestors stay
+// minimal after reinsertion removed entries below them.
+func (t *Tree) tightenPath(path []*node) {
+	for i := len(path) - 2; i >= 0; i-- {
+		parent, child := path[i], path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].mbr = child.mbr(t.dims)
+				break
+			}
+		}
+	}
+}
+
+// reinsert implements R* forced reinsertion: remove the p entries whose
+// centers are farthest from the node MBR's center and insert them again at
+// the same level (far-reinsert order: farthest first).
+func (t *Tree) reinsert(n *node, path []*node, overflowed map[int]bool) {
+	center := n.mbr(t.dims)
+	type distEntry struct {
+		dist float64
+		e    nodeEntry
+	}
+	des := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		d := 0.0
+		for dim := 0; dim < t.dims; dim++ {
+			diff := e.mbr.Center(dim) - center.Center(dim)
+			d += diff * diff
+		}
+		des[i] = distEntry{dist: d, e: e}
+	}
+	sort.Slice(des, func(i, j int) bool { return des[i].dist > des[j].dist })
+	p := t.reins
+	if p >= len(des) {
+		p = len(des) - 1
+	}
+	evicted := make([]nodeEntry, p)
+	for i := 0; i < p; i++ {
+		evicted[i] = des[i].e
+	}
+	n.entries = n.entries[:0]
+	for i := p; i < len(des); i++ {
+		n.entries = append(n.entries, des[i].e)
+	}
+	t.tightenPath(path)
+	for _, e := range evicted {
+		t.insertAtLevel(e, n.level, overflowed)
+	}
+}
+
+// split implements the R* topological split: choose the axis minimizing the
+// margin sum over all candidate distributions, then on that axis choose the
+// distribution with minimal overlap (ties by area). n is mutated in place to
+// carry the left group; the returned node carries the right group.
+func (t *Tree) split(n *node) *node {
+	M := len(n.entries) - 1 // entries currently M+1
+	minK := t.minFill
+	numDistr := M - 2*minK + 2
+	if numDistr < 1 {
+		minK = 1
+		numDistr = M - 2*minK + 2
+	}
+
+	bestAxis, bestAxisMargin := 0, math.Inf(1)
+	type axisSort struct{ byLo, byHi []nodeEntry }
+	sorts := make([]axisSort, t.dims)
+	for axis := 0; axis < t.dims; axis++ {
+		byLo := make([]nodeEntry, len(n.entries))
+		copy(byLo, n.entries)
+		a := axis
+		sort.Slice(byLo, func(i, j int) bool {
+			if byLo[i].mbr.Lo(a) != byLo[j].mbr.Lo(a) {
+				return byLo[i].mbr.Lo(a) < byLo[j].mbr.Lo(a)
+			}
+			return byLo[i].mbr.Hi(a) < byLo[j].mbr.Hi(a)
+		})
+		byHi := make([]nodeEntry, len(n.entries))
+		copy(byHi, n.entries)
+		sort.Slice(byHi, func(i, j int) bool {
+			if byHi[i].mbr.Hi(a) != byHi[j].mbr.Hi(a) {
+				return byHi[i].mbr.Hi(a) < byHi[j].mbr.Hi(a)
+			}
+			return byHi[i].mbr.Lo(a) < byHi[j].mbr.Lo(a)
+		})
+		sorts[axis] = axisSort{byLo: byLo, byHi: byHi}
+
+		margin := 0.0
+		for _, sorted := range [][]nodeEntry{byLo, byHi} {
+			for k := 0; k < numDistr; k++ {
+				splitAt := minK + k
+				margin += groupMBR(sorted[:splitAt], t.dims).Margin()
+				margin += groupMBR(sorted[splitAt:], t.dims).Margin()
+			}
+		}
+		if margin < bestAxisMargin {
+			bestAxis, bestAxisMargin = axis, margin
+		}
+	}
+
+	// On the chosen axis, pick the distribution minimizing overlap.
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	var bestSorted []nodeEntry
+	bestSplit := minK
+	for _, sorted := range [][]nodeEntry{sorts[bestAxis].byLo, sorts[bestAxis].byHi} {
+		for k := 0; k < numDistr; k++ {
+			splitAt := minK + k
+			m1 := groupMBR(sorted[:splitAt], t.dims)
+			m2 := groupMBR(sorted[splitAt:], t.dims)
+			overlap := m1.OverlapArea(m2)
+			area := m1.Area() + m2.Area()
+			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea = overlap, area
+				bestSorted, bestSplit = sorted, splitAt
+			}
+		}
+	}
+
+	right := &node{level: n.level}
+	right.entries = append(right.entries, bestSorted[bestSplit:]...)
+	n.entries = n.entries[:0]
+	n.entries = append(n.entries, bestSorted[:bestSplit]...)
+	return right
+}
+
+func groupMBR(es []nodeEntry, dims int) MBR {
+	if len(es) == 0 {
+		m := make(MBR, 2*dims)
+		for d := 0; d < dims; d++ {
+			m[2*d], m[2*d+1] = math.Inf(1), math.Inf(-1)
+		}
+		return m
+	}
+	m := es[0].mbr.Clone()
+	for _, e := range es[1:] {
+		m.ExtendInPlace(e.mbr)
+	}
+	return m
+}
+
+// Search visits every entry whose MBR intersects query, in memory.
+// Returning false from fn stops the search.
+func (t *Tree) Search(query MBR, fn func(Entry) bool) {
+	if t.root == nil {
+		panic("rstar: Search on a paged-only handle; use PagedSearch")
+	}
+	t.searchNode(t.root, query, fn)
+}
+
+func (t *Tree) searchNode(n *node, query MBR, fn func(Entry) bool) bool {
+	for _, e := range n.entries {
+		if !e.mbr.Intersects(query) {
+			continue
+		}
+		if n.isLeaf() {
+			if !fn(Entry{MBR: e.mbr, Data: e.data}) {
+				return false
+			}
+		} else if !t.searchNode(e.child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes one entry exactly matching (MBR, Data). It returns false if
+// no such entry exists. Underfull nodes are dissolved and their remaining
+// entries reinserted (the classic R-tree CondenseTree treatment).
+func (t *Tree) Delete(e Entry) bool {
+	if t.root == nil {
+		return false
+	}
+	var path []*node
+	leaf, idx := t.findLeaf(t.root, e, &path)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(append(path, leaf))
+	// Shrink the root if it has a single child and is not a leaf.
+	for !t.root.isLeaf() && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, e Entry, path *[]*node) (*node, int) {
+	if n.isLeaf() {
+		for i, ne := range n.entries {
+			if ne.data == e.Data && mbrEqual(ne.mbr, e.MBR) {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, ne := range n.entries {
+		if !ne.mbr.Intersects(e.MBR) {
+			continue
+		}
+		*path = append(*path, n)
+		if leaf, i := t.findLeaf(ne.child, e, path); leaf != nil {
+			return leaf, i
+		}
+		*path = (*path)[:len(*path)-1]
+	}
+	return nil, -1
+}
+
+func mbrEqual(a, b MBR) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// condense removes underfull nodes along the path and reinserts their
+// orphaned entries.
+func (t *Tree) condense(path []*node) {
+	var orphans []nodeEntry
+	var orphanLevels []int
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		if len(n.entries) < t.minFill {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, e)
+				orphanLevels = append(orphanLevels, n.level)
+			}
+		} else {
+			t.tightenPath(path[:i+1])
+		}
+	}
+	t.tightenPath(path[:1])
+	for i, e := range orphans {
+		t.insertAtLevel(e, orphanLevels[i], make(map[int]bool))
+	}
+}
+
+// CheckInvariants validates structural invariants; it is used by tests and
+// returns a descriptive error when the tree is malformed.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("rstar: paged-only handle has no in-memory nodes")
+	}
+	var walk func(n *node, isRoot bool) (int, error)
+	walk = func(n *node, isRoot bool) (int, error) {
+		if len(n.entries) > t.maxFill {
+			return 0, fmt.Errorf("node at level %d has %d > M=%d entries", n.level, len(n.entries), t.maxFill)
+		}
+		if !isRoot && len(n.entries) < t.minFill {
+			return 0, fmt.Errorf("node at level %d has %d < m=%d entries", n.level, len(n.entries), t.minFill)
+		}
+		if n.isLeaf() {
+			return len(n.entries), nil
+		}
+		total := 0
+		for _, e := range n.entries {
+			if e.child == nil {
+				return 0, fmt.Errorf("inner entry without child at level %d", n.level)
+			}
+			if e.child.level != n.level-1 {
+				return 0, fmt.Errorf("child level %d under node level %d", e.child.level, n.level)
+			}
+			want := e.child.mbr(t.dims)
+			if !mbrEqual(e.mbr, want) {
+				return 0, fmt.Errorf("stale parent MBR %v, child covers %v", e.mbr, want)
+			}
+			c, err := walk(e.child, false)
+			if err != nil {
+				return 0, err
+			}
+			total += c
+		}
+		return total, nil
+	}
+	n, err := walk(t.root, true)
+	if err != nil {
+		return err
+	}
+	if n != t.size {
+		return fmt.Errorf("size %d but %d leaf entries", t.size, n)
+	}
+	return nil
+}

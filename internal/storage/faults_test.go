@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultDisk wraps a Disk and fails operations once armed.
+type faultDisk struct {
+	Disk
+	failReads  bool
+	failWrites bool
+	failAllocs bool
+	readsLeft  int // reads allowed before failing (when failReads)
+}
+
+var errInjected = errors.New("injected fault")
+
+func (d *faultDisk) ReadPage(id PageID, buf []byte) error {
+	if d.failReads {
+		if d.readsLeft <= 0 {
+			return errInjected
+		}
+		d.readsLeft--
+	}
+	return d.Disk.ReadPage(id, buf)
+}
+
+func (d *faultDisk) WritePage(id PageID, buf []byte) error {
+	if d.failWrites {
+		return errInjected
+	}
+	return d.Disk.WritePage(id, buf)
+}
+
+func (d *faultDisk) Alloc() (PageID, error) {
+	if d.failAllocs {
+		return InvalidPage, errInjected
+	}
+	return d.Disk.Alloc()
+}
+
+func TestPagerPropagatesReadErrors(t *testing.T) {
+	mem := NewMemDisk(64)
+	mem.Alloc()
+	fd := &faultDisk{Disk: mem, failReads: true}
+	p := NewPager(fd, DefaultDiskModel, 0)
+	buf := make([]byte, 64)
+	if err := p.ReadPage(0, buf); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed read must not be charged.
+	if st := p.Stats(); st.Reads != 0 {
+		t.Fatalf("failed read counted: %+v", st)
+	}
+}
+
+func TestPagerPropagatesWriteAndAllocErrors(t *testing.T) {
+	mem := NewMemDisk(64)
+	mem.Alloc()
+	fd := &faultDisk{Disk: mem, failWrites: true, failAllocs: true}
+	p := NewPager(fd, DefaultDiskModel, 0)
+	if err := p.WritePage(0, make([]byte, 64)); !errors.Is(err, errInjected) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, errInjected) {
+		t.Fatalf("alloc err = %v", err)
+	}
+	if st := p.Stats(); st.Writes != 0 {
+		t.Fatalf("failed write counted: %+v", st)
+	}
+}
+
+func TestHeapFilePropagatesAllocFailure(t *testing.T) {
+	mem := NewMemDisk(64)
+	fd := &faultDisk{Disk: mem, failAllocs: true}
+	p := NewPager(fd, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	if _, err := h.Append([]byte("x")); !errors.Is(err, errInjected) {
+		t.Fatalf("append err = %v", err)
+	}
+}
+
+func TestHeapFileScanPropagatesReadFailure(t *testing.T) {
+	mem := NewMemDisk(128)
+	fd := &faultDisk{Disk: mem}
+	p := NewPager(fd, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	for i := 0; i < 60; i++ {
+		if _, err := h.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fd.failReads = true
+	fd.readsLeft = 1 // first page succeeds, second fails
+	err := h.Scan(func(RID, []byte) bool { return true })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("scan err = %v", err)
+	}
+}
+
+func TestPagerCacheServesDespiteDiskFault(t *testing.T) {
+	// Once cached, a page stays readable even if the disk starts failing —
+	// and the hit is not charged.
+	mem := NewMemDisk(64)
+	mem.Alloc()
+	fd := &faultDisk{Disk: mem, failReads: true, readsLeft: 1}
+	p := NewPager(fd, DefaultDiskModel, 4)
+	buf := make([]byte, 64)
+	if err := p.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReadPage(0, buf); err != nil {
+		t.Fatalf("cached read failed: %v", err)
+	}
+	st := p.Stats()
+	if st.Reads != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

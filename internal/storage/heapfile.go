@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RID identifies a record inside a HeapFile: a page and a slot within it.
+// RIDs order records physically: scanning from one RID to a later one walks
+// contiguous pages, which is exactly what the paper's subfield leaf entries
+// (ptr_start, ptr_end) exploit for sequential I/O.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Less reports whether r precedes o in physical order.
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Page layout (little endian):
+//
+//	[0:2)  numSlots
+//	[2:4)  freeStart — offset of the first unused data byte
+//	then record payloads growing upward from offset 4,
+//	and the slot directory growing downward from the page end,
+//	4 bytes per slot: uint16 offset, uint16 length.
+const (
+	pageHeaderSize = 4
+	slotEntrySize  = 4
+)
+
+// ErrRecordTooLarge is returned when a record cannot fit in an empty page.
+var ErrRecordTooLarge = errors.New("storage: record too large for page")
+
+// ErrBadRID is returned when a RID does not address a stored record.
+var ErrBadRID = errors.New("storage: invalid record id")
+
+// HeapFile stores variable-length records in slotted pages, append-only.
+// fielddb stores field cells in a HeapFile in Hilbert order, so that the
+// cells of one subfield occupy a contiguous run of pages.
+type HeapFile struct {
+	pager    *Pager
+	pages    []PageID // pages of this file, in append order
+	curBuf   []byte   // working copy of the last page
+	curDirty bool
+	count    int  // total records
+	readOnly bool // reopened from a catalog; appends rejected
+}
+
+// NewHeapFile creates an empty heap file on the given pager.
+func NewHeapFile(pager *Pager) *HeapFile {
+	return &HeapFile{pager: pager}
+}
+
+// OpenHeapFile reopens a heap file from its page list and record count, as
+// recorded in a catalog. The file is read-only in spirit: appending after
+// reopening would clobber the tail page, so Append returns an error.
+func OpenHeapFile(pager *Pager, pages []PageID, count int) *HeapFile {
+	own := make([]PageID, len(pages))
+	copy(own, pages)
+	return &HeapFile{pager: pager, pages: own, count: count, readOnly: true}
+}
+
+// Count returns the number of records appended so far.
+func (h *HeapFile) Count() int { return h.count }
+
+// NumPages returns the number of pages the file occupies.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// Pages returns the file's page ids in physical order. The slice must not be
+// modified.
+func (h *HeapFile) Pages() []PageID { return h.pages }
+
+// Append stores rec and returns its RID. Records are packed into the current
+// tail page until it is full.
+func (h *HeapFile) Append(rec []byte) (RID, error) {
+	if h.readOnly {
+		return RID{}, errors.New("storage: heap file reopened read-only")
+	}
+	ps := h.pager.PageSize()
+	if len(rec)+pageHeaderSize+slotEntrySize > ps {
+		return RID{}, fmt.Errorf("%w: %d bytes, page size %d", ErrRecordTooLarge, len(rec), ps)
+	}
+	if h.curBuf == nil || !h.fits(len(rec)) {
+		if err := h.Flush(); err != nil {
+			return RID{}, err
+		}
+		id, err := h.pager.Alloc()
+		if err != nil {
+			return RID{}, err
+		}
+		h.pages = append(h.pages, id)
+		h.curBuf = make([]byte, ps)
+		binary.LittleEndian.PutUint16(h.curBuf[2:4], pageHeaderSize)
+	}
+	buf := h.curBuf
+	n := binary.LittleEndian.Uint16(buf[0:2])
+	free := binary.LittleEndian.Uint16(buf[2:4])
+	copy(buf[free:], rec)
+	slotOff := len(buf) - int(n+1)*slotEntrySize
+	binary.LittleEndian.PutUint16(buf[slotOff:], free)
+	binary.LittleEndian.PutUint16(buf[slotOff+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(buf[0:2], n+1)
+	binary.LittleEndian.PutUint16(buf[2:4], free+uint16(len(rec)))
+	h.curDirty = true
+	h.count++
+	return RID{Page: h.pages[len(h.pages)-1], Slot: n}, nil
+}
+
+// fits reports whether a record of the given length fits in the tail page.
+func (h *HeapFile) fits(recLen int) bool {
+	buf := h.curBuf
+	n := int(binary.LittleEndian.Uint16(buf[0:2]))
+	free := int(binary.LittleEndian.Uint16(buf[2:4]))
+	dirStart := len(buf) - (n+1)*slotEntrySize
+	return free+recLen <= dirStart
+}
+
+// Flush writes the tail page to disk if it has unsaved records.
+func (h *HeapFile) Flush() error {
+	if h.curBuf == nil || !h.curDirty {
+		return nil
+	}
+	if err := h.pager.WritePage(h.pages[len(h.pages)-1], h.curBuf); err != nil {
+		return err
+	}
+	h.curDirty = false
+	return nil
+}
+
+// Get reads the record at rid. It goes through the pager and is therefore
+// charged as a (typically random) page access.
+func (h *HeapFile) Get(rid RID, buf []byte) ([]byte, error) {
+	if cap(buf) < h.pager.PageSize() {
+		buf = make([]byte, h.pager.PageSize())
+	}
+	buf = buf[:h.pager.PageSize()]
+	if err := h.pager.ReadPage(rid.Page, buf); err != nil {
+		return nil, err
+	}
+	return recordInPage(buf, rid.Slot)
+}
+
+// recordInPage extracts slot s from a page image.
+func recordInPage(buf []byte, s uint16) ([]byte, error) {
+	n := binary.LittleEndian.Uint16(buf[0:2])
+	if s >= n {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadRID, s, n)
+	}
+	slotOff := len(buf) - int(s+1)*slotEntrySize
+	off := binary.LittleEndian.Uint16(buf[slotOff:])
+	length := binary.LittleEndian.Uint16(buf[slotOff+2:])
+	if int(off)+int(length) > len(buf) {
+		return nil, fmt.Errorf("%w: slot %d out of page bounds", ErrBadRID, s)
+	}
+	return buf[off : off+length], nil
+}
+
+// Scan visits every record in physical order. Each page is read exactly once
+// through the pager — consecutive pages are charged at sequential cost, which
+// is what makes LinearScan cheaper per page than random candidate fetches.
+// The callback receives the record's RID and payload (valid only during the
+// call). Returning false stops the scan early.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
+	return h.ScanPages(0, len(h.pages)-1, fn)
+}
+
+// ScanPages visits records on the file's pages with index in [first, last]
+// (inclusive, indices into the file's page list). Used by the estimation step
+// to fetch exactly the cell run of one subfield.
+func (h *HeapFile) ScanPages(first, last int, fn func(rid RID, rec []byte) bool) error {
+	if err := h.Flush(); err != nil {
+		return err
+	}
+	if first < 0 {
+		first = 0
+	}
+	if last >= len(h.pages) {
+		last = len(h.pages) - 1
+	}
+	buf := make([]byte, h.pager.PageSize())
+	for pi := first; pi <= last; pi++ {
+		id := h.pages[pi]
+		if err := h.pager.ReadPage(id, buf); err != nil {
+			return err
+		}
+		n := binary.LittleEndian.Uint16(buf[0:2])
+		for s := uint16(0); s < n; s++ {
+			rec, err := recordInPage(buf, s)
+			if err != nil {
+				return err
+			}
+			if !fn(RID{Page: id, Slot: s}, rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// PageIndex returns the position of page id within the file, or -1.
+func (h *HeapFile) PageIndex(id PageID) int {
+	// Pages are allocated in ascending order from a fresh disk, so binary
+	// search; fall back to linear scan if the invariant does not hold.
+	lo, hi := 0, len(h.pages)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case h.pages[mid] == id:
+			return mid
+		case h.pages[mid] < id:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	for i, p := range h.pages {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}

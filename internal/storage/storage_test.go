@@ -1,0 +1,416 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMemDiskBasics(t *testing.T) {
+	d := NewMemDisk(128)
+	if d.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", d.PageSize())
+	}
+	if d.NumPages() != 0 {
+		t.Fatal("fresh disk has pages")
+	}
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 || d.NumPages() != 1 {
+		t.Fatalf("Alloc = %d, NumPages = %d", id, d.NumPages())
+	}
+	w := make([]byte, 128)
+	copy(w, "hello")
+	if err := d.WritePage(id, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 128)
+	if err := d.ReadPage(id, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("read != write")
+	}
+	if err := d.ReadPage(7, r); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	if err := d.WritePage(7, w); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+}
+
+func TestMemDiskZeroPageSizeDefaults(t *testing.T) {
+	d := NewMemDisk(0)
+	if d.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d, want %d", d.PageSize(), DefaultPageSize)
+	}
+}
+
+func TestFileDiskRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.db")
+	d, err := OpenFileDisk(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		copy(buf, fmt.Sprintf("page-%d", i))
+		if err := d.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and verify persistence.
+	d2, err := OpenFileDisk(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 5 {
+		t.Fatalf("NumPages after reopen = %d", d2.NumPages())
+	}
+	buf := make([]byte, 256)
+	for i, id := range ids {
+		if err := d2.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("page-%d", i)
+		if string(buf[:len(want)]) != want {
+			t.Fatalf("page %d content %q", id, buf[:len(want)])
+		}
+	}
+}
+
+func TestFileDiskRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	d, err := OpenFileDisk(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// Reopen with mismatching page size: 256 not divisible by 100.
+	if _, err := OpenFileDisk(path, 100); err == nil {
+		t.Fatal("expected error for torn file")
+	}
+}
+
+func TestPagerSequentialVsRandomAccounting(t *testing.T) {
+	d := NewMemDisk(64)
+	for i := 0; i < 10; i++ {
+		d.Alloc()
+	}
+	model := DiskModel{RandomRead: 10 * time.Millisecond, SequentialRead: 1 * time.Millisecond}
+	p := NewPager(d, model, 0)
+	buf := make([]byte, 64)
+	// 0,1,2,3 -> 1 random + 3 sequential.
+	for i := PageID(0); i < 4; i++ {
+		if err := p.ReadPage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Jump to 9 -> random.
+	p.ReadPage(9, buf)
+	st := p.Stats()
+	if st.Reads != 5 || st.SeqReads != 3 || st.RandReads != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := 2*model.RandomRead + 3*model.SequentialRead
+	if st.SimElapsed != want {
+		t.Fatalf("SimElapsed = %v, want %v", st.SimElapsed, want)
+	}
+	p.ResetStats()
+	if p.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	// After a reset the first read is random again.
+	p.ReadPage(4, buf)
+	if st := p.Stats(); st.RandReads != 1 {
+		t.Fatalf("first read after reset should be random: %+v", st)
+	}
+}
+
+func TestPagerBufferPool(t *testing.T) {
+	d := NewMemDisk(64)
+	for i := 0; i < 4; i++ {
+		d.Alloc()
+	}
+	p := NewPager(d, DefaultDiskModel, 2)
+	buf := make([]byte, 64)
+	p.ReadPage(0, buf) // miss
+	p.ReadPage(0, buf) // hit
+	p.ReadPage(1, buf) // miss
+	p.ReadPage(0, buf) // hit
+	p.ReadPage(2, buf) // miss, evicts LRU (page 1)
+	p.ReadPage(1, buf) // miss again
+	st := p.Stats()
+	if st.Reads != 4 || st.CacheHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Writes update cached copies.
+	w := make([]byte, 64)
+	copy(w, "fresh")
+	if err := p.WritePage(1, w); err != nil {
+		t.Fatal(err)
+	}
+	p.ReadPage(1, buf)
+	if string(buf[:5]) != "fresh" {
+		t.Fatal("cached page not updated by write")
+	}
+	p.DropCache()
+	p.ReadPage(1, buf)
+	if got := p.Stats().CacheHits; got != 3 {
+		t.Fatalf("hits after DropCache = %d, want 3 (read must miss)", got)
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{Reads: 5, SeqReads: 3, RandReads: 2, Writes: 1, CacheHits: 4, SimElapsed: time.Second}
+	b := Stats{Reads: 2, SeqReads: 1, RandReads: 1, Writes: 1, CacheHits: 1, SimElapsed: time.Millisecond}
+	d := a.Sub(b)
+	if d.Reads != 3 || d.SeqReads != 2 || d.RandReads != 1 || d.Writes != 0 || d.CacheHits != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	s := b.Add(d)
+	if s != a {
+		t.Fatalf("Add(Sub) != original: %+v", s)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHeapFileAppendGet(t *testing.T) {
+	d := NewMemDisk(128)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	var rids []RID
+	var recs [][]byte
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		rec := make([]byte, 10+rng.Intn(40))
+		rng.Read(rec)
+		rid, err := h.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		recs = append(recs, rec)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i, rid := range rids {
+		got, err := h.Get(rid, buf)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", rid, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	// RIDs are physically ordered by append order.
+	for i := 1; i < len(rids); i++ {
+		if !rids[i-1].Less(rids[i]) {
+			t.Fatalf("RIDs out of order: %v then %v", rids[i-1], rids[i])
+		}
+	}
+}
+
+func TestHeapFileScan(t *testing.T) {
+	d := NewMemDisk(128)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	for i := 0; i < 50; i++ {
+		if _, err := h.Append([]byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []string
+	err := h.Scan(func(rid RID, rec []byte) bool {
+		seen = append(seen, string(rec))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("scanned %d records", len(seen))
+	}
+	for i, s := range seen {
+		if want := fmt.Sprintf("rec-%02d", i); s != want {
+			t.Fatalf("record %d = %q, want %q", i, s, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	h.Scan(func(rid RID, rec []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// A full scan reads pages sequentially: all but the first read must be
+	// charged at sequential cost.
+	p.ResetStats()
+	h.Scan(func(RID, []byte) bool { return true })
+	st := p.Stats()
+	if st.RandReads != 1 || st.SeqReads != st.Reads-1 {
+		t.Fatalf("scan I/O pattern not sequential: %+v", st)
+	}
+}
+
+func TestHeapFileScanPagesSubrange(t *testing.T) {
+	d := NewMemDisk(128)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	for i := 0; i < 60; i++ {
+		h.Append([]byte(fmt.Sprintf("rec-%02d", i)))
+	}
+	h.Flush()
+	if h.NumPages() < 3 {
+		t.Skipf("need >= 3 pages, got %d", h.NumPages())
+	}
+	var count int
+	h.ScanPages(1, 1, func(RID, []byte) bool { count++; return true })
+	if count == 0 || count >= 60 {
+		t.Fatalf("mid-page scan visited %d", count)
+	}
+	// Out-of-range bounds are clamped.
+	total := 0
+	h.ScanPages(-5, 100, func(RID, []byte) bool { total++; return true })
+	if total != 60 {
+		t.Fatalf("clamped scan visited %d", total)
+	}
+}
+
+func TestHeapFileRejectsOversizeRecord(t *testing.T) {
+	d := NewMemDisk(64)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	if _, err := h.Append(make([]byte, 64)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestHeapFileGetBadSlot(t *testing.T) {
+	d := NewMemDisk(128)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	rid, _ := h.Append([]byte("x"))
+	h.Flush()
+	if _, err := h.Get(RID{Page: rid.Page, Slot: 99}, nil); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+}
+
+func TestHeapFilePageIndex(t *testing.T) {
+	d := NewMemDisk(128)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	for i := 0; i < 200; i++ {
+		h.Append([]byte("0123456789abcdef"))
+	}
+	h.Flush()
+	for i, id := range h.Pages() {
+		if got := h.PageIndex(id); got != i {
+			t.Fatalf("PageIndex(%d) = %d, want %d", id, got, i)
+		}
+	}
+	if h.PageIndex(PageID(99999)) != -1 {
+		t.Fatal("PageIndex of unknown page != -1")
+	}
+}
+
+func TestRIDLess(t *testing.T) {
+	a := RID{Page: 1, Slot: 5}
+	b := RID{Page: 1, Slot: 6}
+	c := RID{Page: 2, Slot: 0}
+	if !a.Less(b) || !b.Less(c) || b.Less(a) || a.Less(a) {
+		t.Fatal("RID ordering broken")
+	}
+	if a.String() != "1:5" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestSnapshotTo(t *testing.T) {
+	src := NewMemDisk(128)
+	p := NewPager(src, DefaultDiskModel, 0)
+	for i := 0; i < 5; i++ {
+		id, _ := p.Alloc()
+		buf := make([]byte, 128)
+		copy(buf, fmt.Sprintf("page-%d", i))
+		p.WritePage(id, buf)
+	}
+	before := p.Stats()
+	dst := NewMemDisk(128)
+	if err := p.SnapshotTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot bypasses accounting.
+	if p.Stats() != before {
+		t.Fatalf("snapshot changed stats: %v -> %v", before, p.Stats())
+	}
+	if dst.NumPages() != 5 {
+		t.Fatalf("dst pages = %d", dst.NumPages())
+	}
+	buf := make([]byte, 128)
+	for i := 0; i < 5; i++ {
+		dst.ReadPage(PageID(i), buf)
+		want := fmt.Sprintf("page-%d", i)
+		if string(buf[:len(want)]) != want {
+			t.Fatalf("page %d content %q", i, buf[:len(want)])
+		}
+	}
+	// Mismatched page size rejected.
+	if err := p.SnapshotTo(NewMemDisk(64)); err == nil {
+		t.Fatal("page size mismatch accepted")
+	}
+	// Non-empty destination rejected.
+	if err := p.SnapshotTo(dst); err == nil {
+		t.Fatal("non-empty destination accepted")
+	}
+}
+
+func TestOpenHeapFileReadOnly(t *testing.T) {
+	d := NewMemDisk(128)
+	p := NewPager(d, DefaultDiskModel, 0)
+	h := NewHeapFile(p)
+	for i := 0; i < 20; i++ {
+		h.Append([]byte(fmt.Sprintf("rec-%02d", i)))
+	}
+	h.Flush()
+	h2 := OpenHeapFile(p, h.Pages(), h.Count())
+	if h2.Count() != 20 || h2.NumPages() != h.NumPages() {
+		t.Fatalf("reopened: %d recs / %d pages", h2.Count(), h2.NumPages())
+	}
+	var got []string
+	h2.Scan(func(_ RID, rec []byte) bool { got = append(got, string(rec)); return true })
+	if len(got) != 20 || got[0] != "rec-00" || got[19] != "rec-19" {
+		t.Fatalf("reopened scan = %v", got)
+	}
+	if _, err := h2.Append([]byte("x")); err == nil {
+		t.Fatal("append to read-only heap accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package subfield_test
+
+import (
+	"fmt"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/subfield"
+)
+
+// Example reproduces the paper's worked example (§3.1.2 / Figure 5): the
+// cost of Subfield 1 before inserting c5 is 21/45 ≈ 0.466, after 31/58 ≈
+// 0.534, so c5 starts a new subfield.
+func Example() {
+	ivs := []geom.Interval{
+		{Lo: 30, Hi: 40}, // c1
+		{Lo: 25, Hi: 34}, // c2
+		{Lo: 20, Hi: 30}, // c3
+		{Lo: 28, Hi: 40}, // c4
+		{Lo: 38, Hi: 50}, // c5
+	}
+	refs := make([]subfield.CellRef, len(ivs))
+	for i, iv := range ivs {
+		refs[i] = subfield.CellRef{ID: field.CellID(i), Key: uint64(i), Interval: iv}
+	}
+	cm := subfield.DefaultCostModel
+	fmt.Printf("Ca = %.3f\n", cm.Cost(geom.Interval{Lo: 20, Hi: 40}, 45))
+	fmt.Printf("Cb = %.3f\n", cm.Cost(geom.Interval{Lo: 20, Hi: 50}, 58))
+	groups := subfield.BuildGreedy(refs, cm)
+	fmt.Printf("subfield 1 holds cells [%d, %d); subfield 2 starts at c5\n",
+		groups[0].Start, groups[0].End)
+	// Output:
+	// Ca = 0.467
+	// Cb = 0.534
+	// subfield 1 holds cells [0, 4); subfield 2 starts at c5
+}

@@ -1,0 +1,75 @@
+package subfield
+
+import (
+	"fielddb/internal/geom"
+)
+
+// BuildQuad partitions cells with the Interval Quadtree strategy of the
+// authors' earlier work (Kang et al., CIKM 1999): the field space is
+// recursively divided into four quadrants until the value interval of every
+// quadrant has size at most maxSize (or a single cell / maxDepth is
+// reached). It returns the refs permuted into quadtree depth-first order —
+// so each final quadrant is one contiguous run — together with the groups.
+//
+// The permutation is the on-disk clustering: an I-Quad index stores cells
+// grouped by quadrant just as I-Hilbert stores them in Hilbert order.
+func BuildQuad(refs []CellRef, bounds geom.Rect, cm CostModel, maxSize float64, maxDepth int) ([]CellRef, []Group) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	if maxDepth <= 0 {
+		maxDepth = 32
+	}
+	ordered := make([]CellRef, 0, len(refs))
+	var groups []Group
+
+	var recurse func(cells []CellRef, r geom.Rect, depth int)
+	recurse = func(cells []CellRef, r geom.Rect, depth int) {
+		if len(cells) == 0 {
+			return
+		}
+		iv := geom.EmptyInterval()
+		for _, c := range cells {
+			iv = iv.Union(c.Interval)
+		}
+		if cm.Size(iv) <= maxSize || len(cells) == 1 || depth >= maxDepth {
+			start := len(ordered)
+			ordered = append(ordered, cells...)
+			groups = append(groups, Group{Start: start, End: len(ordered), Interval: iv})
+			return
+		}
+		ctr := r.Center()
+		quads := [4][]CellRef{}
+		rects := [4]geom.Rect{
+			{Min: r.Min, Max: ctr},
+			{Min: geom.Pt(ctr.X, r.Min.Y), Max: geom.Pt(r.Max.X, ctr.Y)},
+			{Min: geom.Pt(r.Min.X, ctr.Y), Max: geom.Pt(ctr.X, r.Max.Y)},
+			{Min: ctr, Max: r.Max},
+		}
+		for _, c := range cells {
+			qi := 0
+			if c.Center.X > ctr.X {
+				qi |= 1
+			}
+			if c.Center.Y > ctr.Y {
+				qi |= 2
+			}
+			quads[qi] = append(quads[qi], c)
+		}
+		// Degenerate guard: if every cell lands in one quadrant the
+		// subdivision makes no progress — emit as a leaf.
+		for qi, q := range quads {
+			if len(q) == len(cells) && rects[qi].Area() >= r.Area() {
+				start := len(ordered)
+				ordered = append(ordered, cells...)
+				groups = append(groups, Group{Start: start, End: len(ordered), Interval: iv})
+				return
+			}
+		}
+		for qi := range quads {
+			recurse(quads[qi], rects[qi], depth+1)
+		}
+	}
+	recurse(refs, bounds, 0)
+	return ordered, groups
+}

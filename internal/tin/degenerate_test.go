@@ -1,0 +1,91 @@
+package tin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+)
+
+// TestDelaunayJitteredGrid exercises the near-cocircular regime: grid
+// points are maximally degenerate for Delaunay (every unit square's corners
+// are cocircular), and a small jitter leaves many quadruples numerically
+// borderline. The triangulation must still tile the hull.
+func TestDelaunayJitteredGrid(t *testing.T) {
+	for _, jitter := range []float64{1e-3, 1e-6} {
+		rng := rand.New(rand.NewSource(42))
+		var pts []geom.Point
+		const n = 12
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				pts = append(pts, geom.Pt(
+					float64(x)+rng.NormFloat64()*jitter,
+					float64(y)+rng.NormFloat64()*jitter,
+				))
+			}
+		}
+		tris, err := Delaunay(pts)
+		if err != nil {
+			t.Fatalf("jitter %g: %v", jitter, err)
+		}
+		// Area must equal the hull area ≈ (n-1)² up to jitter.
+		total := 0.0
+		for _, tr := range tris {
+			a := geom.Polygon{pts[tr[0]], pts[tr[1]], pts[tr[2]]}.Area()
+			if a < 0 {
+				t.Fatalf("jitter %g: negative-area triangle", jitter)
+			}
+			total += a
+		}
+		want := float64((n - 1) * (n - 1))
+		if math.Abs(total-want) > 0.05*want {
+			t.Fatalf("jitter %g: triangulated area %g, want ≈ %g", jitter, total, want)
+		}
+		// Triangle count for a tiling of a point set: 2(n²) - 2 - h where
+		// h is the hull size; with jitter h ≈ 4(n-1). Accept a range.
+		if len(tris) < n*n || len(tris) > 2*n*n {
+			t.Fatalf("jitter %g: %d triangles for %d points", jitter, len(tris), n*n)
+		}
+	}
+}
+
+// TestTINFromJitteredGridQueries runs the full value-query pipeline over a
+// TIN built from near-degenerate input.
+func TestTINFromJitteredGridQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts []geom.Point
+	var vals []float64
+	const n = 10
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			p := geom.Pt(float64(x)+rng.NormFloat64()*1e-4, float64(y)+rng.NormFloat64()*1e-4)
+			pts = append(pts, p)
+			vals = append(vals, p.X+p.Y)
+		}
+	}
+	tn, err := FromPoints(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cell's band partition must cover the cell.
+	var c field.Cell
+	for id := 0; id < tn.NumCells(); id++ {
+		tn.Cell(field.CellID(id), &c)
+		iv := c.Interval()
+		mid := (iv.Lo + iv.Hi) / 2
+		below := 0.0
+		for _, pg := range field.Band(&c, iv.Lo-1, mid) {
+			below += pg.Area()
+		}
+		above := 0.0
+		for _, pg := range field.Band(&c, mid, iv.Hi+1) {
+			above += pg.Area()
+		}
+		cellArea := (geom.Polygon{c.Vertices[0], c.Vertices[1], c.Vertices[2]}).Area()
+		if math.Abs(below+above-cellArea) > 1e-6*(cellArea+1e-12) {
+			t.Fatalf("cell %d: bands cover %g of %g", id, below+above, cellArea)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package tin implements the triangulated-irregular-network field model: a
+// set of scattered sample points triangulated into irregular cells, each
+// carrying a linear interpolant over its three vertices. The paper's urban
+// noise dataset (Fig 8b) is a TIN of about 9,000 triangles.
+package tin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fielddb/internal/geom"
+)
+
+// Triangle stores CCW vertex indices into the point set.
+type Triangle [3]int32
+
+// Delaunay triangulates the given points with the incremental
+// Bowyer–Watson algorithm. It returns an error for fewer than 3 points or
+// an all-collinear input. Duplicate points are rejected.
+func Delaunay(points []geom.Point) ([]Triangle, error) {
+	n := len(points)
+	if n < 3 {
+		return nil, fmt.Errorf("tin: need at least 3 points, got %d", n)
+	}
+	seen := make(map[geom.Point]struct{}, n)
+	for _, p := range points {
+		if _, dup := seen[p]; dup {
+			return nil, fmt.Errorf("tin: duplicate point %v", p)
+		}
+		seen[p] = struct{}{}
+	}
+
+	// Super-triangle generously enclosing all points.
+	b := geom.RectFromPoints(points...)
+	cx, cy := b.Center().X, b.Center().Y
+	span := math.Max(b.Width(), b.Height())
+	if span == 0 {
+		return nil, fmt.Errorf("tin: all points coincide in extent")
+	}
+	m := span * 64
+	super := [3]geom.Point{
+		geom.Pt(cx-2*m, cy-m),
+		geom.Pt(cx+2*m, cy-m),
+		geom.Pt(cx, cy+2*m),
+	}
+	// Working vertex array: real points then the 3 super vertices.
+	verts := make([]geom.Point, n+3)
+	copy(verts, points)
+	copy(verts[n:], super[:])
+
+	type tri struct {
+		v          [3]int32
+		cx, cy, r2 float64 // circumcircle
+		alive      bool
+	}
+	circum := func(a, b, c geom.Point) (x, y, r2 float64, ok bool) {
+		d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+		if math.Abs(d) < 1e-300 {
+			return 0, 0, 0, false
+		}
+		a2 := a.X*a.X + a.Y*a.Y
+		b2 := b.X*b.X + b.Y*b.Y
+		c2 := c.X*c.X + c.Y*c.Y
+		x = (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+		y = (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+		dx, dy := a.X-x, a.Y-y
+		return x, y, dx*dx + dy*dy, true
+	}
+	mkTri := func(i, j, k int32) (tri, error) {
+		a, b, c := verts[i], verts[j], verts[k]
+		if geom.Orient(a, b, c) < 0 {
+			j, k = k, j
+			b, c = c, b
+		}
+		x, y, r2, ok := circum(a, b, c)
+		if !ok {
+			return tri{}, fmt.Errorf("tin: degenerate triangle (%d,%d,%d)", i, j, k)
+		}
+		return tri{v: [3]int32{i, j, k}, cx: x, cy: y, r2: r2, alive: true}, nil
+	}
+
+	first, err := mkTri(int32(n), int32(n+1), int32(n+2))
+	if err != nil {
+		return nil, err
+	}
+	tris := []tri{first}
+
+	// Insert points in a spatially coherent order (by x then y) so cavity
+	// sizes stay small; correctness does not depend on the order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := points[order[a]], points[order[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+
+	type edge struct{ a, b int32 }
+	for _, pi := range order {
+		p := points[pi]
+		// Find all triangles whose circumcircle contains p.
+		edgeCount := make(map[edge]int)
+		for ti := range tris {
+			t := &tris[ti]
+			if !t.alive {
+				continue
+			}
+			dx, dy := p.X-t.cx, p.Y-t.cy
+			if dx*dx+dy*dy <= t.r2*(1+1e-12) {
+				t.alive = false
+				for e := 0; e < 3; e++ {
+					a, b := t.v[e], t.v[(e+1)%3]
+					if a > b {
+						a, b = b, a
+					}
+					edgeCount[edge{a, b}]++
+				}
+			}
+		}
+		// Cavity boundary = edges appearing exactly once.
+		for e, cnt := range edgeCount {
+			if cnt != 1 {
+				continue
+			}
+			nt, err := mkTri(e.a, e.b, int32(pi))
+			if err != nil {
+				// Collinear cavity edge through p; skip — the remaining
+				// boundary edges still seal the cavity.
+				continue
+			}
+			tris = append(tris, nt)
+		}
+		// Periodically compact the dead triangles to keep the scan linear
+		// in live triangles.
+		if len(tris) > 64 && len(tris)%256 == 0 {
+			live := tris[:0]
+			for _, t := range tris {
+				if t.alive {
+					live = append(live, t)
+				}
+			}
+			tris = live
+		}
+	}
+
+	// Collect triangles not touching the super vertices.
+	var out []Triangle
+	for _, t := range tris {
+		if !t.alive {
+			continue
+		}
+		if t.v[0] >= int32(n) || t.v[1] >= int32(n) || t.v[2] >= int32(n) {
+			continue
+		}
+		out = append(out, Triangle{t.v[0], t.v[1], t.v[2]})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tin: triangulation produced no triangles (collinear input?)")
+	}
+	return out, nil
+}
