@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# it compiles everything, vets, and runs the full suite under the race
+# detector (the concurrency invariants in concurrency_test.go only bite
+# with -race).
+
+GO ?= go
+
+.PHONY: check build vet test race bench-parallel
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Refinement-parallelism speedup table (cmd/fieldbench -workers).
+bench-parallel:
+	$(GO) run ./cmd/fieldbench -workers 8

@@ -34,8 +34,27 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		chart   = flag.Bool("chart", false, "render each figure as an ASCII bar chart")
 		metric  = flag.String("metric", "wall", "chart metric: wall | sim")
+		workers = flag.Int("workers", 0, "run the refinement-parallelism speedup table up to N workers and exit")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		side := 256
+		nq := 32
+		if *full {
+			side, nq = 512, 64
+		}
+		if *queries > 0 {
+			nq = *queries
+		}
+		rep, err := bench.ParallelSpeedup(side, *workers, nq, 42)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Table())
+		return
+	}
 
 	scale := bench.Scale{Full: *full}
 	if *list {

@@ -1,0 +1,148 @@
+package fielddb
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fielddb/internal/geom"
+	"fielddb/internal/storage"
+)
+
+// TestConcurrentMixedQueriesStats hammers one DB from 32 goroutines with a
+// mix of every facade query kind and checks the accounting invariant: the
+// pager totals grow by exactly the sum of the per-query statistics, for the
+// value store and the spatial store independently. Run with -race this is
+// also the concurrency smoke test for the whole query path.
+func TestConcurrentMixedQueriesStats(t *testing.T) {
+	dem, err := TerrainDEM(64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	b := dem.Bounds()
+	baseVal := db.IOStats()
+	baseSp := db.SpatialIOStats()
+
+	var (
+		mu     sync.Mutex
+		sumVal storage.Stats
+		sumSp  storage.Stats
+	)
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < 8; it++ {
+				var val, sp storage.Stats
+				switch it % 4 {
+				case 0:
+					lo := vr.Lo + vr.Length()*rng.Float64()*0.8
+					hi := lo + vr.Length()*(0.05+0.2*rng.Float64())
+					res, err := db.ValueQuery(lo, hi)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					val = res.IO
+				case 1:
+					p := geom.Pt(
+						b.Min.X+rng.Float64()*b.Width(),
+						b.Min.Y+rng.Float64()*b.Height(),
+					)
+					// A point outside every cell is fine; its reads count too.
+					_, st, _ := db.PointQueryStats(p)
+					sp = st
+				case 2:
+					level := vr.Lo + vr.Length()*(0.2+0.6*rng.Float64())
+					cr, err := db.ContourMap(level)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					val = cr.IO
+				case 3:
+					lo := vr.Lo + vr.Length()*rng.Float64()*0.5
+					ar, err := db.ApproxValueQuery(lo, lo+vr.Length()*0.1)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					val = ar.IO
+				}
+				mu.Lock()
+				sumVal = sumVal.Add(val)
+				sumSp = sumSp.Add(sp)
+				mu.Unlock()
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+
+	if got := db.IOStats().Sub(baseVal); got != sumVal {
+		t.Errorf("value store totals %+v != sum of per-query stats %+v", got, sumVal)
+	}
+	if got := db.SpatialIOStats().Sub(baseSp); got != sumSp {
+		t.Errorf("spatial store totals %+v != sum of per-query stats %+v", got, sumSp)
+	}
+	if sumVal.Reads == 0 || sumSp.Reads == 0 {
+		t.Fatalf("workload did no I/O: value %+v spatial %+v", sumVal, sumSp)
+	}
+}
+
+// TestParallelRefinementDeterministic checks the acceptance bar for the
+// worker pool: on a refinement-heavy query, Workers = 8 must return
+// byte-identical regions, the same area, and identical per-query I/O
+// statistics as the sequential execution.
+func TestParallelRefinementDeterministic(t *testing.T) {
+	dem, err := TerrainDEM(256, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	queries := [][2]float64{
+		{vr.Lo + vr.Length()*0.30, vr.Lo + vr.Length()*0.55}, // wide: many runs
+		{vr.Lo + vr.Length()*0.48, vr.Lo + vr.Length()*0.52},
+		{vr.Lo + vr.Length()*0.10, vr.Lo + vr.Length()*0.12},
+	}
+	for _, q := range queries {
+		db.SetWorkers(1)
+		seq, err := db.ValueQuery(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.SetWorkers(8)
+		par, err := db.ValueQuery(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Regions, par.Regions) {
+			t.Errorf("query %v: parallel regions differ from sequential", q)
+		}
+		if seq.Area != par.Area {
+			t.Errorf("query %v: area %v (seq) != %v (par)", q, seq.Area, par.Area)
+		}
+		if seq.IO != par.IO {
+			t.Errorf("query %v: IO %+v (seq) != %+v (par)", q, seq.IO, par.IO)
+		}
+		if seq.CellsMatched != par.CellsMatched || seq.CellsFetched != par.CellsFetched {
+			t.Errorf("query %v: cell counters differ: seq %d/%d par %d/%d", q,
+				seq.CellsFetched, seq.CellsMatched, par.CellsFetched, par.CellsMatched)
+		}
+		if seq.CellsMatched == 0 {
+			t.Errorf("query %v matched nothing; not a refinement test", q)
+		}
+	}
+}

@@ -29,6 +29,7 @@ package fielddb
 
 import (
 	"fmt"
+	"sync"
 
 	"fielddb/internal/contour"
 	"fielddb/internal/core"
@@ -91,10 +92,22 @@ type Options struct {
 	// PageSize is the storage page size in bytes (default 4096, as in the
 	// paper's experiments).
 	PageSize int
-	// PoolPages is the buffer-pool capacity in pages (default 65536).
-	// Queries always start cold; the pool dedups page accesses within one
-	// query.
+	// PoolPages is the shared buffer-pool capacity in pages. The facade
+	// default is 65536 (256 MiB of 4 KiB pages); note this differs from
+	// storage.NewPager, where a zero pool size disables caching — to run
+	// the facade without a pool, set ColdCache instead. Per-query I/O
+	// statistics always model a cold start regardless of pool contents.
 	PoolPages int
+	// ColdCache disables the shared buffer pool entirely: every page
+	// access goes to the simulated disk. This is the facade's spelling of
+	// storage.NewPager's poolPages == 0, which PoolPages == 0 deliberately
+	// does not mean (it selects the 65536-page default above).
+	ColdCache bool
+	// Workers bounds the worker pool that parallelizes index construction
+	// and the refinement step of value queries (one work unit per subfield
+	// cell run). 0 or 1 means sequential; results and per-query I/O stats
+	// are identical regardless of Workers.
+	Workers int
 	// CostEpsilon overrides the subfield cost model constant (default 1,
 	// the paper's worked example).
 	CostEpsilon float64
@@ -130,7 +143,9 @@ func Open(f Field, opts Options) (*DB, error) {
 		pageSize = storage.DefaultPageSize
 	}
 	pool := opts.PoolPages
-	if pool == 0 {
+	if opts.ColdCache {
+		pool = 0
+	} else if pool == 0 {
 		pool = 1 << 16
 	}
 	model := storage.DefaultDiskModel
@@ -151,45 +166,76 @@ func Open(f Field, opts Options) (*DB, error) {
 			return nil, fmt.Errorf("fielddb: %w", err)
 		}
 	}
-	cost := subfield.CostModel{Epsilon: opts.CostEpsilon}
-	var (
-		idx core.Index
-		err error
-	)
 	switch method {
-	case Auto:
-		idx, err = core.BuildAuto(f, pager, core.AutoOptions{
-			Hilbert: core.HilbertOptions{Curve: curve, Cost: cost},
-		})
-	case LinearScan:
-		idx, err = core.BuildLinearScan(f, pager)
-	case IAll:
-		idx, err = core.BuildIAll(f, pager, core.IAllOptions{})
-	case IHilbert:
-		idx, err = core.BuildIHilbert(f, pager, core.HilbertOptions{Curve: curve, Cost: cost})
-	case IQuad:
-		frac := opts.QuadMaxSizeFrac
-		if frac <= 0 {
-			frac = 1.0 / 16
-		}
-		vr := f.ValueRange()
-		idx, err = core.BuildIQuad(f, pager, core.ThresholdOptions{
-			MaxSize: vr.Length()*frac + 1,
-			Cost:    cost,
-		})
+	case Auto, LinearScan, IAll, IHilbert, IQuad:
 	default:
 		return nil, fmt.Errorf("fielddb: unknown method %q", method)
+	}
+	cost := subfield.CostModel{Epsilon: opts.CostEpsilon}
+	buildValue := func() (core.Index, error) {
+		switch method {
+		case Auto:
+			return core.BuildAuto(f, pager, core.AutoOptions{
+				Hilbert: core.HilbertOptions{Curve: curve, Cost: cost, Workers: opts.Workers},
+			})
+		case LinearScan:
+			return core.BuildLinearScan(f, pager)
+		case IAll:
+			return core.BuildIAll(f, pager, core.IAllOptions{})
+		case IHilbert:
+			return core.BuildIHilbert(f, pager, core.HilbertOptions{
+				Curve: curve, Cost: cost, Workers: opts.Workers,
+			})
+		case IQuad:
+			frac := opts.QuadMaxSizeFrac
+			if frac <= 0 {
+				frac = 1.0 / 16
+			}
+			vr := f.ValueRange()
+			return core.BuildIQuad(f, pager, core.ThresholdOptions{
+				MaxSize: vr.Length()*frac + 1,
+				Cost:    cost,
+				Workers: opts.Workers,
+			})
+		default:
+			panic("unreachable: method validated above")
+		}
+	}
+	// The spatial index gets its own pager so Q1 and Q2 accounting stay
+	// independent.
+	spPager := storage.NewPager(storage.NewMemDisk(pageSize), model, pool)
+	buildSpatial := func() (*core.SpatialIndex, error) {
+		return core.BuildSpatial(f, spPager, rstar.Params{PageSize: pageSize})
+	}
+
+	var (
+		idx   core.Index
+		sp    *core.SpatialIndex
+		err   error
+		spErr error
+	)
+	if opts.Workers > 1 {
+		// The two indexes write to disjoint pagers and only read f (Cell
+		// fills a caller-owned struct), so they build concurrently.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp, spErr = buildSpatial()
+		}()
+		idx, err = buildValue()
+		wg.Wait()
+	} else {
+		idx, err = buildValue()
+		if err == nil {
+			sp, spErr = buildSpatial()
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("fielddb: building %s: %w", method, err)
 	}
-
-	// The spatial index gets its own pager so Q1 and Q2 accounting stay
-	// independent.
-	spPager := storage.NewPager(storage.NewMemDisk(pageSize), model, pool)
-	sp, err := core.BuildSpatial(f, spPager, rstar.Params{PageSize: pageSize})
-	if err != nil {
-		return nil, fmt.Errorf("fielddb: spatial index: %w", err)
+	if spErr != nil {
+		return nil, fmt.Errorf("fielddb: spatial index: %w", spErr)
 	}
 	return &DB{field: f, index: idx, spatial: sp, pager: pager}, nil
 }
@@ -203,12 +249,29 @@ func (db *DB) Method() Method { return db.index.Method() }
 // Stats describes the built value index.
 func (db *DB) Stats() IndexStats { return db.index.Stats() }
 
+// checkInterval is the single validation point for user-supplied value
+// intervals; every facade query path calls it before touching an index.
+func checkInterval(lo, hi float64) error {
+	if hi < lo {
+		return fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+	}
+	return nil
+}
+
+// SetWorkers rebounds the refinement worker pool for subsequent value
+// queries. It is safe only between queries, not while queries run.
+func (db *DB) SetWorkers(n int) {
+	if w, ok := db.index.(interface{ SetWorkers(int) }); ok {
+		w.SetWorkers(n)
+	}
+}
+
 // ValueQuery answers the field value query F⁻¹(lo ≤ w ≤ hi): the exact
 // regions where the field's value lies in [lo, hi]. With lo == hi the answer
-// geometry is returned as isolines.
+// geometry is returned as isolines. Safe for concurrent use.
 func (db *DB) ValueQuery(lo, hi float64) (*Result, error) {
-	if hi < lo {
-		return nil, fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+	if err := checkInterval(lo, hi); err != nil {
+		return nil, err
 	}
 	return db.index.Query(geom.Interval{Lo: lo, Hi: hi})
 }
@@ -234,12 +297,15 @@ type ApproxResult = core.ApproxResult
 // cells and a summary average, at filter-step cost. Only partition-based
 // methods support it.
 func (db *DB) ApproxValueQuery(lo, hi float64) (*ApproxResult, error) {
+	// Validate the interval first: a bad interval is a bad interval no
+	// matter which method is in use, so the caller gets the same error
+	// ValueQuery would give instead of a method-capability complaint.
+	if err := checkInterval(lo, hi); err != nil {
+		return nil, err
+	}
 	p, ok := db.index.(*core.Partitioned)
 	if !ok {
 		return nil, fmt.Errorf("fielddb: method %s has no subfield summaries", db.Method())
-	}
-	if hi < lo {
-		return nil, fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
 	}
 	return p.ApproxQuery(geom.Interval{Lo: lo, Hi: hi})
 }
@@ -248,15 +314,36 @@ func (db *DB) ApproxValueQuery(lo, hi float64) (*ApproxResult, error) {
 // point at the end.
 type Polyline = contour.Polyline
 
-// Contours answers the exact value query F⁻¹(w = level) and assembles the
-// per-cell isoline segments into connected polylines — an isoline map
-// extracted through the value index instead of an exhaustive scan.
-func (db *DB) Contours(level float64) ([]Polyline, error) {
+// ContourResult is an assembled isoline map plus the I/O its value query
+// cost.
+type ContourResult struct {
+	Polylines []Polyline
+	IO        storage.Stats
+}
+
+// ContourMap answers the exact value query F⁻¹(w = level), assembles the
+// per-cell isoline segments into connected polylines, and reports the
+// query's own I/O statistics.
+func (db *DB) ContourMap(level float64) (*ContourResult, error) {
 	res, err := db.ValueQuery(level, level)
 	if err != nil {
 		return nil, err
 	}
-	return contour.Assemble(res.Isolines, 1e-9), nil
+	return &ContourResult{
+		Polylines: contour.Assemble(res.Isolines, 1e-9),
+		IO:        res.IO,
+	}, nil
+}
+
+// Contours answers the exact value query F⁻¹(w = level) and assembles the
+// per-cell isoline segments into connected polylines — an isoline map
+// extracted through the value index instead of an exhaustive scan.
+func (db *DB) Contours(level float64) ([]Polyline, error) {
+	cr, err := db.ContourMap(level)
+	if err != nil {
+		return nil, err
+	}
+	return cr.Polylines, nil
 }
 
 // PointQuery answers the conventional query F(v'): the interpolated value at
@@ -264,6 +351,12 @@ func (db *DB) Contours(level float64) ([]Polyline, error) {
 func (db *DB) PointQuery(p Point) (float64, error) {
 	w, _, err := db.spatial.PointQuery(p)
 	return w, err
+}
+
+// PointQueryStats is PointQuery plus the query's own I/O statistics against
+// the spatial index's store.
+func (db *DB) PointQueryStats(p Point) (float64, storage.Stats, error) {
+	return db.spatial.PointQuery(p)
 }
 
 // Subfields returns the subfield partition of the value index, or nil for
@@ -285,8 +378,14 @@ func (db *DB) Subfields() []Subfield {
 }
 
 // IOStats returns the cumulative page-access statistics of the value index's
-// store.
+// store. Across any set of (possibly concurrent) queries, the increase of
+// IOStats equals the sum of those queries' per-query Result.IO.
 func (db *DB) IOStats() storage.Stats { return db.pager.Stats() }
+
+// SpatialIOStats returns the cumulative page-access statistics of the
+// spatial index's store (point queries account here, value queries in
+// IOStats).
+func (db *DB) SpatialIOStats() storage.Stats { return db.spatial.IOStats() }
 
 // And runs a conjunctive value query across databases sharing the same
 // spatial domain: region where every db's value lies in its interval.
@@ -332,10 +431,15 @@ func (s *StoredIndex) Method() Method { return s.index.Method() }
 // Stats describes the stored index.
 func (s *StoredIndex) Stats() IndexStats { return s.index.Stats() }
 
-// ValueQuery answers F⁻¹(lo ≤ w ≤ hi) from the stored pages.
+// SetWorkers rebounds the refinement worker pool for subsequent value
+// queries. It is safe only between queries, not while queries run.
+func (s *StoredIndex) SetWorkers(n int) { s.index.SetWorkers(n) }
+
+// ValueQuery answers F⁻¹(lo ≤ w ≤ hi) from the stored pages. Safe for
+// concurrent use.
 func (s *StoredIndex) ValueQuery(lo, hi float64) (*Result, error) {
-	if hi < lo {
-		return nil, fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+	if err := checkInterval(lo, hi); err != nil {
+		return nil, err
 	}
 	return s.index.Query(geom.Interval{Lo: lo, Hi: hi})
 }

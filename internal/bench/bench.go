@@ -75,8 +75,9 @@ type Report struct {
 }
 
 // Run executes the experiment. The pager pool of each index is sized to the
-// paper's warm-cache setting; queries drop the cache first, so every query
-// is cold but dedups its own repeated page accesses.
+// paper's warm-cache setting; each query runs in its own execution context
+// whose accounting models a cold start, while still deduping the query's own
+// repeated page accesses.
 func Run(exp Experiment) (*Report, error) {
 	if exp.Queries <= 0 {
 		exp.Queries = workload.QueryCount

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
@@ -29,10 +30,23 @@ type Auto struct {
 	// scanThreshold is the estimated matched-cell fraction above which the
 	// planner prefers the sequential scan.
 	scanThreshold float64
-	// ScanQueries / FilterQueries count the planner's decisions.
-	ScanQueries   int
-	FilterQueries int
+	// scanQueries / filterQueries count the planner's decisions; updated
+	// atomically so concurrent queries don't corrupt them.
+	scanQueries   atomic.Int64
+	filterQueries atomic.Int64
 }
+
+// ScanQueries returns how many queries the planner answered with the
+// sequential-scan access path.
+func (a *Auto) ScanQueries() int { return int(a.scanQueries.Load()) }
+
+// FilterQueries returns how many queries the planner answered with the
+// subfield filter pipeline.
+func (a *Auto) FilterQueries() int { return int(a.filterQueries.Load()) }
+
+// SetWorkers bounds the refinement worker pool of the underlying I-Hilbert
+// index (the scan path stays single-threaded: it is one sequential run).
+func (a *Auto) SetWorkers(n int) { a.part.SetWorkers(n) }
 
 // AutoOptions tunes BuildAuto.
 type AutoOptions struct {
@@ -136,21 +150,20 @@ func (a *Auto) Query(q geom.Interval) (*Result, error) {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
 	if a.EstimateSelectivity(q) > a.scanThreshold {
-		a.ScanQueries++
+		a.scanQueries.Add(1)
 		return a.scanAll(q)
 	}
-	a.FilterQueries++
+	a.filterQueries.Add(1)
 	return a.part.Query(q)
 }
 
 // scanAll runs the LinearScan access path over the partitioned index's own
 // heap file.
 func (a *Auto) scanAll(q geom.Interval) (*Result, error) {
-	a.part.pager.DropCache()
-	before := a.part.pager.Stats()
+	qc := a.part.pager.BeginQuery()
 	res := &Result{Query: q}
 	var c field.Cell
-	err := a.part.heap.Scan(func(_ storage.RID, rec []byte) bool {
+	err := a.part.heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
 		if err := field.DecodeCell(rec, &c); err != nil {
 			return false
 		}
@@ -160,7 +173,7 @@ func (a *Auto) scanAll(q geom.Interval) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.IO = a.part.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 

@@ -39,8 +39,8 @@ func TestAutoAgreesWithBruteForce(t *testing.T) {
 		}
 	}
 	// With the mixed workload, both access paths must have fired.
-	if a.ScanQueries == 0 || a.FilterQueries == 0 {
-		t.Fatalf("planner never alternated: scan=%d filter=%d", a.ScanQueries, a.FilterQueries)
+	if a.ScanQueries() == 0 || a.FilterQueries() == 0 {
+		t.Fatalf("planner never alternated: scan=%d filter=%d", a.ScanQueries(), a.FilterQueries())
 	}
 	if _, err := a.Query(geom.EmptyInterval()); err == nil {
 		t.Fatal("empty query accepted")
@@ -58,7 +58,7 @@ func TestAutoPlannerDecisions(t *testing.T) {
 	if _, err := a.Query(vr); err != nil {
 		t.Fatal(err)
 	}
-	if a.ScanQueries != 1 {
+	if a.ScanQueries() != 1 {
 		t.Fatalf("full-range query used the filter path (est %g)",
 			a.EstimateSelectivity(vr))
 	}
@@ -67,7 +67,7 @@ func TestAutoPlannerDecisions(t *testing.T) {
 	if _, err := a.Query(narrow); err != nil {
 		t.Fatal(err)
 	}
-	if a.FilterQueries != 1 {
+	if a.FilterQueries() != 1 {
 		t.Fatalf("narrow query scanned (est %g)", a.EstimateSelectivity(narrow))
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"fielddb/internal/geom"
 )
@@ -30,13 +31,29 @@ func ConjunctiveQuery(indexes []Index, intervals []geom.Interval) (*ConjunctiveR
 		return nil, fmt.Errorf("core: need matching indexes and intervals, got %d/%d",
 			len(indexes), len(intervals))
 	}
-	out := &ConjunctiveResult{}
-	var regions []geom.Polygon
+	// Each condition targets its own index (and pager), and queries are
+	// per-query-context based, so the per-field queries run concurrently;
+	// intersection then folds the results in condition order, keeping the
+	// answer deterministic.
+	results := make([]*Result, len(indexes))
+	errs := make([]error, len(indexes))
+	var wg sync.WaitGroup
 	for i, idx := range indexes {
-		res, err := idx.Query(intervals[i])
+		wg.Add(1)
+		go func(i int, idx Index) {
+			defer wg.Done()
+			results[i], errs[i] = idx.Query(intervals[i])
+		}(i, idx)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: condition %d: %w", i, err)
 		}
+	}
+	out := &ConjunctiveResult{}
+	var regions []geom.Polygon
+	for i, res := range results {
 		out.PerField = append(out.PerField, res)
 		if i == 0 {
 			regions = res.Regions
@@ -44,7 +61,9 @@ func ConjunctiveQuery(indexes []Index, intervals []geom.Interval) (*ConjunctiveR
 		}
 		regions = intersectRegionSets(regions, res.Regions)
 		if len(regions) == 0 {
-			break
+			// Later PerField entries are still recorded above; the region
+			// set can only stay empty from here on.
+			continue
 		}
 	}
 	out.Regions = regions

@@ -98,13 +98,12 @@ func (ia *IAll) Query(q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	// Start cold; within-query page reuse (repeated candidate fetches that
-	// land on one page) goes through the pager's pool.
-	ia.pager.DropCache()
-	before := ia.pager.Stats()
+	// Per-query context: cold-start accounting with within-query page reuse
+	// (repeated candidate fetches that land on one page).
+	qc := ia.pager.BeginQuery()
 	res := &Result{Query: q}
 	var candidates []uint64
-	err := ia.tree.PagedSearch(rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+	err := ia.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		candidates = append(candidates, e.Data)
 		return true
 	})
@@ -115,7 +114,7 @@ func (ia *IAll) Query(q geom.Interval) (*Result, error) {
 	var c field.Cell
 	buf := make([]byte, ia.pager.PageSize())
 	for _, id := range candidates {
-		rec, err := ia.heap.Get(ia.rids[id], buf)
+		rec, err := ia.heap.GetCtx(qc, ia.rids[id], buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching cell %d: %w", id, err)
 		}
@@ -124,7 +123,7 @@ func (ia *IAll) Query(q geom.Interval) (*Result, error) {
 		}
 		estimateCell(res, &c, q)
 	}
-	res.IO = ia.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 

@@ -65,8 +65,7 @@ func (ix *IPRow) Query(q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	ix.pager.DropCache()
-	before := ix.pager.Stats()
+	qc := ix.pager.BeginQuery()
 	res := &Result{Query: q}
 	var candidates []field.CellID
 	ix.ip.Query(q, func(id field.CellID) bool {
@@ -77,7 +76,7 @@ func (ix *IPRow) Query(q geom.Interval) (*Result, error) {
 	var c field.Cell
 	buf := make([]byte, ix.pager.PageSize())
 	for _, id := range candidates {
-		rec, err := ix.heap.Get(ix.rids[id], buf)
+		rec, err := ix.heap.GetCtx(qc, ix.rids[id], buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching cell %d: %w", id, err)
 		}
@@ -86,7 +85,7 @@ func (ix *IPRow) Query(q geom.Interval) (*Result, error) {
 		}
 		estimateCell(res, &c, q)
 	}
-	res.IO = ix.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 

@@ -67,8 +67,7 @@ func (ix *ITree) Query(q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	ix.pager.DropCache()
-	before := ix.pager.Stats()
+	qc := ix.pager.BeginQuery()
 	res := &Result{Query: q}
 	var candidates []uint64
 	ix.tree.Query(q, func(it intervaltree.Item) bool {
@@ -82,7 +81,7 @@ func (ix *ITree) Query(q geom.Interval) (*Result, error) {
 	var c field.Cell
 	buf := make([]byte, ix.pager.PageSize())
 	for _, id := range candidates {
-		rec, err := ix.heap.Get(ix.rids[id], buf)
+		rec, err := ix.heap.GetCtx(qc, ix.rids[id], buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching cell %d: %w", id, err)
 		}
@@ -91,7 +90,7 @@ func (ix *ITree) Query(q geom.Interval) (*Result, error) {
 		}
 		estimateCell(res, &c, q)
 	}
-	res.IO = ix.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 

@@ -43,13 +43,13 @@ func (ls *LinearScan) Query(q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	// Queries are independent: start cold, but allow within-query page
-	// reuse through the pager's pool (the paper's warm-OS-cache setting).
-	ls.pager.DropCache()
-	before := ls.pager.Stats()
+	// Queries are independent: each gets its own execution context, which
+	// accounts cold-start reads with within-query page reuse (the paper's
+	// warm-OS-cache setting) no matter what runs concurrently.
+	qc := ls.pager.BeginQuery()
 	res := &Result{Query: q}
 	var c field.Cell
-	err := ls.heap.Scan(func(_ storage.RID, rec []byte) bool {
+	err := ls.heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
 		if err := field.DecodeCell(rec, &c); err != nil {
 			return false
 		}
@@ -59,7 +59,7 @@ func (ls *LinearScan) Query(q geom.Interval) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.IO = ls.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 

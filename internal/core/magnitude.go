@@ -136,11 +136,10 @@ func (m *Magnitude) Query(q geom.Interval) (*MagnitudeResult, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	m.pager.DropCache()
-	before := m.pager.Stats()
+	qc := m.pager.BeginQuery()
 	res := &MagnitudeResult{Query: q}
 	var selected []int
-	err := m.tree.PagedSearch(rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+	err := m.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		selected = append(selected, int(e.Data))
 		return true
 	})
@@ -182,7 +181,7 @@ func (m *Magnitude) Query(q geom.Interval) (*MagnitudeResult, error) {
 			}
 		}
 	}
-	res.IO = m.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 

@@ -44,7 +44,17 @@ type Partitioned struct {
 	groups []groupMeta
 	order  []field.CellID // heap-file cell order (partition order)
 	cells  int
+	// workers bounds the goroutines of the parallel refinement step; 0 or 1
+	// keeps the query single-threaded.
+	workers int
 }
+
+// SetWorkers bounds the worker pool that parallelizes the refinement step
+// across subfield cell runs. One run is one sequential-I/O unit, so the
+// answer regions and the per-query accounting are identical to the
+// single-threaded run. Call before issuing queries; it is not synchronized
+// with queries already in flight.
+func (p *Partitioned) SetWorkers(n int) { p.workers = clampWorkers(n) }
 
 // HilbertOptions tunes BuildIHilbert.
 type HilbertOptions struct {
@@ -57,6 +67,10 @@ type HilbertOptions struct {
 	Cost subfield.CostModel
 	// Params override the R*-tree parameters.
 	Params rstar.Params
+	// Workers bounds the goroutines used for construction (linearization,
+	// per-subfield metadata) and is inherited as the query-time refinement
+	// parallelism. 0 or 1 means single-threaded.
+	Workers int
 }
 
 // BuildIHilbert builds the paper's proposed index: Hilbert linearization,
@@ -74,12 +88,12 @@ func BuildIHilbert(f field.Field, pager *storage.Pager, opts HilbertOptions) (*P
 	if cost.Epsilon == 0 {
 		cost = subfield.DefaultCostModel
 	}
-	refs, err := subfield.Linearize(f, curve)
+	refs, err := subfield.LinearizeWorkers(f, curve, clampWorkers(opts.Workers))
 	if err != nil {
 		return nil, err
 	}
 	groups := subfield.BuildGreedy(refs, cost)
-	return buildPartitioned(MethodIHilbert, f, pager, refs, groups, opts.Params)
+	return buildPartitioned(MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers)
 }
 
 // ThresholdOptions tunes BuildIThreshold and BuildIQuad.
@@ -95,6 +109,9 @@ type ThresholdOptions struct {
 	Params rstar.Params
 	// MaxDepth bounds the quadtree recursion for I-Quad (0 = default).
 	MaxDepth int
+	// Workers bounds construction and refinement parallelism, as in
+	// HilbertOptions.
+	Workers int
 }
 
 // BuildIThreshold is the fixed-threshold ablation: Hilbert linearization
@@ -115,12 +132,12 @@ func BuildIThreshold(f field.Field, pager *storage.Pager, opts ThresholdOptions)
 	if opts.MaxSize <= 0 {
 		return nil, fmt.Errorf("core: I-Threshold needs MaxSize > 0")
 	}
-	refs, err := subfield.Linearize(f, curve)
+	refs, err := subfield.LinearizeWorkers(f, curve, clampWorkers(opts.Workers))
 	if err != nil {
 		return nil, err
 	}
 	groups := subfield.BuildThreshold(refs, cost, opts.MaxSize)
-	p, err := buildPartitioned(MethodIThresh, f, pager, refs, groups, opts.Params)
+	p, err := buildPartitioned(MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers)
 	return p, err
 }
 
@@ -142,24 +159,25 @@ func BuildIQuad(f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Pa
 	if err != nil {
 		return nil, err
 	}
-	refs, err := subfield.Linearize(f, curve)
+	refs, err := subfield.LinearizeWorkers(f, curve, clampWorkers(opts.Workers))
 	if err != nil {
 		return nil, err
 	}
 	ordered, groups := subfield.BuildQuad(refs, f.Bounds(), cost, opts.MaxSize, opts.MaxDepth)
-	return buildPartitioned(MethodIQuad, f, pager, ordered, groups, opts.Params)
+	return buildPartitioned(MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers)
 }
 
 // buildPartitioned stores cells in partition order and indexes the group
 // intervals.
 func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
-	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params) (*Partitioned, error) {
+	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int) (*Partitioned, error) {
 	if err := subfield.Validate(refs, groups); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if params.PageSize == 0 {
 		params.PageSize = pager.PageSize()
 	}
+	workers = clampWorkers(workers)
 	ids := make([]field.CellID, len(refs))
 	for i, r := range refs {
 		ids[i] = r.ID
@@ -168,13 +186,16 @@ func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
 	if err != nil {
 		return nil, err
 	}
+	// Per-subfield metadata (page run, summary average) is independent
+	// across groups, so construction fans out on the worker pool.
 	metas := make([]groupMeta, len(groups))
 	entries := make([]rstar.Entry, len(groups))
-	for gi, g := range groups {
+	err = parallelDo(workers, len(groups), func(gi int) error {
+		g := groups[gi]
 		first := heap.PageIndex(rids[g.Start].Page)
 		last := heap.PageIndex(rids[g.End-1].Page)
 		if first < 0 || last < 0 {
-			return nil, fmt.Errorf("core: group %d pages not found", gi)
+			return fmt.Errorf("core: group %d pages not found", gi)
 		}
 		sum := 0.0
 		for i := g.Start; i < g.End; i++ {
@@ -190,6 +211,10 @@ func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
 			MBR:  rstar.Interval1D(g.Interval.Lo, g.Interval.Hi),
 			Data: uint64(gi),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Subfield intervals are few; the tree is built by R* insertion, as in
 	// the paper.
@@ -206,13 +231,14 @@ func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
 		return nil, err
 	}
 	return &Partitioned{
-		method: method,
-		pager:  pager,
-		heap:   heap,
-		tree:   tree,
-		groups: metas,
-		order:  ids,
-		cells:  len(refs),
+		method:  method,
+		pager:   pager,
+		heap:    heap,
+		tree:    tree,
+		groups:  metas,
+		order:   ids,
+		cells:   len(refs),
+		workers: workers,
 	}, nil
 }
 
@@ -269,11 +295,10 @@ func (p *Partitioned) ApproxQuery(q geom.Interval) (*ApproxResult, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	p.pager.DropCache()
-	before := p.pager.Stats()
+	qc := p.pager.BeginQuery()
 	res := &ApproxResult{Query: q}
 	var sum float64
-	err := p.tree.PagedSearch(rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+	err := p.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		g := p.groups[e.Data]
 		res.Groups++
 		res.CellsUpperBound += g.cells
@@ -288,7 +313,7 @@ func (p *Partitioned) ApproxQuery(q geom.Interval) (*ApproxResult, error) {
 	} else {
 		res.AvgValue = math.NaN()
 	}
-	res.IO = p.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 
@@ -303,41 +328,17 @@ func (p *Partitioned) ForEachGroup(fn func(group int, iv geom.Interval, cells []
 	}
 }
 
-// Query implements Index: Step 1 (filter) finds the subfields whose
-// intervals intersect q through the persisted R*-tree; Step 2 (estimation)
-// reads each selected subfield's contiguous cell run — merging overlapping
-// runs so shared boundary pages are read once — and computes the exact
-// answer regions.
-func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
-	if q.IsEmpty() {
-		return nil, fmt.Errorf("core: empty query interval")
-	}
-	// Start cold; merged runs already avoid re-reading shared pages, and
-	// the pool covers any remaining within-query reuse.
-	p.pager.DropCache()
-	before := p.pager.Stats()
-	res := &Result{Query: q}
-	query1d := rstar.Interval1D(q.Lo, q.Hi)
-	var selected []int
-	err := p.tree.PagedSearch(query1d, func(e rstar.Entry) bool {
-		selected = append(selected, int(e.Data))
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.CandidateGroups = len(selected)
-	if len(selected) == 0 {
-		res.IO = p.pager.Stats().Sub(before)
-		return res, nil
-	}
+// pageRun is one contiguous stretch of heap-file pages — one sequential-I/O
+// unit of the refinement step.
+type pageRun struct{ first, last int }
 
-	// Merge the selected subfields' page runs: consecutive subfields share
-	// boundary pages, and reading each run once keeps the I/O sequential.
-	type run struct{ first, last int }
-	runs := make([]run, 0, len(selected))
+// mergeRuns sorts the selected subfields' page runs and merges overlapping or
+// adjacent ones: consecutive subfields share boundary pages, and reading each
+// merged run once keeps the I/O sequential.
+func (p *Partitioned) mergeRuns(selected []int) []pageRun {
+	runs := make([]pageRun, 0, len(selected))
 	for _, gi := range selected {
-		runs = append(runs, run{p.groups[gi].firstPage, p.groups[gi].lastPage})
+		runs = append(runs, pageRun{p.groups[gi].firstPage, p.groups[gi].lastPage})
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].first < runs[j].first })
 	merged := runs[:1]
@@ -351,21 +352,92 @@ func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
 		}
 		merged = append(merged, r)
 	}
+	return merged
+}
 
+// scanRun reads one merged cell run through qc, folding each decoded cell
+// into res.
+func (p *Partitioned) scanRun(qc *storage.QueryCtx, r pageRun, q geom.Interval, res *Result) error {
 	var c field.Cell
-	for _, r := range merged {
-		err := p.heap.ScanPages(r.first, r.last, func(_ storage.RID, rec []byte) bool {
-			if err := field.DecodeCell(rec, &c); err != nil {
-				return false
-			}
-			estimateCell(res, &c, q)
-			return true
-		})
-		if err != nil {
-			return nil, err
+	return p.heap.ScanPagesCtx(qc, r.first, r.last, func(_ storage.RID, rec []byte) bool {
+		if err := field.DecodeCell(rec, &c); err != nil {
+			return false
 		}
+		estimateCell(res, &c, q)
+		return true
+	})
+}
+
+// Query implements Index: Step 1 (filter) finds the subfields whose
+// intervals intersect q through the persisted R*-tree; Step 2 (estimation)
+// reads each selected subfield's contiguous cell run — merging overlapping
+// runs so shared boundary pages are read once — and computes the exact
+// answer regions. With SetWorkers > 1 the runs are refined in parallel on a
+// bounded worker pool; a run is one sequential-I/O unit, so the answer and
+// the per-query accounting are identical to the single-threaded execution.
+func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
 	}
-	res.IO = p.pager.Stats().Sub(before)
+	qc := p.pager.BeginQuery()
+	res := &Result{Query: q}
+	query1d := rstar.Interval1D(q.Lo, q.Hi)
+	var selected []int
+	err := p.tree.PagedSearchCtx(qc, query1d, func(e rstar.Entry) bool {
+		selected = append(selected, int(e.Data))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CandidateGroups = len(selected)
+	if len(selected) == 0 {
+		res.IO = qc.Stats()
+		return res, nil
+	}
+	merged := p.mergeRuns(selected)
+
+	workers := clampWorkers(p.workers)
+	if workers <= 1 || len(merged) < 2 {
+		for _, r := range merged {
+			if err := p.scanRun(qc, r, q, res); err != nil {
+				return nil, err
+			}
+		}
+		res.IO = qc.Stats()
+		return res, nil
+	}
+
+	// Parallel refinement: every worker refines whole runs with its own
+	// forked context, partial results are folded back in run order, and the
+	// area is re-accumulated as the same left-to-right fold the sequential
+	// path performs — so Regions, Area and Stats are all byte-identical.
+	partials := make([]*Result, len(merged))
+	ctxs := make([]*storage.QueryCtx, len(merged))
+	err = parallelDo(workers, len(merged), func(i int) error {
+		child := qc.Fork()
+		part := &Result{Query: q}
+		if err := p.scanRun(child, merged[i], q, part); err != nil {
+			return err
+		}
+		partials[i] = part
+		ctxs[i] = child
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, part := range partials {
+		res.CellsFetched += part.CellsFetched
+		res.CellsMatched += part.CellsMatched
+		res.Regions = append(res.Regions, part.Regions...)
+		res.Isolines = append(res.Isolines, part.Isolines...)
+		qc.Merge(ctxs[i])
+	}
+	for _, pg := range res.Regions {
+		res.Area += pg.Area()
+	}
+	res.IO = qc.Stats()
 	return res, nil
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelDo runs fn(i) for every i in [0, n) on a bounded pool of at most
+// workers goroutines and returns the first error (by lowest index). With
+// workers <= 1 it degenerates to a plain loop on the calling goroutine, so
+// single-threaded paths pay no synchronization cost.
+//
+// Work items must be independent: the refinement step uses one item per
+// subfield cell run, index construction one item per subfield.
+func parallelDo(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clampWorkers normalizes a Workers option: values below 1 mean
+// single-threaded.
+func clampWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}

@@ -68,33 +68,36 @@ func BuildSpatial(f field.Field, pager *storage.Pager, params rstar.Params) (*Sp
 // R*-tree and one cell fetch. The boolean is false when pt lies outside
 // every cell.
 func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error) {
-	s.pager.DropCache()
-	before := s.pager.Stats()
+	qc := s.pager.BeginQuery()
 	query := rstar.Rect2D(pt.X, pt.X, pt.Y, pt.Y)
 	var candidates []uint64
-	err := s.tree.PagedSearch(query, func(e rstar.Entry) bool {
+	err := s.tree.PagedSearchCtx(qc, query, func(e rstar.Entry) bool {
 		candidates = append(candidates, e.Data)
 		return true
 	})
 	if err != nil {
-		return 0, storage.Stats{}, err
+		return 0, qc.Stats(), err
 	}
 	var c field.Cell
 	buf := make([]byte, s.pager.PageSize())
 	for _, id := range candidates {
-		rec, err := s.heap.Get(s.rids[id], buf)
+		rec, err := s.heap.GetCtx(qc, s.rids[id], buf)
 		if err != nil {
-			return 0, storage.Stats{}, err
+			return 0, qc.Stats(), err
 		}
 		if err := field.DecodeCell(rec, &c); err != nil {
-			return 0, storage.Stats{}, err
+			return 0, qc.Stats(), err
 		}
 		if w, ok := field.Interpolate(&c, pt); ok {
-			return w, s.pager.Stats().Sub(before), nil
+			return w, qc.Stats(), nil
 		}
 	}
-	return 0, s.pager.Stats().Sub(before), fmt.Errorf("core: point %v outside the field", pt)
+	return 0, qc.Stats(), fmt.Errorf("core: point %v outside the field", pt)
 }
+
+// IOStats returns the cumulative page-access statistics of the spatial
+// index's store.
+func (s *SpatialIndex) IOStats() storage.Stats { return s.pager.Stats() }
 
 // Stats describes the built index.
 func (s *SpatialIndex) Stats() IndexStats {

@@ -115,13 +115,23 @@ func (t *Tree) PagedSearch(query MBR, fn func(Entry) bool) error {
 	if t.pager == nil {
 		return fmt.Errorf("rstar: tree not persisted")
 	}
-	buf := make([]byte, t.pager.PageSize())
-	_, err := t.pagedSearchNode(t.rootPage, query, fn, buf)
+	return t.PagedSearchCtx(t.pager, query, fn)
+}
+
+// PagedSearchCtx is PagedSearch with the node-page reads charged to r — a
+// per-query execution context, so concurrent searches over one persisted
+// tree keep independent accounting.
+func (t *Tree) PagedSearchCtx(r storage.PageReader, query MBR, fn func(Entry) bool) error {
+	if t.pager == nil {
+		return fmt.Errorf("rstar: tree not persisted")
+	}
+	buf := make([]byte, r.PageSize())
+	_, err := t.pagedSearchNode(r, t.rootPage, query, fn, buf)
 	return err
 }
 
-func (t *Tree) pagedSearchNode(id storage.PageID, query MBR, fn func(Entry) bool, buf []byte) (bool, error) {
-	if err := t.pager.ReadPage(id, buf); err != nil {
+func (t *Tree) pagedSearchNode(r storage.PageReader, id storage.PageID, query MBR, fn func(Entry) bool, buf []byte) (bool, error) {
+	if err := r.ReadPage(id, buf); err != nil {
 		return false, err
 	}
 	level := int(binary.LittleEndian.Uint16(buf[0:2]))
@@ -151,7 +161,7 @@ func (t *Tree) pagedSearchNode(id storage.PageID, query MBR, fn func(Entry) bool
 				return false, nil
 			}
 		} else {
-			cont, err := t.pagedSearchNode(storage.PageID(h.ref), query, fn, buf)
+			cont, err := t.pagedSearchNode(r, storage.PageID(h.ref), query, fn, buf)
 			if err != nil || !cont {
 				return cont, err
 			}

@@ -137,14 +137,20 @@ func (h *HeapFile) Flush() error {
 	return nil
 }
 
-// Get reads the record at rid. It goes through the pager and is therefore
-// charged as a (typically random) page access.
+// Get reads the record at rid, charged to the pager's own accounting.
 func (h *HeapFile) Get(rid RID, buf []byte) ([]byte, error) {
-	if cap(buf) < h.pager.PageSize() {
-		buf = make([]byte, h.pager.PageSize())
+	return h.GetCtx(h.pager, rid, buf)
+}
+
+// GetCtx reads the record at rid through r — a per-query execution context
+// or the shared pager — so the (typically random) page access is charged to
+// that reader's accounting.
+func (h *HeapFile) GetCtx(r PageReader, rid RID, buf []byte) ([]byte, error) {
+	if cap(buf) < r.PageSize() {
+		buf = make([]byte, r.PageSize())
 	}
-	buf = buf[:h.pager.PageSize()]
-	if err := h.pager.ReadPage(rid.Page, buf); err != nil {
+	buf = buf[:r.PageSize()]
+	if err := r.ReadPage(rid.Page, buf); err != nil {
 		return nil, err
 	}
 	return recordInPage(buf, rid.Slot)
@@ -174,10 +180,22 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
 	return h.ScanPages(0, len(h.pages)-1, fn)
 }
 
+// ScanCtx is Scan with the page reads charged to r.
+func (h *HeapFile) ScanCtx(r PageReader, fn func(rid RID, rec []byte) bool) error {
+	return h.ScanPagesCtx(r, 0, len(h.pages)-1, fn)
+}
+
 // ScanPages visits records on the file's pages with index in [first, last]
 // (inclusive, indices into the file's page list). Used by the estimation step
 // to fetch exactly the cell run of one subfield.
 func (h *HeapFile) ScanPages(first, last int, fn func(rid RID, rec []byte) bool) error {
+	return h.ScanPagesCtx(h.pager, first, last, fn)
+}
+
+// ScanPagesCtx is ScanPages with the page reads charged to r, so concurrent
+// queries — and the workers of one parallel refinement step — each account
+// their own sequential run.
+func (h *HeapFile) ScanPagesCtx(r PageReader, first, last int, fn func(rid RID, rec []byte) bool) error {
 	if err := h.Flush(); err != nil {
 		return err
 	}
@@ -187,10 +205,10 @@ func (h *HeapFile) ScanPages(first, last int, fn func(rid RID, rec []byte) bool)
 	if last >= len(h.pages) {
 		last = len(h.pages) - 1
 	}
-	buf := make([]byte, h.pager.PageSize())
+	buf := make([]byte, r.PageSize())
 	for pi := first; pi <= last; pi++ {
 		id := h.pages[pi]
-		if err := h.pager.ReadPage(id, buf); err != nil {
+		if err := r.ReadPage(id, buf); err != nil {
 			return err
 		}
 		n := binary.LittleEndian.Uint16(buf[0:2])

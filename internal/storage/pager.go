@@ -38,8 +38,9 @@ var Disk2001Model = DiskModel{
 	SequentialRead: 500 * time.Microsecond,
 }
 
-// Stats accumulates the I/O activity of a Pager. Counters are cumulative;
-// use Reset or Snapshot deltas to scope a measurement to one query.
+// Stats accumulates the I/O activity of a Pager or QueryCtx. Counters are
+// cumulative; use Sub on two snapshots, or a QueryCtx's own Stats, to scope a
+// measurement to one query.
 type Stats struct {
 	Reads      int           // total page reads that reached the disk
 	SeqReads   int           // reads charged at sequential cost
@@ -79,25 +80,105 @@ func (s Stats) String() string {
 		s.Reads, s.SeqReads, s.RandReads, s.CacheHits, s.Writes, s.SimElapsed)
 }
 
-// Pager mediates all page access, charging the simulated disk clock and
-// optionally caching pages in an LRU buffer pool. A pool size of zero — the
-// default used by the experiments — models the paper's cold-cache setting
-// where every query's page accesses hit the disk.
-type Pager struct {
-	mu       sync.Mutex
-	disk     Disk
-	model    DiskModel
-	stats    Stats
-	lastPage PageID // last page actually read from disk, for seq detection
+// PageReader is the read side of the paged store. Two implementations exist:
+// *Pager, which charges its own pager-level accounting (build paths, legacy
+// single-threaded use), and *QueryCtx, which charges a per-query execution
+// context and is the unit of concurrency for the query pipeline.
+type PageReader interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// ReadPage reads page id into buf, which must be PageSize() long.
+	ReadPage(id PageID, buf []byte) error
+}
 
-	poolSize int
-	lru      *list.List               // front = most recently used; values are *frame
-	frames   map[PageID]*list.Element // page id -> element in lru
+// pagePool is the shared LRU buffer pool of a Pager. It has its own mutex so
+// concurrent QueryCtx readers can share cached page data without serializing
+// on the accounting lock.
+type pagePool struct {
+	mu     sync.Mutex
+	size   int
+	lru    *list.List               // front = most recently used; values are *frame
+	frames map[PageID]*list.Element // page id -> element in lru
 }
 
 type frame struct {
 	id   PageID
 	data []byte
+}
+
+func newPagePool(size int) *pagePool {
+	return &pagePool{size: size, lru: list.New(), frames: make(map[PageID]*list.Element)}
+}
+
+// get copies page id into buf and reports whether it was resident.
+func (pp *pagePool) get(id PageID, buf []byte) bool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	el, ok := pp.frames[id]
+	if !ok {
+		return false
+	}
+	pp.lru.MoveToFront(el)
+	copy(buf, el.Value.(*frame).data)
+	return true
+}
+
+// put inserts a copy of buf, evicting least-recently-used frames as needed.
+func (pp *pagePool) put(id PageID, buf []byte) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if el, ok := pp.frames[id]; ok {
+		copy(el.Value.(*frame).data, buf)
+		pp.lru.MoveToFront(el)
+		return
+	}
+	for pp.lru.Len() >= pp.size {
+		back := pp.lru.Back()
+		pp.lru.Remove(back)
+		delete(pp.frames, back.Value.(*frame).id)
+	}
+	data := make([]byte, len(buf))
+	copy(data, buf)
+	pp.frames[id] = pp.lru.PushFront(&frame{id: id, data: data})
+}
+
+// update refreshes an already-resident page after a write; absent pages are
+// not inserted (writes happen during build, before the measured query phase).
+func (pp *pagePool) update(id PageID, buf []byte) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if el, ok := pp.frames[id]; ok {
+		copy(el.Value.(*frame).data, buf)
+	}
+}
+
+// drop empties the pool.
+func (pp *pagePool) drop() {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.lru.Init()
+	pp.frames = make(map[PageID]*list.Element)
+}
+
+// Pager mediates all page access, charging the simulated disk clock and
+// optionally caching pages in a shared LRU buffer pool. A pool size of zero —
+// the cold-cache setting of the paper's experiments — disables caching so
+// every page access hits the disk.
+//
+// The Pager is safe for concurrent use. Shared state is limited to the disk,
+// the buffer pool, and the cumulative Stats totals; everything per-query
+// (a query's own Stats and its sequential-read clock) lives in a QueryCtx
+// obtained from BeginQuery, so concurrent queries cannot corrupt each other's
+// accounting.
+type Pager struct {
+	disk     Disk
+	model    DiskModel
+	poolSize int
+	pool     *pagePool // nil when poolSize == 0
+
+	mu       sync.Mutex // guards stats and lastPage
+	stats    Stats
+	lastPage PageID // pager-level seq detection, for reads outside a QueryCtx
 }
 
 // NewPager wraps disk with accounting under the given cost model.
@@ -107,14 +188,16 @@ func NewPager(disk Disk, model DiskModel, poolSize int) *Pager {
 	if poolSize < 0 {
 		poolSize = 0
 	}
-	return &Pager{
+	p := &Pager{
 		disk:     disk,
 		model:    model,
-		lastPage: InvalidPage,
 		poolSize: poolSize,
-		lru:      list.New(),
-		frames:   make(map[PageID]*list.Element),
+		lastPage: InvalidPage,
 	}
+	if poolSize > 0 {
+		p.pool = newPagePool(poolSize)
+	}
+	return p
 }
 
 // PageSize returns the underlying disk's page size.
@@ -123,22 +206,48 @@ func (p *Pager) PageSize() int { return p.disk.PageSize() }
 // NumPages returns the underlying disk's page count.
 func (p *Pager) NumPages() int { return p.disk.NumPages() }
 
-// ReadPage reads page id into buf, charging the simulated clock unless the
-// page is resident in the buffer pool.
+// PoolPages returns the buffer pool capacity the pager was created with.
+func (p *Pager) PoolPages() int { return p.poolSize }
+
+// readThrough copies page id into buf from the shared pool or, on a miss,
+// from the disk (populating the pool). It moves data only — no accounting.
+func (p *Pager) readThrough(id PageID, buf []byte) (cached bool, err error) {
+	if p.pool != nil && p.pool.get(id, buf) {
+		return true, nil
+	}
+	if err := p.disk.ReadPage(id, buf); err != nil {
+		return false, err
+	}
+	if p.pool != nil {
+		p.pool.put(id, buf)
+	}
+	return false, nil
+}
+
+// addStats folds one query context's activity into the cumulative totals,
+// so that Pager.Stats equals the sum of every reader's reported activity.
+func (p *Pager) addStats(d Stats) {
+	p.mu.Lock()
+	p.stats = p.stats.Add(d)
+	p.mu.Unlock()
+}
+
+// ReadPage reads page id into buf through the pager's own accounting: a pool
+// hit counts as a cache hit, a miss is charged to the simulated clock using
+// the pager-level sequential tracker. Query pipelines should prefer a
+// QueryCtx from BeginQuery, which keeps this accounting per query.
 func (p *Pager) ReadPage(id PageID, buf []byte) error {
+	cached, err := p.readThrough(id, buf)
+	if err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if el, ok := p.frames[id]; ok {
-		p.lru.MoveToFront(el)
-		copy(buf, el.Value.(*frame).data)
+	if cached {
 		p.stats.CacheHits++
 		return nil
 	}
-	if err := p.disk.ReadPage(id, buf); err != nil {
-		return err
-	}
 	p.charge(id)
-	p.cache(id, buf)
 	return nil
 }
 
@@ -156,57 +265,36 @@ func (p *Pager) charge(id PageID) {
 	p.lastPage = id
 }
 
-// cache inserts a copy of buf into the buffer pool. Callers must hold p.mu.
-func (p *Pager) cache(id PageID, buf []byte) {
-	if p.poolSize == 0 {
-		return
-	}
-	if el, ok := p.frames[id]; ok {
-		copy(el.Value.(*frame).data, buf)
-		p.lru.MoveToFront(el)
-		return
-	}
-	for p.lru.Len() >= p.poolSize {
-		back := p.lru.Back()
-		p.lru.Remove(back)
-		delete(p.frames, back.Value.(*frame).id)
-	}
-	data := make([]byte, len(buf))
-	copy(data, buf)
-	p.frames[id] = p.lru.PushFront(&frame{id: id, data: data})
-}
-
 // WritePage writes buf to page id. Writes are counted but not charged to the
 // simulated read clock: index construction happens before the measured query
 // phase, exactly as in the paper.
 func (p *Pager) WritePage(id PageID, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err := p.disk.WritePage(id, buf); err != nil {
 		return err
 	}
+	p.mu.Lock()
 	p.stats.Writes++
-	if el, ok := p.frames[id]; ok {
-		copy(el.Value.(*frame).data, buf)
+	p.mu.Unlock()
+	if p.pool != nil {
+		p.pool.update(id, buf)
 	}
 	return nil
 }
 
 // Alloc allocates a fresh page on the underlying disk.
 func (p *Pager) Alloc() (PageID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return p.disk.Alloc()
 }
 
-// Stats returns a snapshot of the accumulated counters.
+// Stats returns a snapshot of the accumulated counters: the sum of every
+// reader's activity, pager-level reads and QueryCtx reads alike.
 func (p *Pager) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
 }
 
-// ResetStats zeroes the counters and the sequential-access tracker.
+// ResetStats zeroes the counters and the pager-level sequential tracker.
 func (p *Pager) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -214,14 +302,15 @@ func (p *Pager) ResetStats() {
 	p.lastPage = InvalidPage
 }
 
-// DropCache empties the buffer pool without touching the counters, modelling
-// a cold start between queries.
+// DropCache empties the shared buffer pool without touching the counters,
+// modelling a cold start between queries.
 func (p *Pager) DropCache() {
+	if p.pool != nil {
+		p.pool.drop()
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.lru.Init()
-	p.frames = make(map[PageID]*list.Element)
 	p.lastPage = InvalidPage
+	p.mu.Unlock()
 }
 
 // Model returns the pager's disk cost model.
@@ -232,8 +321,6 @@ func (p *Pager) Model() DiskModel { return p.model }
 // maintenance operation (saving a built database to a file), not part of a
 // measured query.
 func (p *Pager) SnapshotTo(dst Disk) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if dst.PageSize() != p.disk.PageSize() {
 		return fmt.Errorf("storage: snapshot page size mismatch: %d vs %d", dst.PageSize(), p.disk.PageSize())
 	}
@@ -256,3 +343,125 @@ func (p *Pager) SnapshotTo(dst Disk) error {
 	}
 	return nil
 }
+
+// QueryCtx is the per-query execution context: one query's own Stats, its own
+// sequential-read clock, and a cold private view of the buffer pool, reading
+// page data through the shared pool. Every query accounts exactly as if it
+// ran alone against a freshly dropped cache — the paper's measurement model —
+// no matter how many queries run concurrently.
+//
+// A QueryCtx is owned by one goroutine. The parallel refinement step gives
+// each worker its own child context via Fork and folds the children back with
+// Merge; a cell run starts with a random access and streams sequentially, so
+// per-run accounting is identical however runs are assigned to workers.
+type QueryCtx struct {
+	pager    *Pager
+	stats    Stats
+	lastPage PageID // last page this query read from disk, for seq detection
+
+	// seen/lru form the accounting-only private pool: the pages this query
+	// would find cached had it run alone against a cold pool of the pager's
+	// capacity. Nil when the pool is disabled (poolSize 0).
+	seen map[PageID]*list.Element
+	lru  *list.List // of PageID
+
+	// flushed is the prefix of stats already folded into the pager totals.
+	// Accounting is accumulated lock-free in this context and published to
+	// the shared totals only by Stats (and absorbed by Merge), so the hot
+	// read path takes no per-page accounting lock.
+	flushed Stats
+}
+
+// BeginQuery returns a fresh execution context for one query.
+func (p *Pager) BeginQuery() *QueryCtx {
+	qc := &QueryCtx{pager: p, lastPage: InvalidPage}
+	if p.poolSize > 0 {
+		qc.seen = make(map[PageID]*list.Element)
+		qc.lru = list.New()
+	}
+	return qc
+}
+
+// PageSize implements PageReader.
+func (qc *QueryCtx) PageSize() int { return qc.pager.PageSize() }
+
+// Model returns the underlying pager's disk cost model.
+func (qc *QueryCtx) Model() DiskModel { return qc.pager.model }
+
+// ReadPage implements PageReader: page data comes from the shared pool or
+// disk, while the charge — cache hit on a within-query revisit, sequential or
+// random disk read otherwise — goes to this query's private accounting,
+// published to the pager's cumulative totals when Stats is called.
+func (qc *QueryCtx) ReadPage(id PageID, buf []byte) error {
+	if qc.seen != nil {
+		if el, ok := qc.seen[id]; ok {
+			qc.lru.MoveToFront(el)
+			if _, err := qc.pager.readThrough(id, buf); err != nil {
+				return err
+			}
+			qc.stats.CacheHits++
+			return nil
+		}
+	}
+	if _, err := qc.pager.readThrough(id, buf); err != nil {
+		return err
+	}
+	qc.stats.Reads++
+	if qc.lastPage != InvalidPage && id == qc.lastPage+1 {
+		qc.stats.SeqReads++
+		qc.stats.SimElapsed += qc.pager.model.SequentialRead
+	} else {
+		qc.stats.RandReads++
+		qc.stats.SimElapsed += qc.pager.model.RandomRead
+	}
+	qc.lastPage = id
+	qc.note(id)
+	return nil
+}
+
+// note records id in the private pool view, evicting in LRU order at the
+// pager's pool capacity.
+func (qc *QueryCtx) note(id PageID) {
+	if qc.seen == nil {
+		return
+	}
+	for qc.lru.Len() >= qc.pager.poolSize {
+		back := qc.lru.Back()
+		qc.lru.Remove(back)
+		delete(qc.seen, back.Value.(PageID))
+	}
+	qc.seen[id] = qc.lru.PushFront(id)
+}
+
+// Stats returns this query's accumulated activity, including any merged
+// worker contexts, and publishes the not-yet-published part to the pager's
+// cumulative totals. Every query path ends by reporting its I/O through
+// Stats, so at quiescence Pager.Stats equals the sum of all reported
+// per-query Stats. (A context abandoned mid-query — an error return before
+// Stats — keeps its partial activity out of the totals, which is exactly
+// what keeps that sum exact.)
+func (qc *QueryCtx) Stats() Stats {
+	if d := qc.stats.Sub(qc.flushed); d != (Stats{}) {
+		qc.pager.addStats(d)
+		qc.flushed = qc.stats
+	}
+	return qc.stats
+}
+
+// Fork returns a child context for one worker of a parallel refinement step:
+// fresh stats and a fresh sequential-read clock over the same pager.
+func (qc *QueryCtx) Fork() *QueryCtx { return qc.pager.BeginQuery() }
+
+// Merge folds a finished child context's activity into this query's stats.
+// Whatever the child already published to the pager totals is remembered as
+// published here too, so the parent's final Stats publishes each increment
+// exactly once.
+func (qc *QueryCtx) Merge(child *QueryCtx) {
+	qc.stats = qc.stats.Add(child.stats)
+	qc.flushed = qc.flushed.Add(child.flushed)
+}
+
+var (
+	_ PageReader = (*Pager)(nil)
+	_ PageReader = (*QueryCtx)(nil)
+)

@@ -17,6 +17,7 @@ package subfield
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
@@ -36,21 +37,55 @@ type CellRef struct {
 // Linearize computes each cell's curve key and returns the refs sorted by
 // key (ties broken by cell id, so the order is total and deterministic).
 func Linearize(f field.Field, curve sfc.Curve) ([]CellRef, error) {
+	return LinearizeWorkers(f, curve, 1)
+}
+
+// LinearizeWorkers is Linearize with the per-cell key computation spread
+// over up to workers goroutines. Each worker fills a disjoint chunk of the
+// refs slice, so the result is identical to the single-threaded order
+// regardless of workers. Field implementations must allow concurrent Cell
+// calls (both grid.DEM and tin.TIN are read-only after construction).
+func LinearizeWorkers(f field.Field, curve sfc.Curve, workers int) ([]CellRef, error) {
 	mapper, err := sfc.NewMapper(curve, f.Bounds())
 	if err != nil {
 		return nil, fmt.Errorf("subfield: %w", err)
 	}
-	refs := make([]CellRef, f.NumCells())
-	var c field.Cell
-	for id := 0; id < f.NumCells(); id++ {
-		f.Cell(field.CellID(id), &c)
-		center := c.Center()
-		refs[id] = CellRef{
-			ID:       field.CellID(id),
-			Key:      mapper.Index(center),
-			Interval: c.Interval(),
-			Center:   center,
+	n := f.NumCells()
+	refs := make([]CellRef, n)
+	fill := func(lo, hi int) {
+		var c field.Cell
+		for id := lo; id < hi; id++ {
+			f.Cell(field.CellID(id), &c)
+			center := c.Center()
+			refs[id] = CellRef{
+				ID:       field.CellID(id),
+				Key:      mapper.Index(center),
+				Interval: c.Interval(),
+				Center:   center,
+			}
 		}
+	}
+	// Chunks below ~4k cells are dominated by goroutine overhead.
+	if workers > n/4096 {
+		workers = n / 4096
+	}
+	if workers <= 1 {
+		fill(0, n)
+	} else {
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fill(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
 	sort.Slice(refs, func(i, j int) bool {
 		if refs[i].Key != refs[j].Key {

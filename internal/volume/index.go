@@ -130,11 +130,10 @@ func (ix *Index) Query(q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("volume: empty query interval")
 	}
-	ix.pager.DropCache()
-	before := ix.pager.Stats()
+	qc := ix.pager.BeginQuery()
 	res := &Result{Query: q}
 	var selected []int
-	err := ix.tree.PagedSearch(rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+	err := ix.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		selected = append(selected, int(e.Data))
 		return true
 	})
@@ -155,7 +154,7 @@ func (ix *Index) Query(q geom.Interval) (*Result, error) {
 			res.Volume += ix.grid.CellBandVolume(id, q.Lo, q.Hi)
 		}
 	}
-	res.IO = ix.pager.Stats().Sub(before)
+	res.IO = qc.Stats()
 	return res, nil
 }
 
