@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-parallel
+.PHONY: check build vet test race bench-parallel bench-smoke
 
-check: build vet race
+check: build vet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ race:
 # Refinement-parallelism speedup table (cmd/fieldbench -workers).
 bench-parallel:
 	$(GO) run ./cmd/fieldbench -workers 8
+
+# One-iteration pass over the value-range benchmarks: catches bit-rot in the
+# benchmark harness without measuring anything (use `go test -bench` with a
+# real -benchtime for numbers; see BENCH_BASELINE.json).
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkValueRange -benchtime 1x .

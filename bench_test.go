@@ -68,6 +68,60 @@ func benchFigure(b *testing.B, exp bench.Experiment) {
 // -bench=. sweep finishes in minutes.
 func benchScale() bench.Scale { return bench.Scale{} }
 
+// BenchmarkValueRange is the storage read-path suite behind
+// BENCH_BASELINE.json: value-range queries at the paper's three selectivity
+// regimes (bench.Selectivities) for LinearScan, I-All and I-Hilbert, plus the
+// parallel refinement path (I-Hilbert at Workers 4). Run with
+//
+//	go test -bench BenchmarkValueRange -benchmem
+//
+// and compare ns/op and B/op against the checked-in baseline. The dataset and
+// seeds are fixed so sub-benchmark names stay stable across PRs.
+func BenchmarkValueRange(b *testing.B) {
+	f, err := workload.Terrain(256, 4217)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vr := f.ValueRange()
+	for _, spec := range bench.ValueRangeSpecs() {
+		pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 1<<16)
+		idx, err := spec.Build(f, pager)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workerCounts := []int{1}
+		if _, ok := idx.(interface{ SetWorkers(int) }); ok {
+			workerCounts = append(workerCounts, 4)
+		}
+		for _, workers := range workerCounts {
+			if w, ok := idx.(interface{ SetWorkers(int) }); ok {
+				w.SetWorkers(workers)
+			}
+			for _, sel := range bench.Selectivities {
+				queries := workload.Queries(vr, sel, 64, 4217+int64(sel*1e6))
+				name := fmt.Sprintf("%s/sel=%.2f", spec.Label, sel)
+				if workers > 1 {
+					name += fmt.Sprintf("/workers=%d", workers)
+				}
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					var simNs, pages float64
+					for i := 0; i < b.N; i++ {
+						res, err := idx.Query(queries[i%len(queries)])
+						if err != nil {
+							b.Fatal(err)
+						}
+						simNs += float64(res.IO.SimElapsed.Nanoseconds())
+						pages += float64(res.IO.Reads)
+					}
+					b.ReportMetric(simNs/float64(b.N), "simns/op")
+					b.ReportMetric(pages/float64(b.N), "pages/op")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFig8a regenerates Figure 8a: terrain DEM, LinearScan vs I-All vs
 // I-Hilbert across Qinterval 0–0.1.
 func BenchmarkFig8a(b *testing.B) {

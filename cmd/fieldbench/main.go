@@ -35,6 +35,7 @@ func main() {
 		chart   = flag.Bool("chart", false, "render each figure as an ASCII bar chart")
 		metric  = flag.String("metric", "wall", "chart metric: wall | sim")
 		workers = flag.Int("workers", 0, "run the refinement-parallelism speedup table up to N workers and exit")
+		asJSON  = flag.Bool("json", false, "emit results as machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 
@@ -51,6 +52,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *asJSON {
+			emitJSON(rep)
+			return
 		}
 		fmt.Print(rep.Table())
 		return
@@ -89,6 +94,7 @@ func main() {
 		defer csv.Close()
 	}
 
+	var jsonReports []bench.ReportJSON
 	for _, exp := range exps {
 		if *queries > 0 {
 			exp.Queries = *queries
@@ -98,6 +104,16 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.Name, err)
 			os.Exit(1)
+		}
+		if *asJSON {
+			jsonReports = append(jsonReports, rep.JSON())
+			if csv != nil {
+				if _, err := csv.WriteString(rep.CSV()); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			continue
 		}
 		fmt.Println(rep.Table())
 		if *chart {
@@ -114,4 +130,18 @@ func main() {
 			}
 		}
 	}
+	if *asJSON {
+		emitJSON(jsonReports)
+	}
+}
+
+// emitJSON writes v as indented JSON on stdout, exiting non-zero on a
+// marshalling failure so scripts never mistake an error for output.
+func emitJSON(v any) {
+	b, err := bench.MarshalIndent(v)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(b)
 }

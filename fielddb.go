@@ -103,6 +103,12 @@ type Options struct {
 	// storage.NewPager's poolPages == 0, which PoolPages == 0 deliberately
 	// does not mean (it selects the 65536-page default above).
 	ColdCache bool
+	// PoolShards pins the buffer pool's shard count (rounded down to a
+	// power of two). 0 picks the storage default: sharded for large pools
+	// so concurrent queries touching different pages lock different
+	// shards, single-sharded for small ones. Sharding affects only lock
+	// contention — per-query I/O statistics are unchanged.
+	PoolShards int
 	// Workers bounds the worker pool that parallelizes index construction
 	// and the refinement step of value queries (one work unit per subfield
 	// cell run). 0 or 1 means sequential; results and per-query I/O stats
@@ -152,7 +158,7 @@ func Open(f Field, opts Options) (*DB, error) {
 	if opts.DiskModel != nil {
 		model = *opts.DiskModel
 	}
-	pager := storage.NewPager(storage.NewMemDisk(pageSize), model, pool)
+	pager := storage.NewPagerShards(storage.NewMemDisk(pageSize), model, pool, opts.PoolShards)
 
 	method := opts.Method
 	if method == "" {
@@ -203,7 +209,7 @@ func Open(f Field, opts Options) (*DB, error) {
 	}
 	// The spatial index gets its own pager so Q1 and Q2 accounting stay
 	// independent.
-	spPager := storage.NewPager(storage.NewMemDisk(pageSize), model, pool)
+	spPager := storage.NewPagerShards(storage.NewMemDisk(pageSize), model, pool, opts.PoolShards)
 	buildSpatial := func() (*core.SpatialIndex, error) {
 		return core.BuildSpatial(f, spPager, rstar.Params{PageSize: pageSize})
 	}

@@ -163,13 +163,14 @@ func (a *Auto) scanAll(q geom.Interval) (*Result, error) {
 	qc := a.part.pager.BeginQuery()
 	res := &Result{Query: q}
 	var c field.Cell
+	var cellErr error
 	err := a.part.heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
-		if err := field.DecodeCell(rec, &c); err != nil {
-			return false
-		}
-		estimateCell(res, &c, q)
-		return true
+		cellErr = estimateRecord(res, rec, &c, q)
+		return cellErr == nil
 	})
+	if err == nil {
+		err = cellErr
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -104,6 +104,33 @@ func estimateCell(res *Result, c *field.Cell, q geom.Interval) {
 	if !c.Interval().Intersects(q) {
 		return
 	}
+	estimateMatched(res, c, q)
+}
+
+// estimateRecord is estimateCell on an encoded record: the interval test
+// runs on the partial decode (value min/max only), and the full cell — the
+// vertex geometry the Band/Isolines step needs — is decoded into scratch
+// only for cells that survive it. Counters and answer geometry are
+// identical to decoding every record eagerly.
+func estimateRecord(res *Result, rec []byte, scratch *field.Cell, q geom.Interval) error {
+	iv, err := field.CellIntervalFromRecord(rec)
+	if err != nil {
+		return err
+	}
+	res.CellsFetched++
+	if !iv.Intersects(q) {
+		return nil
+	}
+	if err := field.DecodeCell(rec, scratch); err != nil {
+		return err
+	}
+	estimateMatched(res, scratch, q)
+	return nil
+}
+
+// estimateMatched computes the exact answer geometry of one cell whose
+// interval already matched the query.
+func estimateMatched(res *Result, c *field.Cell, q geom.Interval) {
 	res.CellsMatched++
 	if q.Length() == 0 {
 		res.Isolines = append(res.Isolines, field.Isolines(c, q.Lo)...)

@@ -74,16 +74,16 @@ func (ix *IPRow) Query(q geom.Interval) (*Result, error) {
 	})
 	res.CandidateGroups = len(candidates)
 	var c field.Cell
-	buf := make([]byte, ix.pager.PageSize())
+	var buf []byte
 	for _, id := range candidates {
 		rec, err := ix.heap.GetCtx(qc, ix.rids[id], buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching cell %d: %w", id, err)
 		}
-		if err := field.DecodeCell(rec, &c); err != nil {
+		buf = rec[:0]
+		if err := estimateRecord(res, rec, &c, q); err != nil {
 			return nil, err
 		}
-		estimateCell(res, &c, q)
 	}
 	res.IO = qc.Stats()
 	return res, nil

@@ -49,13 +49,14 @@ func (ls *LinearScan) Query(q geom.Interval) (*Result, error) {
 	qc := ls.pager.BeginQuery()
 	res := &Result{Query: q}
 	var c field.Cell
+	var cellErr error
 	err := ls.heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
-		if err := field.DecodeCell(rec, &c); err != nil {
-			return false
-		}
-		estimateCell(res, &c, q)
-		return true
+		cellErr = estimateRecord(res, rec, &c, q)
+		return cellErr == nil
 	})
+	if err == nil {
+		err = cellErr
+	}
 	if err != nil {
 		return nil, err
 	}

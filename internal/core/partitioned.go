@@ -355,17 +355,20 @@ func (p *Partitioned) mergeRuns(selected []int) []pageRun {
 	return merged
 }
 
-// scanRun reads one merged cell run through qc, folding each decoded cell
-// into res.
+// scanRun reads one merged cell run through qc, folding each cell into res.
+// The interval test runs on the partial decode; only matching cells are
+// decoded in full.
 func (p *Partitioned) scanRun(qc *storage.QueryCtx, r pageRun, q geom.Interval, res *Result) error {
 	var c field.Cell
-	return p.heap.ScanPagesCtx(qc, r.first, r.last, func(_ storage.RID, rec []byte) bool {
-		if err := field.DecodeCell(rec, &c); err != nil {
-			return false
-		}
-		estimateCell(res, &c, q)
-		return true
+	var cellErr error
+	err := p.heap.ScanPagesCtx(qc, r.first, r.last, func(_ storage.RID, rec []byte) bool {
+		cellErr = estimateRecord(res, rec, &c, q)
+		return cellErr == nil
 	})
+	if err != nil {
+		return err
+	}
+	return cellErr
 }
 
 // Query implements Index: Step 1 (filter) finds the subfields whose

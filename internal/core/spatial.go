@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
@@ -19,6 +20,17 @@ type SpatialIndex struct {
 	tree  *rstar.Tree
 	rids  []storage.RID
 	cells int
+
+	// scratch recycles one pointScratch per concurrent PointQuery, so the
+	// point-query hot path (a few candidate probes per call) allocates no
+	// per-call buffers in steady state.
+	scratch sync.Pool
+}
+
+// pointScratch is the reusable per-call state of PointQuery.
+type pointScratch struct {
+	buf        []byte
+	candidates []uint64
 }
 
 // BuildSpatial stores the cells (in Hilbert order, for locality) and indexes
@@ -70,21 +82,28 @@ func BuildSpatial(f field.Field, pager *storage.Pager, params rstar.Params) (*Sp
 func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error) {
 	qc := s.pager.BeginQuery()
 	query := rstar.Rect2D(pt.X, pt.X, pt.Y, pt.Y)
-	var candidates []uint64
+	ps, _ := s.scratch.Get().(*pointScratch)
+	if ps == nil {
+		ps = &pointScratch{}
+	}
+	defer func() {
+		ps.candidates = ps.candidates[:0]
+		s.scratch.Put(ps)
+	}()
 	err := s.tree.PagedSearchCtx(qc, query, func(e rstar.Entry) bool {
-		candidates = append(candidates, e.Data)
+		ps.candidates = append(ps.candidates, e.Data)
 		return true
 	})
 	if err != nil {
 		return 0, qc.Stats(), err
 	}
 	var c field.Cell
-	buf := make([]byte, s.pager.PageSize())
-	for _, id := range candidates {
-		rec, err := s.heap.GetCtx(qc, s.rids[id], buf)
+	for _, id := range ps.candidates {
+		rec, err := s.heap.GetCtx(qc, s.rids[id], ps.buf)
 		if err != nil {
 			return 0, qc.Stats(), err
 		}
+		ps.buf = rec[:0]
 		if err := field.DecodeCell(rec, &c); err != nil {
 			return 0, qc.Stats(), err
 		}

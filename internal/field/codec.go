@@ -39,6 +39,39 @@ func AppendCell(dst []byte, c *Cell) []byte {
 	return dst
 }
 
+// CellIntervalFromRecord extracts the value interval of an encoded cell —
+// the same min/max Cell.Interval computes — without materializing vertices.
+// The filter-only passes of the query pipeline use it to test a candidate
+// record against the query interval and decode the full cell only on a
+// match; a DEM workload at paper selectivities discards most fetched cells
+// here, so skipping the two coordinate floats per vertex (and the slice
+// bookkeeping of DecodeCell) on the discard path is the common case.
+func CellIntervalFromRecord(rec []byte) (geom.Interval, error) {
+	if len(rec) < 5 {
+		return geom.Interval{}, fmt.Errorf("field: cell record too short: %d bytes", len(rec))
+	}
+	k := int(rec[4])
+	if k != 3 && k != 4 {
+		return geom.Interval{}, fmt.Errorf("field: cell record has vertex count %d", k)
+	}
+	if want := EncodedSize(k); len(rec) != want {
+		return geom.Interval{}, fmt.Errorf("field: cell record is %d bytes, want %d", len(rec), want)
+	}
+	iv := geom.EmptyInterval()
+	off := 5 + 16 // first vertex's value
+	for i := 0; i < k; i++ {
+		w := math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+		if w < iv.Lo {
+			iv.Lo = w
+		}
+		if w > iv.Hi {
+			iv.Hi = w
+		}
+		off += 24
+	}
+	return iv, nil
+}
+
 // DecodeCell parses a record produced by AppendCell into dst, reusing its
 // slices when capacities allow.
 func DecodeCell(rec []byte, dst *Cell) error {

@@ -120,16 +120,147 @@ func (t *Tree) PagedSearch(query MBR, fn func(Entry) bool) error {
 
 // PagedSearchCtx is PagedSearch with the node-page reads charged to r — a
 // per-query execution context, so concurrent searches over one persisted
-// tree keep independent accounting.
+// tree keep independent accounting. Readers with the zero-copy PageViewer
+// capability (Pager and QueryCtx) take a copy-free path that also batches
+// contiguous leaf runs through one vectorized ReadRun; the node visit order
+// and the per-page charges are identical on both paths.
 func (t *Tree) PagedSearchCtx(r storage.PageReader, query MBR, fn func(Entry) bool) error {
 	if t.pager == nil {
 		return fmt.Errorf("rstar: tree not persisted")
+	}
+	if v, ok := r.(storage.PageViewer); ok {
+		rr, _ := r.(storage.RunReader)
+		_, err := t.viewSearchNode(v, rr, t.rootPage, query, fn)
+		return err
 	}
 	buf := make([]byte, r.PageSize())
 	_, err := t.pagedSearchNode(r, t.rootPage, query, fn, buf)
 	return err
 }
 
+// entryIntersects tests entry i's bounds on a node page image against query
+// without materializing an MBR — the comparisons are exactly MBR.Intersects.
+func (t *Tree) entryIntersects(page []byte, i int, query MBR) bool {
+	off := nodeHeaderSize + i*(16*t.dims+8)
+	for d := 0; d < t.dims; d++ {
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(page[off+16*d:]))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(page[off+16*d+8:]))
+		if lo > query[2*d+1] || query[2*d] > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// entryMBR decodes entry i's bounds from a node page image.
+func (t *Tree) entryMBR(page []byte, i int) MBR {
+	off := nodeHeaderSize + i*(16*t.dims+8)
+	m := make(MBR, 2*t.dims)
+	for j := range m {
+		m[j] = math.Float64frombits(binary.LittleEndian.Uint64(page[off+8*j:]))
+	}
+	return m
+}
+
+// entryRef returns entry i's child page id (inner nodes) or payload (leaves).
+func (t *Tree) entryRef(page []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(page[nodeHeaderSize+i*(16*t.dims+8)+16*t.dims:])
+}
+
+// searchLeafPage visits the matching entries of one leaf page image in slot
+// order; false means fn stopped the search.
+func (t *Tree) searchLeafPage(page []byte, query MBR, fn func(Entry) bool) bool {
+	count := int(binary.LittleEndian.Uint16(page[2:4]))
+	for i := 0; i < count; i++ {
+		if !t.entryIntersects(page, i, query) {
+			continue
+		}
+		if !fn(Entry{MBR: t.entryMBR(page, i), Data: t.entryRef(page, i)}) {
+			return false
+		}
+	}
+	return true
+}
+
+// viewSearchNode is the zero-copy search: the node's immutable frame stays
+// pinned while its children are visited, so matches need no collection pass
+// and entry bounds are tested in place. At level 1, matching leaf children
+// on consecutive pages — depth-first persistence puts the leaves under one
+// parent there — are fetched as one vectorized run.
+func (t *Tree) viewSearchNode(v storage.PageViewer, rr storage.RunReader, id storage.PageID, query MBR, fn func(Entry) bool) (bool, error) {
+	f, err := v.ViewPage(id)
+	if err != nil {
+		return false, err
+	}
+	defer f.Release()
+	page := f.Data()
+	level := int(binary.LittleEndian.Uint16(page[0:2]))
+	count := int(binary.LittleEndian.Uint16(page[2:4]))
+	if level == 0 {
+		return t.searchLeafPage(page, query, fn), nil
+	}
+	if level == 1 {
+		kids := make([]storage.PageID, 0, count)
+		for i := 0; i < count; i++ {
+			if t.entryIntersects(page, i, query) {
+				kids = append(kids, storage.PageID(t.entryRef(page, i)))
+			}
+		}
+		return t.searchLeafRuns(v, rr, kids, query, fn)
+	}
+	for i := 0; i < count; i++ {
+		if !t.entryIntersects(page, i, query) {
+			continue
+		}
+		cont, err := t.viewSearchNode(v, rr, storage.PageID(t.entryRef(page, i)), query, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// searchLeafRuns visits the given leaf pages in order, batching each maximal
+// run of consecutive page ids through ReadRun. The visit order and per-page
+// charges are identical to reading the leaves one by one; only the pool and
+// disk interactions are batched.
+func (t *Tree) searchLeafRuns(v storage.PageViewer, rr storage.RunReader, kids []storage.PageID, query MBR, fn func(Entry) bool) (bool, error) {
+	for i := 0; i < len(kids); {
+		j := i + 1
+		for j < len(kids) && kids[j] == kids[j-1]+1 {
+			j++
+		}
+		if rr != nil && j-i > 1 {
+			cont := true
+			if err := rr.ReadRun(kids[i], kids[j-1], func(_ storage.PageID, page []byte) bool {
+				cont = t.searchLeafPage(page, query, fn)
+				return cont
+			}); err != nil {
+				return false, err
+			}
+			if !cont {
+				return false, nil
+			}
+		} else {
+			for k := i; k < j; k++ {
+				f, err := v.ViewPage(kids[k])
+				if err != nil {
+					return false, err
+				}
+				cont := t.searchLeafPage(f.Data(), query, fn)
+				f.Release()
+				if !cont {
+					return false, nil
+				}
+			}
+		}
+		i = j
+	}
+	return true, nil
+}
+
+// pagedSearchNode is the copying fallback for readers without zero-copy
+// views.
 func (t *Tree) pagedSearchNode(r storage.PageReader, id storage.PageID, query MBR, fn func(Entry) bool, buf []byte) (bool, error) {
 	if err := r.ReadPage(id, buf); err != nil {
 		return false, err

@@ -48,6 +48,17 @@ type Disk interface {
 	Close() error
 }
 
+// RunDisk is an optional Disk capability: reading a contiguous run of pages
+// with one lock acquisition instead of one per page. It is deliberately not
+// part of the Disk interface — wrappers that embed a Disk (fault injectors,
+// tracing shims) stay correct because the Pager type-asserts the concrete
+// disk and falls back to per-page ReadPage when the capability is absent.
+type RunDisk interface {
+	// ReadRun copies pages first..first+len(bufs)-1 into bufs, each of
+	// which must be PageSize() long.
+	ReadRun(first PageID, bufs [][]byte) error
+}
+
 // MemDisk is an in-memory Disk. It is the default substrate for experiments:
 // real I/O latency is replaced by the Pager's simulated clock, which makes
 // runs reproducible on any machine.
@@ -83,6 +94,19 @@ func (d *MemDisk) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, len(d.pages))
 	}
 	copy(buf, d.pages[id])
+	return nil
+}
+
+// ReadRun implements RunDisk under a single RLock.
+func (d *MemDisk) ReadRun(first PageID, bufs [][]byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if n := int(first) + len(bufs); n > len(d.pages) {
+		return fmt.Errorf("%w: read run %d+%d of %d", ErrPageOutOfRange, first, len(bufs), len(d.pages))
+	}
+	for i, buf := range bufs {
+		copy(buf, d.pages[first+PageID(i)])
+	}
 	return nil
 }
 
@@ -162,6 +186,24 @@ func (d *FileDisk) ReadPage(id PageID, buf []byte) error {
 	return nil
 }
 
+// ReadRun implements RunDisk: one lock acquisition and one positioned read
+// per page of the run.
+func (d *FileDisk) ReadRun(first PageID, bufs [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := int(first) + len(bufs); n > d.numPages {
+		return fmt.Errorf("%w: read run %d+%d of %d", ErrPageOutOfRange, first, len(bufs), d.numPages)
+	}
+	for i, buf := range bufs {
+		id := first + PageID(i)
+		_, err := d.f.ReadAt(buf[:d.pageSize], int64(id)*int64(d.pageSize))
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("storage: read page %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
 // WritePage implements Disk.
 func (d *FileDisk) WritePage(id PageID, buf []byte) error {
 	d.mu.Lock()
@@ -190,3 +232,8 @@ func (d *FileDisk) Alloc() (PageID, error) {
 
 // Close implements Disk.
 func (d *FileDisk) Close() error { return d.f.Close() }
+
+var (
+	_ RunDisk = (*MemDisk)(nil)
+	_ RunDisk = (*FileDisk)(nil)
+)

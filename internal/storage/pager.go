@@ -83,7 +83,8 @@ func (s Stats) String() string {
 // PageReader is the read side of the paged store. Two implementations exist:
 // *Pager, which charges its own pager-level accounting (build paths, legacy
 // single-threaded use), and *QueryCtx, which charges a per-query execution
-// context and is the unit of concurrency for the query pipeline.
+// context and is the unit of concurrency for the query pipeline. Both also
+// implement the zero-copy PageViewer and vectorized RunReader capabilities.
 type PageReader interface {
 	// PageSize returns the fixed page size in bytes.
 	PageSize() int
@@ -91,79 +92,33 @@ type PageReader interface {
 	ReadPage(id PageID, buf []byte) error
 }
 
-// pagePool is the shared LRU buffer pool of a Pager. It has its own mutex so
-// concurrent QueryCtx readers can share cached page data without serializing
-// on the accounting lock.
-type pagePool struct {
-	mu     sync.Mutex
-	size   int
-	lru    *list.List               // front = most recently used; values are *frame
-	frames map[PageID]*list.Element // page id -> element in lru
+// PageViewer is the zero-copy capability of a PageReader: ViewPage hands back
+// a shared immutable frame instead of copying the page into a caller buffer.
+// The caller must Release the frame when done; the charge to the reader's
+// accounting is identical to ReadPage.
+type PageViewer interface {
+	ViewPage(id PageID) (*Frame, error)
 }
 
-type frame struct {
-	id   PageID
-	data []byte
+// RunReader is the vectorized capability of a PageReader: ReadRun visits the
+// contiguous page range [first, last] in order with batched pool interaction
+// and at most one disk call per missing sub-run, while charging each page
+// exactly as the equivalent ReadPage loop would (first page random,
+// successors sequential; within-query revisits as cache hits). fn receives
+// each page image, valid only during the call; returning false stops the run
+// and leaves the remaining pages unread and uncharged.
+type RunReader interface {
+	ReadRun(first, last PageID, fn func(id PageID, page []byte) bool) error
 }
 
-func newPagePool(size int) *pagePool {
-	return &pagePool{size: size, lru: list.New(), frames: make(map[PageID]*list.Element)}
-}
-
-// get copies page id into buf and reports whether it was resident.
-func (pp *pagePool) get(id PageID, buf []byte) bool {
-	pp.mu.Lock()
-	defer pp.mu.Unlock()
-	el, ok := pp.frames[id]
-	if !ok {
-		return false
-	}
-	pp.lru.MoveToFront(el)
-	copy(buf, el.Value.(*frame).data)
-	return true
-}
-
-// put inserts a copy of buf, evicting least-recently-used frames as needed.
-func (pp *pagePool) put(id PageID, buf []byte) {
-	pp.mu.Lock()
-	defer pp.mu.Unlock()
-	if el, ok := pp.frames[id]; ok {
-		copy(el.Value.(*frame).data, buf)
-		pp.lru.MoveToFront(el)
-		return
-	}
-	for pp.lru.Len() >= pp.size {
-		back := pp.lru.Back()
-		pp.lru.Remove(back)
-		delete(pp.frames, back.Value.(*frame).id)
-	}
-	data := make([]byte, len(buf))
-	copy(data, buf)
-	pp.frames[id] = pp.lru.PushFront(&frame{id: id, data: data})
-}
-
-// update refreshes an already-resident page after a write; absent pages are
-// not inserted (writes happen during build, before the measured query phase).
-func (pp *pagePool) update(id PageID, buf []byte) {
-	pp.mu.Lock()
-	defer pp.mu.Unlock()
-	if el, ok := pp.frames[id]; ok {
-		copy(el.Value.(*frame).data, buf)
-	}
-}
-
-// drop empties the pool.
-func (pp *pagePool) drop() {
-	pp.mu.Lock()
-	defer pp.mu.Unlock()
-	pp.lru.Init()
-	pp.frames = make(map[PageID]*list.Element)
-}
+// runChunkPages bounds how many frames a ReadRun pins at once, so an
+// arbitrarily long run uses bounded memory.
+const runChunkPages = 64
 
 // Pager mediates all page access, charging the simulated disk clock and
-// optionally caching pages in a shared LRU buffer pool. A pool size of zero —
-// the cold-cache setting of the paper's experiments — disables caching so
-// every page access hits the disk.
+// optionally caching pages in a shared sharded buffer pool. A pool size of
+// zero — the cold-cache setting of the paper's experiments — disables caching
+// so every page access hits the disk.
 //
 // The Pager is safe for concurrent use. Shared state is limited to the disk,
 // the buffer pool, and the cumulative Stats totals; everything per-query
@@ -172,9 +127,11 @@ func (pp *pagePool) drop() {
 // accounting.
 type Pager struct {
 	disk     Disk
+	rdisk    RunDisk // disk's optional vectorized read capability, or nil
 	model    DiskModel
 	poolSize int
-	pool     *pagePool // nil when poolSize == 0
+	pool     *shardedPool // nil when poolSize == 0
+	bufs     *bufPool     // page buffer freelist shared with the pool's frames
 
 	mu       sync.Mutex // guards stats and lastPage
 	stats    Stats
@@ -183,8 +140,19 @@ type Pager struct {
 
 // NewPager wraps disk with accounting under the given cost model.
 // poolSize is the number of pages the buffer pool may hold; zero disables
-// caching entirely.
+// caching entirely. The pool shard count is chosen automatically — see
+// NewPagerShards to pin it.
 func NewPager(disk Disk, model DiskModel, poolSize int) *Pager {
+	return NewPagerShards(disk, model, poolSize, 0)
+}
+
+// NewPagerShards is NewPager with an explicit buffer-pool shard count,
+// rounded down to a power of two and clamped so every shard holds at least
+// one page. A shard count of zero picks the default: a single shard for
+// pools under minShardedPoolSize pages — tiny pools keep the exact global
+// LRU eviction order of the original single-mutex pool — and poolShards
+// otherwise.
+func NewPagerShards(disk Disk, model DiskModel, poolSize, shards int) *Pager {
 	if poolSize < 0 {
 		poolSize = 0
 	}
@@ -192,10 +160,12 @@ func NewPager(disk Disk, model DiskModel, poolSize int) *Pager {
 		disk:     disk,
 		model:    model,
 		poolSize: poolSize,
+		bufs:     newBufPool(disk.PageSize()),
 		lastPage: InvalidPage,
 	}
+	p.rdisk, _ = disk.(RunDisk)
 	if poolSize > 0 {
-		p.pool = newPagePool(poolSize)
+		p.pool = newShardedPool(poolSize, shards, p.bufs)
 	}
 	return p
 }
@@ -209,6 +179,15 @@ func (p *Pager) NumPages() int { return p.disk.NumPages() }
 // PoolPages returns the buffer pool capacity the pager was created with.
 func (p *Pager) PoolPages() int { return p.poolSize }
 
+// PoolShards returns the number of independently locked buffer-pool shards
+// (zero when the pool is disabled).
+func (p *Pager) PoolShards() int {
+	if p.pool == nil {
+		return 0
+	}
+	return len(p.pool.shards)
+}
+
 // readThrough copies page id into buf from the shared pool or, on a miss,
 // from the disk (populating the pool). It moves data only — no accounting.
 func (p *Pager) readThrough(id PageID, buf []byte) (cached bool, err error) {
@@ -219,9 +198,142 @@ func (p *Pager) readThrough(id PageID, buf []byte) (cached bool, err error) {
 		return false, err
 	}
 	if p.pool != nil {
-		p.pool.put(id, buf)
+		data := p.bufs.get()
+		copy(data, buf)
+		p.pool.insert(id, data).Release()
 	}
 	return false, nil
+}
+
+// viewThrough returns a retained frame for page id from the shared pool or,
+// on a miss, from the disk (populating the pool). Data movement only — no
+// accounting.
+func (p *Pager) viewThrough(id PageID) (f *Frame, cached bool, err error) {
+	if p.pool != nil {
+		if f := p.pool.view(id); f != nil {
+			return f, true, nil
+		}
+	}
+	data := p.bufs.get()
+	if err := p.disk.ReadPage(id, data); err != nil {
+		p.bufs.put(data)
+		return nil, false, err
+	}
+	if p.pool != nil {
+		return p.pool.insert(id, data), false, nil
+	}
+	return newFrame(id, data, p.bufs), false, nil
+}
+
+// viewRunThrough fills frames with retained frames for the pages
+// first..first+len(frames)-1: resident pages come from one batched pool
+// probe, and each maximal missing sub-run is fetched with a single
+// vectorized disk read. cached[i] reports pool residency at probe time. On
+// error all frames are released and frames is left nil-filled.
+func (p *Pager) viewRunThrough(first PageID, frames []*Frame, cached []bool) error {
+	n := len(frames)
+	for i := 0; i < n; i++ {
+		frames[i] = nil
+		cached[i] = false
+	}
+	if p.pool != nil {
+		p.pool.viewRun(first, frames)
+	}
+	for i := 0; i < n; {
+		if frames[i] != nil {
+			cached[i] = true
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && frames[j] == nil {
+			j++
+		}
+		if err := p.fetchRun(first+PageID(i), frames[i:j]); err != nil {
+			for k := 0; k < n; k++ {
+				if frames[k] != nil {
+					frames[k].Release()
+					frames[k] = nil
+				}
+			}
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// fetchRun reads len(frames) consecutive pages starting at first from disk —
+// one vectorized call when the disk supports RunDisk — and registers them
+// with the pool.
+func (p *Pager) fetchRun(first PageID, frames []*Frame) error {
+	n := len(frames)
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = p.bufs.get()
+	}
+	var err error
+	if p.rdisk != nil && n > 1 {
+		err = p.rdisk.ReadRun(first, bufs)
+	} else {
+		for i := range bufs {
+			if err = p.disk.ReadPage(first+PageID(i), bufs[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		for _, b := range bufs {
+			p.bufs.put(b)
+		}
+		return err
+	}
+	for i := range bufs {
+		id := first + PageID(i)
+		if p.pool != nil {
+			frames[i] = p.pool.insert(id, bufs[i])
+		} else {
+			frames[i] = newFrame(id, bufs[i], p.bufs)
+		}
+	}
+	return nil
+}
+
+// readRunChunks drives a ReadRun over [first, last] in chunks of at most
+// runChunkPages: view-or-fetch a chunk, then walk it in page order charging
+// each page through charge before handing its image to fn. An early stop by
+// fn leaves the remaining pages uncharged — exactly like breaking out of a
+// per-page ReadPage loop.
+func (p *Pager) readRunChunks(first, last PageID, charge func(id PageID, cached bool), fn func(id PageID, page []byte) bool) error {
+	if first > last {
+		return nil
+	}
+	var frames [runChunkPages]*Frame
+	var cached [runChunkPages]bool
+	for start := first; ; start += runChunkPages {
+		n := int(last-start) + 1
+		if n > runChunkPages {
+			n = runChunkPages
+		}
+		if err := p.viewRunThrough(start, frames[:n], cached[:n]); err != nil {
+			return err
+		}
+		stop := false
+		for i := 0; i < n; i++ {
+			if !stop {
+				id := start + PageID(i)
+				charge(id, cached[i])
+				if !fn(id, frames[i].Data()) {
+					stop = true
+				}
+			}
+			frames[i].Release()
+			frames[i] = nil
+		}
+		if stop || start+PageID(n-1) == last {
+			return nil
+		}
+	}
 }
 
 // addStats folds one query context's activity into the cumulative totals,
@@ -241,14 +353,35 @@ func (p *Pager) ReadPage(id PageID, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	p.chargeRead(id, cached)
+	return nil
+}
+
+// ViewPage implements PageViewer with the same pager-level accounting as
+// ReadPage; the caller must Release the returned frame.
+func (p *Pager) ViewPage(id PageID) (*Frame, error) {
+	f, cached, err := p.viewThrough(id)
+	if err != nil {
+		return nil, err
+	}
+	p.chargeRead(id, cached)
+	return f, nil
+}
+
+// ReadRun implements RunReader with pager-level accounting.
+func (p *Pager) ReadRun(first, last PageID, fn func(id PageID, page []byte) bool) error {
+	return p.readRunChunks(first, last, p.chargeRead, fn)
+}
+
+// chargeRead charges one page access to the pager-level accounting.
+func (p *Pager) chargeRead(id PageID, cached bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if cached {
 		p.stats.CacheHits++
-		return nil
+	} else {
+		p.charge(id)
 	}
-	p.charge(id)
-	return nil
+	p.mu.Unlock()
 }
 
 // charge updates counters and the simulated clock for a disk read of page id.
@@ -393,18 +526,47 @@ func (qc *QueryCtx) Model() DiskModel { return qc.pager.model }
 // random disk read otherwise — goes to this query's private accounting,
 // published to the pager's cumulative totals when Stats is called.
 func (qc *QueryCtx) ReadPage(id PageID, buf []byte) error {
+	if _, err := qc.pager.readThrough(id, buf); err != nil {
+		return err
+	}
+	qc.chargeRead(id)
+	return nil
+}
+
+// ViewPage implements PageViewer: a zero-copy shared frame, with the access
+// charged to this query's private accounting exactly like ReadPage. The
+// caller must Release the frame.
+func (qc *QueryCtx) ViewPage(id PageID) (*Frame, error) {
+	f, _, err := qc.pager.viewThrough(id)
+	if err != nil {
+		return nil, err
+	}
+	qc.chargeRead(id)
+	return f, nil
+}
+
+// ReadRun implements RunReader. Whatever the batching does at the pool and
+// disk layers, each page is charged through chargeRead in page order, so the
+// per-query accounting is byte-identical to the equivalent ReadPage loop.
+func (qc *QueryCtx) ReadRun(first, last PageID, fn func(id PageID, page []byte) bool) error {
+	return qc.pager.readRunChunks(first, last, func(id PageID, _ bool) {
+		qc.chargeRead(id)
+	}, fn)
+}
+
+// chargeRead charges one page access to this query's private accounting:
+// cache hit on a within-query revisit, sequential or random disk read
+// otherwise. The charge depends only on this context's own history (seen set
+// and sequential clock), never on shared pool residency — that is what keeps
+// per-query accounting independent of how many queries run concurrently and
+// of how the bytes were obtained (copy, view, or run batch).
+func (qc *QueryCtx) chargeRead(id PageID) {
 	if qc.seen != nil {
 		if el, ok := qc.seen[id]; ok {
 			qc.lru.MoveToFront(el)
-			if _, err := qc.pager.readThrough(id, buf); err != nil {
-				return err
-			}
 			qc.stats.CacheHits++
-			return nil
+			return
 		}
-	}
-	if _, err := qc.pager.readThrough(id, buf); err != nil {
-		return err
 	}
 	qc.stats.Reads++
 	if qc.lastPage != InvalidPage && id == qc.lastPage+1 {
@@ -416,7 +578,6 @@ func (qc *QueryCtx) ReadPage(id PageID, buf []byte) error {
 	}
 	qc.lastPage = id
 	qc.note(id)
-	return nil
 }
 
 // note records id in the private pool view, evicting in LRU order at the
@@ -464,4 +625,8 @@ func (qc *QueryCtx) Merge(child *QueryCtx) {
 var (
 	_ PageReader = (*Pager)(nil)
 	_ PageReader = (*QueryCtx)(nil)
+	_ PageViewer = (*Pager)(nil)
+	_ PageViewer = (*QueryCtx)(nil)
+	_ RunReader  = (*Pager)(nil)
+	_ RunReader  = (*QueryCtx)(nil)
 )
