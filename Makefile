@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-parallel bench-smoke
+.PHONY: check build vet test race cover bench-parallel bench-smoke
 
-check: build vet race bench-smoke
+check: build vet race cover bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-mode coverage over the observability layer and the facade, with
+# per-package floors: internal/obs is small and fully unit-testable (85%),
+# the facade carries the error-path and cancellation tables (70%).
+cover:
+	$(GO) test -race -coverprofile=cover-obs.out ./internal/obs | \
+		awk '{ print } /coverage:/ { if ($$5+0 < 85.0) { print "internal/obs coverage below 85%"; exit 1 } }'
+	$(GO) test -race -coverprofile=cover-facade.out . | \
+		awk '{ print } /coverage:/ { if ($$5+0 < 70.0) { print "facade coverage below 70%"; exit 1 } }'
+	@rm -f cover-obs.out cover-facade.out
 
 # Refinement-parallelism speedup table (cmd/fieldbench -workers).
 bench-parallel:

@@ -36,8 +36,21 @@ func main() {
 		metric  = flag.String("metric", "wall", "chart metric: wall | sim")
 		workers = flag.Int("workers", 0, "run the refinement-parallelism speedup table up to N workers and exit")
 		asJSON  = flag.Bool("json", false, "emit results as machine-readable JSON instead of tables")
+		metrics = flag.Bool("metrics", false, "run a mixed demo workload and dump the engine metrics registry")
 	)
 	flag.Parse()
+
+	if *metrics {
+		side, nq := 128, 16
+		if *full {
+			side, nq = 512, 64
+		}
+		if *queries > 0 {
+			nq = *queries
+		}
+		runMetricsDemo(side, nq, *asJSON)
+		return
+	}
 
 	if *workers > 0 {
 		side := 256

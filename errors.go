@@ -1,0 +1,27 @@
+package fielddb
+
+import "errors"
+
+// Typed sentinel errors of the facade. Returned errors wrap these (often with
+// the offending values appended), so callers branch with errors.Is instead of
+// matching message strings:
+//
+//	if errors.Is(err, fielddb.ErrInvertedInterval) { ... }
+var (
+	// ErrInvertedInterval reports a value interval with hi < lo. Every query
+	// path validates its interval against it before touching an index.
+	ErrInvertedInterval = errors.New("fielddb: inverted interval")
+	// ErrUnknownMethod reports an Options.Method the facade doesn't know.
+	ErrUnknownMethod = errors.New("fielddb: unknown method")
+	// ErrNoPartition reports an operation that needs a partition-based value
+	// index — subfield summaries (ApproxValueQuery, Subfields) or the on-disk
+	// format (SaveIndex) — on a method without one (LinearScan, I-All).
+	ErrNoPartition = errors.New("fielddb: no subfield partition")
+	// ErrClosed reports a query or save against a DB or StoredIndex after
+	// Close.
+	ErrClosed = errors.New("fielddb: database is closed")
+	// ErrBadConjunction reports an And call whose arguments cannot form a
+	// conjunctive query: no conditions, mismatched slice lengths, or a nil
+	// *DB element.
+	ErrBadConjunction = errors.New("fielddb: invalid conjunctive query")
+)

@@ -28,14 +28,19 @@
 package fielddb
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fielddb/internal/contour"
 	"fielddb/internal/core"
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
 	"fielddb/internal/grid"
+	"fielddb/internal/obs"
 	"fielddb/internal/rstar"
 	"fielddb/internal/sfc"
 	"fielddb/internal/storage"
@@ -67,6 +72,33 @@ type (
 	// CellID identifies a cell within a field.
 	CellID = field.CellID
 )
+
+// Re-exported observability types (internal/obs), so applications install
+// tracers and read metrics without importing internal packages.
+type (
+	// Tracer receives one QueryTrace per finished query. Implementations
+	// must be safe for concurrent use.
+	Tracer = obs.Tracer
+	// TracerFunc adapts a function to the Tracer interface.
+	TracerFunc = obs.TracerFunc
+	// QueryTrace is the record of one finished query: its phase spans and
+	// the page counts of each, summing to the query's Result.IO.
+	QueryTrace = obs.QueryTrace
+	// Span is one phase of one query.
+	Span = obs.Span
+	// Phase names a query pipeline stage (plan, filter, refine, decode,
+	// contour-assemble).
+	Phase = obs.Phase
+	// TraceCollector is a ring-buffer Tracer retaining the most recent
+	// traces.
+	TraceCollector = obs.Collector
+	// MetricsSnapshot is a point-in-time copy of the engine's cumulative
+	// metrics registry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewTraceCollector returns a Tracer that retains the last n traces.
+func NewTraceCollector(n int) *TraceCollector { return obs.NewCollector(n) }
 
 // Subfield describes one subfield of a partition-based value index: its
 // value interval and member cells in physical storage order.
@@ -125,19 +157,35 @@ type Options struct {
 	Curve string
 	// DiskModel overrides the simulated disk cost model.
 	DiskModel *storage.DiskModel
+	// Tracer, when set, receives one QueryTrace per finished query (value,
+	// point, approximate, and contour-assembly alike). Nil — the default —
+	// disables tracing entirely; the nil-tracer path adds no allocations to
+	// the query pipeline. See also DB.SetTracer.
+	Tracer Tracer
 }
 
 // DB is an opened continuous-field database: one field, one value index,
-// and one spatial index, sharing a paged store.
+// and one spatial index, each on its own paged store.
 type DB struct {
 	field   Field
 	index   core.Index
 	spatial *core.SpatialIndex
-	pager   *storage.Pager
+	pager   *storage.Pager // value index store
+	spPager *storage.Pager // spatial index store
+	tracer  obs.Tracer
+	metrics *obs.Metrics
+	closed  atomic.Bool
 }
 
 // Open builds the value and spatial indexes for f.
 func Open(f Field, opts Options) (*DB, error) {
+	return OpenContext(context.Background(), f, opts)
+}
+
+// OpenContext is Open with construction cancellation: ctx is polled between
+// cell-write batches and between per-subfield metadata work units, so a
+// canceled open abandons the build and returns ctx's error.
+func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 	if f == nil {
 		return nil, fmt.Errorf("fielddb: nil field")
 	}
@@ -175,21 +223,21 @@ func Open(f Field, opts Options) (*DB, error) {
 	switch method {
 	case Auto, LinearScan, IAll, IHilbert, IQuad:
 	default:
-		return nil, fmt.Errorf("fielddb: unknown method %q", method)
+		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, method)
 	}
 	cost := subfield.CostModel{Epsilon: opts.CostEpsilon}
 	buildValue := func() (core.Index, error) {
 		switch method {
 		case Auto:
-			return core.BuildAuto(f, pager, core.AutoOptions{
+			return core.BuildAutoCtx(ctx, f, pager, core.AutoOptions{
 				Hilbert: core.HilbertOptions{Curve: curve, Cost: cost, Workers: opts.Workers},
 			})
 		case LinearScan:
-			return core.BuildLinearScan(f, pager)
+			return core.BuildLinearScanCtx(ctx, f, pager)
 		case IAll:
-			return core.BuildIAll(f, pager, core.IAllOptions{})
+			return core.BuildIAllCtx(ctx, f, pager, core.IAllOptions{})
 		case IHilbert:
-			return core.BuildIHilbert(f, pager, core.HilbertOptions{
+			return core.BuildIHilbertCtx(ctx, f, pager, core.HilbertOptions{
 				Curve: curve, Cost: cost, Workers: opts.Workers,
 			})
 		case IQuad:
@@ -198,7 +246,7 @@ func Open(f Field, opts Options) (*DB, error) {
 				frac = 1.0 / 16
 			}
 			vr := f.ValueRange()
-			return core.BuildIQuad(f, pager, core.ThresholdOptions{
+			return core.BuildIQuadCtx(ctx, f, pager, core.ThresholdOptions{
 				MaxSize: vr.Length()*frac + 1,
 				Cost:    cost,
 				Workers: opts.Workers,
@@ -211,7 +259,7 @@ func Open(f Field, opts Options) (*DB, error) {
 	// independent.
 	spPager := storage.NewPagerShards(storage.NewMemDisk(pageSize), model, pool, opts.PoolShards)
 	buildSpatial := func() (*core.SpatialIndex, error) {
-		return core.BuildSpatial(f, spPager, rstar.Params{PageSize: pageSize})
+		return core.BuildSpatialCtx(ctx, f, spPager, rstar.Params{PageSize: pageSize})
 	}
 
 	var (
@@ -243,7 +291,53 @@ func Open(f Field, opts Options) (*DB, error) {
 	if spErr != nil {
 		return nil, fmt.Errorf("fielddb: spatial index: %w", spErr)
 	}
-	return &DB{field: f, index: idx, spatial: sp, pager: pager}, nil
+	db := &DB{
+		field: f, index: idx, spatial: sp,
+		pager: pager, spPager: spPager,
+		tracer:  opts.Tracer,
+		metrics: obs.NewMetrics(),
+	}
+	db.installObservers()
+	return db, nil
+}
+
+// installObservers (re)installs the trace/metrics sinks on both indexes.
+func (db *DB) installObservers() {
+	ob := obs.Observer{Tracer: db.tracer, Metrics: db.metrics}
+	if o, ok := db.index.(interface{ SetObserver(obs.Observer) }); ok {
+		o.SetObserver(ob)
+	}
+	db.spatial.SetObserver(ob)
+}
+
+// SetTracer installs (or, with nil, removes) the per-query tracer. Like
+// SetWorkers it is safe only between queries, not while queries run.
+func (db *DB) SetTracer(t Tracer) {
+	db.tracer = t
+	db.installObservers()
+}
+
+// Close marks the database closed and releases both stores (a no-op for the
+// in-memory disks Open builds on, but it makes the lifecycle explicit and
+// fails subsequent queries fast). Close is idempotent; it does not wait for
+// in-flight queries. Queries after Close return ErrClosed.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := db.pager.Close()
+	if spErr := db.spPager.Close(); err == nil {
+		err = spErr
+	}
+	return err
+}
+
+// checkOpen guards every query path against use after Close.
+func (db *DB) checkOpen() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Field returns the underlying field.
@@ -259,7 +353,9 @@ func (db *DB) Stats() IndexStats { return db.index.Stats() }
 // intervals; every facade query path calls it before touching an index.
 func checkInterval(lo, hi float64) error {
 	if hi < lo {
-		return fmt.Errorf("fielddb: inverted interval [%g, %g]", lo, hi)
+		// Wrapping keeps the message byte-compatible with the pre-sentinel
+		// facade while letting callers branch with errors.Is.
+		return fmt.Errorf("%w [%g, %g]", ErrInvertedInterval, lo, hi)
 	}
 	return nil
 }
@@ -276,10 +372,25 @@ func (db *DB) SetWorkers(n int) {
 // regions where the field's value lies in [lo, hi]. With lo == hi the answer
 // geometry is returned as isolines. Safe for concurrent use.
 func (db *DB) ValueQuery(lo, hi float64) (*Result, error) {
+	return db.ValueQueryContext(context.Background(), lo, hi)
+}
+
+// ValueQueryContext is ValueQuery with cancellation: ctx is polled between
+// subfield cell runs (and, under Workers > 1, between refinement work units),
+// so a canceled query stops mid-refinement and returns ctx's error. Safe for
+// concurrent use.
+func (db *DB) ValueQueryContext(ctx context.Context, lo, hi float64) (*Result, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	if err := checkInterval(lo, hi); err != nil {
 		return nil, err
 	}
-	return db.index.Query(geom.Interval{Lo: lo, Hi: hi})
+	q := geom.Interval{Lo: lo, Hi: hi}
+	if cq, ok := db.index.(core.ContextQuerier); ok {
+		return cq.QueryContext(ctx, q)
+	}
+	return db.index.Query(q)
 }
 
 // ValueAbove answers "where is the value at least lo" (the urban noise
@@ -303,6 +414,14 @@ type ApproxResult = core.ApproxResult
 // cells and a summary average, at filter-step cost. Only partition-based
 // methods support it.
 func (db *DB) ApproxValueQuery(lo, hi float64) (*ApproxResult, error) {
+	return db.ApproxValueQueryContext(context.Background(), lo, hi)
+}
+
+// ApproxValueQueryContext is ApproxValueQuery with cancellation.
+func (db *DB) ApproxValueQueryContext(ctx context.Context, lo, hi float64) (*ApproxResult, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	// Validate the interval first: a bad interval is a bad interval no
 	// matter which method is in use, so the caller gets the same error
 	// ValueQuery would give instead of a method-capability complaint.
@@ -311,9 +430,9 @@ func (db *DB) ApproxValueQuery(lo, hi float64) (*ApproxResult, error) {
 	}
 	p, ok := db.index.(*core.Partitioned)
 	if !ok {
-		return nil, fmt.Errorf("fielddb: method %s has no subfield summaries", db.Method())
+		return nil, fmt.Errorf("%w: method %s has no subfield summaries", ErrNoPartition, db.Method())
 	}
-	return p.ApproxQuery(geom.Interval{Lo: lo, Hi: hi})
+	return p.ApproxQueryContext(ctx, geom.Interval{Lo: lo, Hi: hi})
 }
 
 // Polyline is a connected isoline chain; closed contours repeat their first
@@ -331,12 +450,32 @@ type ContourResult struct {
 // per-cell isoline segments into connected polylines, and reports the
 // query's own I/O statistics.
 func (db *DB) ContourMap(level float64) (*ContourResult, error) {
-	res, err := db.ValueQuery(level, level)
+	return db.ContourMapContext(context.Background(), level)
+}
+
+// ContourMapContext is ContourMap with cancellation of the underlying value
+// query. The assembly stage emits its own trace (kind "contour", one
+// contour-assemble span reading no pages) so a tracer sees both the query and
+// the post-processing it paid for.
+func (db *DB) ContourMapContext(ctx context.Context, level float64) (*ContourResult, error) {
+	res, err := db.ValueQueryContext(ctx, level, level)
 	if err != nil {
 		return nil, err
 	}
+	var start time.Time
+	if db.metrics != nil {
+		start = time.Now()
+	}
+	tb := obs.Begin(db.tracer, string(db.Method()), obs.KindContour, level, level)
+	tb.BeginSpan(obs.PhaseContour, obs.PageCounts{})
+	polylines := contour.Assemble(res.Isolines, 1e-9)
+	tb.EndSpan(obs.PageCounts{})
+	tb.Finish(nil)
+	if db.metrics != nil {
+		db.metrics.RecordContour(time.Since(start))
+	}
 	return &ContourResult{
-		Polylines: contour.Assemble(res.Isolines, 1e-9),
+		Polylines: polylines,
 		IO:        res.IO,
 	}, nil
 }
@@ -355,14 +494,29 @@ func (db *DB) Contours(level float64) ([]Polyline, error) {
 // PointQuery answers the conventional query F(v'): the interpolated value at
 // point p, through the spatial R*-tree.
 func (db *DB) PointQuery(p Point) (float64, error) {
-	w, _, err := db.spatial.PointQuery(p)
+	w, _, err := db.PointQueryStatsContext(context.Background(), p)
+	return w, err
+}
+
+// PointQueryContext is PointQuery with cancellation, polled between candidate
+// cell fetches.
+func (db *DB) PointQueryContext(ctx context.Context, p Point) (float64, error) {
+	w, _, err := db.PointQueryStatsContext(ctx, p)
 	return w, err
 }
 
 // PointQueryStats is PointQuery plus the query's own I/O statistics against
 // the spatial index's store.
 func (db *DB) PointQueryStats(p Point) (float64, storage.Stats, error) {
-	return db.spatial.PointQuery(p)
+	return db.PointQueryStatsContext(context.Background(), p)
+}
+
+// PointQueryStatsContext is PointQueryStats with cancellation.
+func (db *DB) PointQueryStatsContext(ctx context.Context, p Point) (float64, storage.Stats, error) {
+	if err := db.checkOpen(); err != nil {
+		return 0, storage.Stats{}, err
+	}
+	return db.spatial.PointQueryContext(ctx, p)
 }
 
 // Subfields returns the subfield partition of the value index, or nil for
@@ -393,14 +547,104 @@ func (db *DB) IOStats() storage.Stats { return db.pager.Stats() }
 // IOStats).
 func (db *DB) SpatialIOStats() storage.Stats { return db.spatial.IOStats() }
 
+// EngineMetrics is the full observability snapshot of a DB: the engine's
+// cumulative query metrics plus the per-store I/O totals and buffer-pool
+// shard statistics of both stores.
+type EngineMetrics struct {
+	// Engine is the cumulative query-level registry: queries by method,
+	// latency histogram, pages read by kind, worker-pool utilization.
+	Engine MetricsSnapshot
+	// ValueIO and SpatialIO are the cumulative per-store page statistics
+	// (identical to IOStats and SpatialIOStats).
+	ValueIO, SpatialIO storage.Stats
+	// ValuePool and SpatialPool are per-shard buffer-pool hit/miss counters;
+	// nil when the pool is disabled (ColdCache).
+	ValuePool, SpatialPool []storage.PoolShardStats
+}
+
+// poolLine renders one store's pool shards as an aggregate hit ratio.
+func poolLine(b *strings.Builder, name string, shards []storage.PoolShardStats) {
+	if shards == nil {
+		fmt.Fprintf(b, "  %-8s disabled\n", name)
+		return
+	}
+	var hits, misses int64
+	for _, s := range shards {
+		hits += s.Hits
+		misses += s.Misses
+	}
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(b, "  %-8s shards=%d hits=%d misses=%d ratio=%.3f\n",
+		name, len(shards), hits, misses, ratio)
+}
+
+// String renders the snapshot as an aligned text report (the format
+// fieldbench -metrics prints).
+func (m EngineMetrics) String() string {
+	var b strings.Builder
+	b.WriteString(m.Engine.String())
+	b.WriteString("store I/O\n")
+	fmt.Fprintf(&b, "  %-8s reads=%d (seq=%d rand=%d) hits=%d sim=%v\n",
+		"value", m.ValueIO.Reads, m.ValueIO.SeqReads, m.ValueIO.RandReads,
+		m.ValueIO.CacheHits, m.ValueIO.SimElapsed)
+	fmt.Fprintf(&b, "  %-8s reads=%d (seq=%d rand=%d) hits=%d sim=%v\n",
+		"spatial", m.SpatialIO.Reads, m.SpatialIO.SeqReads, m.SpatialIO.RandReads,
+		m.SpatialIO.CacheHits, m.SpatialIO.SimElapsed)
+	b.WriteString("buffer pool\n")
+	poolLine(&b, "value", m.ValuePool)
+	poolLine(&b, "spatial", m.SpatialPool)
+	return b.String()
+}
+
+// Metrics returns a point-in-time snapshot of the DB's observability state:
+// engine-level query metrics plus per-store I/O and buffer-pool statistics.
+// It is safe to call concurrently with queries.
+func (db *DB) Metrics() EngineMetrics {
+	return EngineMetrics{
+		Engine:      db.metrics.Snapshot(),
+		ValueIO:     db.pager.Stats(),
+		SpatialIO:   db.spatial.IOStats(),
+		ValuePool:   db.pager.PoolShardStats(),
+		SpatialPool: db.spatial.PoolShardStats(),
+	}
+}
+
 // And runs a conjunctive value query across databases sharing the same
 // spatial domain: region where every db's value lies in its interval.
 func And(dbs []*DB, intervals []Interval) (*core.ConjunctiveResult, error) {
+	return AndContext(context.Background(), dbs, intervals)
+}
+
+// AndContext is And with cancellation and argument validation: the condition
+// lists must be non-empty and of equal length, every *DB must be non-nil and
+// open, and every interval must be well-formed. Shape errors wrap
+// ErrBadConjunction; per-condition errors wrap ErrClosed or
+// ErrInvertedInterval and name the offending condition.
+func AndContext(ctx context.Context, dbs []*DB, intervals []Interval) (*core.ConjunctiveResult, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("%w: no conditions", ErrBadConjunction)
+	}
+	if len(dbs) != len(intervals) {
+		return nil, fmt.Errorf("%w: %d databases but %d intervals",
+			ErrBadConjunction, len(dbs), len(intervals))
+	}
 	idxs := make([]core.Index, len(dbs))
 	for i, db := range dbs {
+		if db == nil {
+			return nil, fmt.Errorf("%w: nil database at condition %d", ErrBadConjunction, i)
+		}
+		if err := db.checkOpen(); err != nil {
+			return nil, fmt.Errorf("%w (condition %d)", err, i)
+		}
+		if err := checkInterval(intervals[i].Lo, intervals[i].Hi); err != nil {
+			return nil, fmt.Errorf("%w (condition %d)", err, i)
+		}
 		idxs[i] = db.index
 	}
-	return core.ConjunctiveQuery(idxs, intervals)
+	return core.ConjunctiveQueryContext(ctx, idxs, intervals)
 }
 
 // SaveIndex writes the built value index (cell heap, R*-tree pages and
@@ -408,9 +652,12 @@ func And(dbs []*DB, intervals []Interval) (*core.ConjunctiveResult, error) {
 // rebuilding. Only partition-based methods (I-Hilbert, I-Quad, I-Threshold)
 // can be saved.
 func (db *DB) SaveIndex(path string) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
 	p, ok := db.index.(*core.Partitioned)
 	if !ok {
-		return fmt.Errorf("fielddb: method %s has no on-disk format", db.Method())
+		return fmt.Errorf("%w: method %s has no on-disk format", ErrNoPartition, db.Method())
 	}
 	return p.SaveFile(path)
 }
@@ -419,16 +666,73 @@ func (db *DB) SaveIndex(path string) error {
 // SaveIndex: it answers value queries straight from the file's pages,
 // without the original Field.
 type StoredIndex struct {
-	index *core.Partitioned
+	index   *core.Partitioned
+	tracer  obs.Tracer
+	metrics *obs.Metrics
+	closed  atomic.Bool
 }
 
-// OpenIndex opens a database file written by SaveIndex.
+// OpenIndexOptions configures OpenIndexWith. The zero value matches
+// OpenIndex: default disk model, a 65536-page buffer pool, default sharding,
+// sequential refinement, no tracer.
+type OpenIndexOptions struct {
+	// PoolPages is the buffer-pool capacity in pages (default 65536, as for
+	// Open); set ColdCache to disable caching entirely.
+	PoolPages int
+	// ColdCache disables the buffer pool: every page access goes to the
+	// simulated disk.
+	ColdCache bool
+	// PoolShards pins the pool's shard count; 0 picks the storage default.
+	PoolShards int
+	// DiskModel overrides the simulated disk cost model.
+	DiskModel *storage.DiskModel
+	// Workers bounds the refinement worker pool (0 or 1 means sequential).
+	Workers int
+	// Tracer, when set, receives one QueryTrace per finished query.
+	Tracer Tracer
+}
+
+// OpenIndex opens a database file written by SaveIndex with default options.
 func OpenIndex(path string) (*StoredIndex, error) {
-	p, err := core.OpenFile(path, storage.DefaultDiskModel, 1<<16)
+	return OpenIndexWith(path, OpenIndexOptions{})
+}
+
+// OpenIndexWith opens a database file written by SaveIndex, with control over
+// the buffer pool, the disk model, refinement parallelism, and tracing.
+func OpenIndexWith(path string, opts OpenIndexOptions) (*StoredIndex, error) {
+	pool := opts.PoolPages
+	if opts.ColdCache {
+		pool = 0
+	} else if pool == 0 {
+		pool = 1 << 16
+	}
+	var model storage.DiskModel
+	if opts.DiskModel != nil {
+		model = *opts.DiskModel
+	}
+	p, err := core.OpenFileWith(path, core.OpenFileOptions{
+		Model:      model,
+		PoolPages:  pool,
+		PoolShards: opts.PoolShards,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &StoredIndex{index: p}, nil
+	if opts.Workers > 0 {
+		p.SetWorkers(opts.Workers)
+	}
+	s := &StoredIndex{index: p, tracer: opts.Tracer, metrics: obs.NewMetrics()}
+	p.SetObserver(obs.Observer{Tracer: s.tracer, Metrics: s.metrics})
+	return s, nil
+}
+
+// Close marks the stored index closed and releases the underlying file.
+// Close is idempotent; queries after Close return ErrClosed.
+func (s *StoredIndex) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return s.index.Close()
 }
 
 // Method returns the stored index's strategy.
@@ -441,13 +745,25 @@ func (s *StoredIndex) Stats() IndexStats { return s.index.Stats() }
 // queries. It is safe only between queries, not while queries run.
 func (s *StoredIndex) SetWorkers(n int) { s.index.SetWorkers(n) }
 
+// Metrics returns a snapshot of the stored index's cumulative engine metrics.
+func (s *StoredIndex) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
 // ValueQuery answers F⁻¹(lo ≤ w ≤ hi) from the stored pages. Safe for
 // concurrent use.
 func (s *StoredIndex) ValueQuery(lo, hi float64) (*Result, error) {
+	return s.ValueQueryContext(context.Background(), lo, hi)
+}
+
+// ValueQueryContext is ValueQuery with cancellation, polled between subfield
+// cell runs and refinement work units.
+func (s *StoredIndex) ValueQueryContext(ctx context.Context, lo, hi float64) (*Result, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	if err := checkInterval(lo, hi); err != nil {
 		return nil, err
 	}
-	return s.index.Query(geom.Interval{Lo: lo, Hi: hi})
+	return s.index.QueryContext(ctx, geom.Interval{Lo: lo, Hi: hi})
 }
 
 // Subfields returns the stored partition.

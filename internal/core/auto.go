@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
+	"fielddb/internal/obs"
 	"fielddb/internal/storage"
 )
 
@@ -34,6 +36,7 @@ type Auto struct {
 	// atomically so concurrent queries don't corrupt them.
 	scanQueries   atomic.Int64
 	filterQueries atomic.Int64
+	observed
 }
 
 // ScanQueries returns how many queries the planner answered with the
@@ -47,6 +50,10 @@ func (a *Auto) FilterQueries() int { return int(a.filterQueries.Load()) }
 // SetWorkers bounds the refinement worker pool of the underlying I-Hilbert
 // index (the scan path stays single-threaded: it is one sequential run).
 func (a *Auto) SetWorkers(n int) { a.part.SetWorkers(n) }
+
+// SetObserver installs the trace/metrics sinks. Queries are traced and
+// counted under "I-Auto" whichever access path the planner picks.
+func (a *Auto) SetObserver(ob obs.Observer) { a.setObs(ob, string(MethodAuto)) }
 
 // AutoOptions tunes BuildAuto.
 type AutoOptions struct {
@@ -62,7 +69,12 @@ type AutoOptions struct {
 
 // BuildAuto builds the I-Hilbert index plus the selectivity histogram.
 func BuildAuto(f field.Field, pager *storage.Pager, opts AutoOptions) (*Auto, error) {
-	part, err := BuildIHilbert(f, pager, opts.Hilbert)
+	return BuildAutoCtx(context.Background(), f, pager, opts)
+}
+
+// BuildAutoCtx is BuildAuto with construction cancellation.
+func BuildAutoCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts AutoOptions) (*Auto, error) {
+	part, err := BuildIHilbertCtx(ctx, f, pager, opts.Hilbert)
 	if err != nil {
 		return nil, err
 	}
@@ -146,36 +158,52 @@ func (a *Auto) Stats() IndexStats {
 
 // Query implements Index: plan, then run the chosen access path.
 func (a *Auto) Query(q geom.Interval) (*Result, error) {
+	return a.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextQuerier. The trace carries a plan span (the
+// histogram estimate, no page reads) followed by the chosen access path's own
+// spans — the filter pipeline's filter+refine, or the scan path's single
+// refine.
+func (a *Auto) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
-	if a.EstimateSelectivity(q) > a.scanThreshold {
+	tb, start := a.startQuery(string(MethodAuto), obs.KindValue, q.Lo, q.Hi)
+	res, err := a.autoQuery(ctx, tb, q)
+	a.endQuery(tb, start, err)
+	return res, err
+}
+
+func (a *Auto) autoQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
+	tb.BeginSpan(obs.PhasePlan, obs.PageCounts{})
+	sel := a.EstimateSelectivity(q)
+	tb.EndSpan(obs.PageCounts{})
+	if sel > a.scanThreshold {
 		a.scanQueries.Add(1)
-		return a.scanAll(q)
+		return a.scanAll(ctx, tb, q)
 	}
 	a.filterQueries.Add(1)
-	return a.part.Query(q)
+	return a.part.valueQuery(&a.observed, ctx, tb, q)
 }
 
 // scanAll runs the LinearScan access path over the partitioned index's own
 // heap file.
-func (a *Auto) scanAll(q geom.Interval) (*Result, error) {
+func (a *Auto) scanAll(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
 	qc := a.part.pager.BeginQuery()
+	qc.AttachTrace(tb)
 	res := &Result{Query: q}
-	var c field.Cell
-	var cellErr error
-	err := a.part.heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
-		cellErr = estimateRecord(res, rec, &c, q)
-		return cellErr == nil
-	})
-	if err == nil {
-		err = cellErr
-	}
-	if err != nil {
+	qc.BeginSpan(obs.PhaseRefine)
+	if err := scanEstimate(ctx, a.part.heap, qc, q, res); err != nil {
 		return nil, err
 	}
+	qc.EndSpan()
 	res.IO = qc.Stats()
+	a.recordIO(storage.Stats{}, res.IO)
 	return res, nil
 }
 
-var _ Index = (*Auto)(nil)
+var (
+	_ Index          = (*Auto)(nil)
+	_ ContextQuerier = (*Auto)(nil)
+)

@@ -123,15 +123,36 @@ func (p *Partitioned) encodeCatalog() []byte {
 	return b.Bytes()
 }
 
+// OpenFileOptions tunes OpenFileWith; the zero value reproduces OpenFile's
+// defaults apart from the pool size, which OpenFile callers pass explicitly.
+type OpenFileOptions struct {
+	// Model is the simulated disk cost model; the zero value selects
+	// storage.DefaultDiskModel.
+	Model storage.DiskModel
+	// PoolPages is the buffer-pool capacity in pages; 0 disables caching
+	// (strict cold-cache accounting).
+	PoolPages int
+	// PoolShards pins the buffer-pool shard count; 0 picks the default.
+	PoolShards int
+}
+
 // OpenFile opens a database file produced by SaveFile and returns a
 // query-ready Partitioned index backed by the file's pages. The simulated
 // disk model and buffer-pool size mirror the Open options used at build
 // time; pass pool 0 for strict cold-cache accounting.
 func OpenFile(path string, model storage.DiskModel, pool int) (*Partitioned, error) {
-	return openFilePageSize(path, storage.DefaultPageSize, model, pool)
+	return OpenFileWith(path, OpenFileOptions{Model: model, PoolPages: pool})
 }
 
-func openFilePageSize(path string, pageSize int, model storage.DiskModel, pool int) (*Partitioned, error) {
+// OpenFileWith is OpenFile with the full option set.
+func OpenFileWith(path string, opts OpenFileOptions) (*Partitioned, error) {
+	if opts.Model == (storage.DiskModel{}) {
+		opts.Model = storage.DefaultDiskModel
+	}
+	return openFilePageSize(path, storage.DefaultPageSize, opts)
+}
+
+func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partitioned, error) {
 	disk, err := storage.OpenFileDisk(path, pageSize)
 	if err != nil {
 		return nil, err
@@ -177,7 +198,7 @@ func openFilePageSize(path string, pageSize int, model storage.DiskModel, pool i
 		disk.Close()
 		return nil, fmt.Errorf("core: %s: %w", path, err)
 	}
-	pager := storage.NewPager(disk, model, pool)
+	pager := storage.NewPagerShards(disk, opts.Model, opts.PoolPages, opts.PoolShards)
 	dec.p.pager = pager
 	dec.p.heap = storage.OpenHeapFile(pager, dec.heapPages, dec.cells)
 	tree, err := rstar.OpenPaged(pager, dec.treeRoot, 1,

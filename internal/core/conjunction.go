@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,6 +28,14 @@ type ConjunctiveResult struct {
 // The number of conditions must match the number of indexes and be at least
 // one; with a single condition it degenerates to Index.Query.
 func ConjunctiveQuery(indexes []Index, intervals []geom.Interval) (*ConjunctiveResult, error) {
+	return ConjunctiveQueryContext(context.Background(), indexes, intervals)
+}
+
+// ConjunctiveQueryContext is ConjunctiveQuery with cancellation: conditions
+// whose index implements ContextQuerier poll ctx during refinement, so one
+// cancel stops every condition's scan. All per-condition goroutines are
+// joined before returning.
+func ConjunctiveQueryContext(ctx context.Context, indexes []Index, intervals []geom.Interval) (*ConjunctiveResult, error) {
 	if len(indexes) == 0 || len(indexes) != len(intervals) {
 		return nil, fmt.Errorf("core: need matching indexes and intervals, got %d/%d",
 			len(indexes), len(intervals))
@@ -42,7 +51,11 @@ func ConjunctiveQuery(indexes []Index, intervals []geom.Interval) (*ConjunctiveR
 		wg.Add(1)
 		go func(i int, idx Index) {
 			defer wg.Done()
-			results[i], errs[i] = idx.Query(intervals[i])
+			if cq, ok := idx.(ContextQuerier); ok {
+				results[i], errs[i] = cq.QueryContext(ctx, intervals[i])
+			} else {
+				results[i], errs[i] = idx.Query(intervals[i])
+			}
 		}(i, idx)
 	}
 	wg.Wait()

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fielddb/internal/field"
@@ -149,15 +150,25 @@ func estimateMatched(res *Result, c *field.Cell, q geom.Interval) {
 	}
 }
 
+// writeCellsStride is how many cells construction writes between
+// cancellation polls.
+const writeCellsStride = 512
+
 // writeCells appends the cells of f to a fresh heap file on pager in the
 // order given by ids, returning the heap file and the RID of every cell in
-// write order.
-func writeCells(f field.Field, pager *storage.Pager, ids []field.CellID) (*storage.HeapFile, []storage.RID, error) {
+// write order. ctx is polled every writeCellsStride cells so a canceled build
+// stops without writing the rest of the field.
+func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID) (*storage.HeapFile, []storage.RID, error) {
 	heap := storage.NewHeapFile(pager)
 	rids := make([]storage.RID, len(ids))
 	var c field.Cell
 	var buf []byte
 	for i, id := range ids {
+		if i%writeCellsStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		f.Cell(id, &c)
 		if err := c.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("core: %w", err)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
+	"fielddb/internal/obs"
 	"fielddb/internal/rstar"
 	"fielddb/internal/storage"
 )
@@ -21,6 +23,7 @@ type IAll struct {
 	tree  *rstar.Tree
 	rids  []storage.RID
 	cells int
+	observed
 }
 
 // IAllOptions tunes the I-All build.
@@ -37,10 +40,16 @@ type IAllOptions struct {
 // BuildIAll stores the field's cells in a heap file and indexes every cell
 // interval in a 1-D R*-tree.
 func BuildIAll(f field.Field, pager *storage.Pager, opts IAllOptions) (*IAll, error) {
+	return BuildIAllCtx(context.Background(), f, pager, opts)
+}
+
+// BuildIAllCtx is BuildIAll with construction cancellation, polled between
+// cell-write batches.
+func BuildIAllCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts IAllOptions) (*IAll, error) {
 	if opts.Params.PageSize == 0 {
 		opts.Params.PageSize = pager.PageSize()
 	}
-	heap, rids, err := writeCells(f, pager, identityOrder(f))
+	heap, rids, err := writeCells(ctx, f, pager, identityOrder(f))
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +86,9 @@ func BuildIAll(f field.Field, pager *storage.Pager, opts IAllOptions) (*IAll, er
 	return &IAll{pager: pager, heap: heap, tree: tree, rids: rids, cells: n}, nil
 }
 
+// SetObserver installs the trace/metrics sinks. Call before issuing queries.
+func (ia *IAll) SetObserver(ob obs.Observer) { ia.setObs(ob, string(MethodIAll)) }
+
 // Method implements Index.
 func (ia *IAll) Method() Method { return MethodIAll }
 
@@ -92,17 +104,36 @@ func (ia *IAll) Stats() IndexStats {
 	}
 }
 
+// iallCancelStride is how many candidate fetches I-All performs between
+// cancellation polls (each fetch costs up to one random page access).
+const iallCancelStride = 64
+
 // Query implements Index: filter through the persisted R*-tree, then fetch
 // each candidate cell individually.
 func (ia *IAll) Query(q geom.Interval) (*Result, error) {
+	return ia.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextQuerier: ctx is polled between candidate
+// cell fetches during the refinement step.
+func (ia *IAll) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
+	tb, start := ia.startQuery(string(MethodIAll), obs.KindValue, q.Lo, q.Hi)
+	res, err := ia.valueQuery(ctx, tb, q)
+	ia.endQuery(tb, start, err)
+	return res, err
+}
+
+func (ia *IAll) valueQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
 	// Per-query context: cold-start accounting with within-query page reuse
 	// (repeated candidate fetches that land on one page).
 	qc := ia.pager.BeginQuery()
+	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	var candidates []uint64
+	qc.BeginSpan(obs.PhaseFilter)
 	err := ia.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		candidates = append(candidates, e.Data)
 		return true
@@ -110,10 +141,18 @@ func (ia *IAll) Query(q geom.Interval) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	qc.EndSpan()
+	filterIO := qc.LocalStats()
 	res.CandidateGroups = len(candidates)
 	var c field.Cell
 	var buf []byte
-	for _, id := range candidates {
+	qc.BeginSpan(obs.PhaseRefine)
+	for i, id := range candidates {
+		if i%iallCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, err := ia.heap.GetCtx(qc, ia.rids[id], buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching cell %d: %w", id, err)
@@ -123,8 +162,13 @@ func (ia *IAll) Query(q geom.Interval) (*Result, error) {
 			return nil, err
 		}
 	}
+	qc.EndSpan()
 	res.IO = qc.Stats()
+	ia.recordIO(filterIO, res.IO)
 	return res, nil
 }
 
-var _ Index = (*IAll)(nil)
+var (
+	_ Index          = (*IAll)(nil)
+	_ ContextQuerier = (*IAll)(nil)
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,7 +31,7 @@ type ITree struct {
 
 // BuildITree stores the cells and builds the in-memory interval tree.
 func BuildITree(f field.Field, pager *storage.Pager) (*ITree, error) {
-	heap, rids, err := writeCells(f, pager, identityOrder(f))
+	heap, rids, err := writeCells(context.Background(), f, pager, identityOrder(f))
 	if err != nil {
 		return nil, err
 	}

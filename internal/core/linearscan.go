@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
+	"fielddb/internal/obs"
 	"fielddb/internal/storage"
 )
 
@@ -14,17 +16,27 @@ type LinearScan struct {
 	pager *storage.Pager
 	heap  *storage.HeapFile
 	cells int
+	observed
 }
 
 // BuildLinearScan stores the field's cells in a heap file (in natural cell
 // order) and returns the scan-based query processor.
 func BuildLinearScan(f field.Field, pager *storage.Pager) (*LinearScan, error) {
-	heap, _, err := writeCells(f, pager, identityOrder(f))
+	return BuildLinearScanCtx(context.Background(), f, pager)
+}
+
+// BuildLinearScanCtx is BuildLinearScan with construction cancellation,
+// polled between cell-write batches.
+func BuildLinearScanCtx(ctx context.Context, f field.Field, pager *storage.Pager) (*LinearScan, error) {
+	heap, _, err := writeCells(ctx, f, pager, identityOrder(f))
 	if err != nil {
 		return nil, err
 	}
 	return &LinearScan{pager: pager, heap: heap, cells: f.NumCells()}, nil
 }
+
+// SetObserver installs the trace/metrics sinks. Call before issuing queries.
+func (ls *LinearScan) SetObserver(ob obs.Observer) { ls.setObs(ob, string(MethodLinearScan)) }
 
 // Method implements Index.
 func (ls *LinearScan) Method() Method { return MethodLinearScan }
@@ -40,28 +52,40 @@ func (ls *LinearScan) Stats() IndexStats {
 
 // Query implements Index by scanning the entire heap file.
 func (ls *LinearScan) Query(q geom.Interval) (*Result, error) {
+	return ls.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextQuerier: the scan polls ctx between record
+// batches, so a canceled query stops mid-scan with ctx's error.
+func (ls *LinearScan) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
+	tb, start := ls.startQuery(string(MethodLinearScan), obs.KindValue, q.Lo, q.Hi)
+	res, err := ls.scanQuery(ctx, tb, q)
+	ls.endQuery(tb, start, err)
+	return res, err
+}
+
+func (ls *LinearScan) scanQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
 	// Queries are independent: each gets its own execution context, which
 	// accounts cold-start reads with within-query page reuse (the paper's
 	// warm-OS-cache setting) no matter what runs concurrently.
 	qc := ls.pager.BeginQuery()
+	qc.AttachTrace(tb)
 	res := &Result{Query: q}
-	var c field.Cell
-	var cellErr error
-	err := ls.heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
-		cellErr = estimateRecord(res, rec, &c, q)
-		return cellErr == nil
-	})
-	if err == nil {
-		err = cellErr
-	}
-	if err != nil {
+	// LinearScan has no filter step: the whole query is one refinement span.
+	qc.BeginSpan(obs.PhaseRefine)
+	if err := scanEstimate(ctx, ls.heap, qc, q, res); err != nil {
 		return nil, err
 	}
+	qc.EndSpan()
 	res.IO = qc.Stats()
+	ls.recordIO(storage.Stats{}, res.IO)
 	return res, nil
 }
 
-var _ Index = (*LinearScan)(nil)
+var (
+	_ Index          = (*LinearScan)(nil)
+	_ ContextQuerier = (*LinearScan)(nil)
+)

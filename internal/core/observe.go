@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/obs"
+	"fielddb/internal/storage"
+)
+
+// ContextQuerier is the optional capability of an Index whose query pipeline
+// honors context cancellation: cancellation is polled between subfield cell
+// runs (and between candidate fetches), so a canceled query returns
+// context.Canceled without finishing its refinement. Indexes without the
+// capability ignore the context.
+type ContextQuerier interface {
+	QueryContext(ctx context.Context, q geom.Interval) (*Result, error)
+}
+
+// observed is the observability state embedded in every facade-reachable
+// index: the trace/metrics sinks and the index's pre-registered metrics
+// method slot. The zero value is fully inert — an index that never sees
+// SetObserver runs the exact pre-observability pipeline.
+type observed struct {
+	ob    obs.Observer
+	mslot int
+}
+
+// setObs installs the sinks and registers the method's metrics slot.
+func (o *observed) setObs(ob obs.Observer, method string) {
+	o.ob = ob
+	o.mslot = ob.Metrics.RegisterMethod(method)
+}
+
+// startQuery begins the query's trace (nil when tracing is off) and stamps
+// the wall clock when a metrics registry is installed.
+func (o *observed) startQuery(method, kind string, lo, hi float64) (*obs.TraceBuilder, time.Time) {
+	tb := obs.Begin(o.ob.Tracer, method, kind, lo, hi)
+	var start time.Time
+	if o.ob.Metrics != nil {
+		start = time.Now()
+	}
+	return tb, start
+}
+
+// endQuery completes the trace and folds the query into the metrics registry.
+func (o *observed) endQuery(tb *obs.TraceBuilder, start time.Time, err error) {
+	tb.Finish(err)
+	if o.ob.Metrics != nil {
+		o.ob.Metrics.RecordQuery(o.mslot, time.Since(start), err)
+	}
+}
+
+// recordIO attributes a finished query's page accesses by step: filter is the
+// private-stats snapshot taken at the filter/refinement boundary, so the
+// refinement (or decode) step is the remainder.
+func (o *observed) recordIO(filter, total storage.Stats) {
+	if o.ob.Metrics != nil {
+		o.ob.Metrics.RecordPages(filter.Reads, total.Reads-filter.Reads, total.CacheHits, total.SimElapsed)
+	}
+}
+
+// scanCancelStride is how many records a sequential scan tests between
+// cancellation polls.
+const scanCancelStride = 1024
+
+// scanEstimate scans an entire heap file through qc, folding every record
+// into res and polling ctx every scanCancelStride records — the shared
+// estimation loop of LinearScan and the planner's scan access path.
+func scanEstimate(ctx context.Context, heap *storage.HeapFile, qc *storage.QueryCtx, q geom.Interval, res *Result) error {
+	var c field.Cell
+	var cellErr error
+	// res.CellsFetched doubles as the poll counter: estimateRecord increments
+	// it per record, and reusing it keeps the closure's capture set — and so
+	// its allocation footprint — identical to the uncancellable loop.
+	err := heap.ScanCtx(qc, func(_ storage.RID, rec []byte) bool {
+		if cellErr = estimateRecord(res, rec, &c, q); cellErr != nil {
+			return false
+		}
+		if res.CellsFetched%scanCancelStride == 0 {
+			cellErr = ctx.Err()
+		}
+		return cellErr == nil
+	})
+	if err == nil {
+		err = cellErr
+	}
+	return err
+}

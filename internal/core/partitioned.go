@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
+	"fielddb/internal/obs"
 	"fielddb/internal/rstar"
 	"fielddb/internal/sfc"
 	"fielddb/internal/storage"
@@ -47,6 +51,7 @@ type Partitioned struct {
 	// workers bounds the goroutines of the parallel refinement step; 0 or 1
 	// keeps the query single-threaded.
 	workers int
+	observed
 }
 
 // SetWorkers bounds the worker pool that parallelizes the refinement step
@@ -55,6 +60,13 @@ type Partitioned struct {
 // single-threaded run. Call before issuing queries; it is not synchronized
 // with queries already in flight.
 func (p *Partitioned) SetWorkers(n int) { p.workers = clampWorkers(n) }
+
+// SetObserver installs the trace/metrics sinks. Call before issuing queries.
+func (p *Partitioned) SetObserver(ob obs.Observer) { p.setObs(ob, string(p.method)) }
+
+// Close releases the index's underlying store — the database file of an
+// OpenFile index; a no-op for in-memory builds.
+func (p *Partitioned) Close() error { return p.pager.Close() }
 
 // HilbertOptions tunes BuildIHilbert.
 type HilbertOptions struct {
@@ -76,6 +88,12 @@ type HilbertOptions struct {
 // BuildIHilbert builds the paper's proposed index: Hilbert linearization,
 // greedy cost-based subfields, 1-D R*-tree over subfield intervals.
 func BuildIHilbert(f field.Field, pager *storage.Pager, opts HilbertOptions) (*Partitioned, error) {
+	return BuildIHilbertCtx(context.Background(), f, pager, opts)
+}
+
+// BuildIHilbertCtx is BuildIHilbert with construction cancellation, polled
+// between cell-write batches and between per-subfield metadata work units.
+func BuildIHilbertCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts HilbertOptions) (*Partitioned, error) {
 	curve := opts.Curve
 	if curve == nil {
 		var err error
@@ -93,7 +111,7 @@ func BuildIHilbert(f field.Field, pager *storage.Pager, opts HilbertOptions) (*P
 		return nil, err
 	}
 	groups := subfield.BuildGreedy(refs, cost)
-	return buildPartitioned(MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers)
+	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers)
 }
 
 // ThresholdOptions tunes BuildIThreshold and BuildIQuad.
@@ -117,6 +135,11 @@ type ThresholdOptions struct {
 // BuildIThreshold is the fixed-threshold ablation: Hilbert linearization
 // with subfields cut whenever the interval size would exceed MaxSize.
 func BuildIThreshold(f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Partitioned, error) {
+	return BuildIThresholdCtx(context.Background(), f, pager, opts)
+}
+
+// BuildIThresholdCtx is BuildIThreshold with construction cancellation.
+func BuildIThresholdCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Partitioned, error) {
 	curve := opts.Curve
 	if curve == nil {
 		var err error
@@ -137,7 +160,7 @@ func BuildIThreshold(f field.Field, pager *storage.Pager, opts ThresholdOptions)
 		return nil, err
 	}
 	groups := subfield.BuildThreshold(refs, cost, opts.MaxSize)
-	p, err := buildPartitioned(MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers)
+	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers)
 	return p, err
 }
 
@@ -145,6 +168,11 @@ func BuildIThreshold(f field.Field, pager *storage.Pager, opts ThresholdOptions)
 // quadtree partitioning with a fixed interval-size threshold; cells are
 // clustered on disk by quadrant.
 func BuildIQuad(f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Partitioned, error) {
+	return BuildIQuadCtx(context.Background(), f, pager, opts)
+}
+
+// BuildIQuadCtx is BuildIQuad with construction cancellation.
+func BuildIQuadCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Partitioned, error) {
 	cost := opts.Cost
 	if cost.Epsilon == 0 {
 		cost = subfield.DefaultCostModel
@@ -164,12 +192,13 @@ func BuildIQuad(f field.Field, pager *storage.Pager, opts ThresholdOptions) (*Pa
 		return nil, err
 	}
 	ordered, groups := subfield.BuildQuad(refs, f.Bounds(), cost, opts.MaxSize, opts.MaxDepth)
-	return buildPartitioned(MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers)
+	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers)
 }
 
 // buildPartitioned stores cells in partition order and indexes the group
-// intervals.
-func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
+// intervals. ctx cancels construction between cell-write batches and between
+// per-subfield metadata work units.
+func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *storage.Pager,
 	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int) (*Partitioned, error) {
 	if err := subfield.Validate(refs, groups); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -182,7 +211,7 @@ func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
 	for i, r := range refs {
 		ids[i] = r.ID
 	}
-	heap, rids, err := writeCells(f, pager, ids)
+	heap, rids, err := writeCells(ctx, f, pager, ids)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +219,7 @@ func buildPartitioned(method Method, f field.Field, pager *storage.Pager,
 	// across groups, so construction fans out on the worker pool.
 	metas := make([]groupMeta, len(groups))
 	entries := make([]rstar.Entry, len(groups))
-	err = parallelDo(workers, len(groups), func(gi int) error {
+	err = parallelDoCtx(ctx, workers, len(groups), func(gi int) error {
 		g := groups[gi]
 		first := heap.PageIndex(rids[g.Start].Page)
 		last := heap.PageIndex(rids[g.End-1].Page)
@@ -292,12 +321,30 @@ type ApproxResult struct {
 // count is an upper bound; the average is exact over the selected subfields'
 // midpoint summaries.
 func (p *Partitioned) ApproxQuery(q geom.Interval) (*ApproxResult, error) {
+	return p.ApproxQueryContext(context.Background(), q)
+}
+
+// ApproxQueryContext is ApproxQuery with tracing and an up-front cancellation
+// check (the query itself is one short filter step).
+func (p *Partitioned) ApproxQueryContext(ctx context.Context, q geom.Interval) (*ApproxResult, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tb, start := p.startQuery(string(p.method), obs.KindApprox, q.Lo, q.Hi)
+	res, err := p.approxQuery(tb, q)
+	p.endQuery(tb, start, err)
+	return res, err
+}
+
+func (p *Partitioned) approxQuery(tb *obs.TraceBuilder, q geom.Interval) (*ApproxResult, error) {
 	qc := p.pager.BeginQuery()
+	qc.AttachTrace(tb)
 	res := &ApproxResult{Query: q}
 	var sum float64
+	qc.BeginSpan(obs.PhaseFilter)
 	err := p.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		g := p.groups[e.Data]
 		res.Groups++
@@ -308,12 +355,14 @@ func (p *Partitioned) ApproxQuery(q geom.Interval) (*ApproxResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	qc.EndSpan()
 	if res.CellsUpperBound > 0 {
 		res.AvgValue = sum / float64(res.CellsUpperBound)
 	} else {
 		res.AvgValue = math.NaN()
 	}
 	res.IO = qc.Stats()
+	p.recordIO(res.IO, res.IO)
 	return res, nil
 }
 
@@ -357,12 +406,22 @@ func (p *Partitioned) mergeRuns(selected []int) []pageRun {
 
 // scanRun reads one merged cell run through qc, folding each cell into res.
 // The interval test runs on the partial decode; only matching cells are
-// decoded in full.
-func (p *Partitioned) scanRun(qc *storage.QueryCtx, r pageRun, q geom.Interval, res *Result) error {
+// decoded in full. ctx is polled every scanCancelStride records — adjacent
+// subfield runs merge into long sequential scans, so between-run polls alone
+// would be too coarse for cancellation.
+func (p *Partitioned) scanRun(ctx context.Context, qc *storage.QueryCtx, r pageRun, q geom.Interval, res *Result) error {
 	var c field.Cell
 	var cellErr error
+	// res.CellsFetched doubles as the poll counter: estimateRecord increments
+	// it per record, and reusing it keeps the closure's capture set — and so
+	// its allocation footprint — identical to the uncancellable loop.
 	err := p.heap.ScanPagesCtx(qc, r.first, r.last, func(_ storage.RID, rec []byte) bool {
-		cellErr = estimateRecord(res, rec, &c, q)
+		if cellErr = estimateRecord(res, rec, &c, q); cellErr != nil {
+			return false
+		}
+		if res.CellsFetched%scanCancelStride == 0 {
+			cellErr = ctx.Err()
+		}
 		return cellErr == nil
 	})
 	if err != nil {
@@ -379,13 +438,33 @@ func (p *Partitioned) scanRun(qc *storage.QueryCtx, r pageRun, q geom.Interval, 
 // bounded worker pool; a run is one sequential-I/O unit, so the answer and
 // the per-query accounting are identical to the single-threaded execution.
 func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
+	return p.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextQuerier: ctx is polled between subfield cell
+// runs — before each run on the sequential path, before each work item on the
+// parallel one — so a canceled query returns ctx's error mid-refinement
+// without leaking workers (the pool always joins).
+func (p *Partitioned) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
 	if q.IsEmpty() {
 		return nil, fmt.Errorf("core: empty query interval")
 	}
+	tb, start := p.startQuery(string(p.method), obs.KindValue, q.Lo, q.Hi)
+	res, err := p.valueQuery(&p.observed, ctx, tb, q)
+	p.endQuery(tb, start, err)
+	return res, err
+}
+
+// valueQuery is the traced filter + refinement pipeline. The observed state
+// is a parameter rather than p's own because the I-Auto planner runs this
+// pipeline under its own trace and metrics slot.
+func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
 	qc := p.pager.BeginQuery()
+	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	query1d := rstar.Interval1D(q.Lo, q.Hi)
 	var selected []int
+	qc.BeginSpan(obs.PhaseFilter)
 	err := p.tree.PagedSearchCtx(qc, query1d, func(e rstar.Entry) bool {
 		selected = append(selected, int(e.Data))
 		return true
@@ -393,21 +472,30 @@ func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	qc.EndSpan()
+	filterIO := qc.LocalStats()
 	res.CandidateGroups = len(selected)
 	if len(selected) == 0 {
 		res.IO = qc.Stats()
+		o.recordIO(filterIO, res.IO)
 		return res, nil
 	}
 	merged := p.mergeRuns(selected)
 
+	qc.BeginSpan(obs.PhaseRefine)
 	workers := clampWorkers(p.workers)
 	if workers <= 1 || len(merged) < 2 {
 		for _, r := range merged {
-			if err := p.scanRun(qc, r, q, res); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := p.scanRun(ctx, qc, r, q, res); err != nil {
 				return nil, err
 			}
 		}
+		qc.EndSpan()
 		res.IO = qc.Stats()
+		o.recordIO(filterIO, res.IO)
 		return res, nil
 	}
 
@@ -415,18 +503,36 @@ func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
 	// forked context, partial results are folded back in run order, and the
 	// area is re-accumulated as the same left-to-right fold the sequential
 	// path performs — so Regions, Area and Stats are all byte-identical.
+	// Per-item busy time is measured only when a metrics registry is
+	// installed, keeping the unobserved path timing-free.
+	timed := o.ob.Metrics != nil
+	var wallStart time.Time
+	var busy atomic.Int64
+	if timed {
+		wallStart = time.Now()
+	}
 	partials := make([]*Result, len(merged))
 	ctxs := make([]*storage.QueryCtx, len(merged))
-	err = parallelDo(workers, len(merged), func(i int) error {
+	err = parallelDoCtx(ctx, workers, len(merged), func(i int) error {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		child := qc.Fork()
 		part := &Result{Query: q}
-		if err := p.scanRun(child, merged[i], q, part); err != nil {
+		if err := p.scanRun(ctx, child, merged[i], q, part); err != nil {
 			return err
 		}
 		partials[i] = part
 		ctxs[i] = child
+		if timed {
+			busy.Add(int64(time.Since(t0)))
+		}
 		return nil
 	})
+	if timed {
+		o.ob.Metrics.RecordWorkers(len(merged), time.Duration(busy.Load()), time.Since(wallStart))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -440,8 +546,13 @@ func (p *Partitioned) Query(q geom.Interval) (*Result, error) {
 	for _, pg := range res.Regions {
 		res.Area += pg.Area()
 	}
+	qc.EndSpan()
 	res.IO = qc.Stats()
+	o.recordIO(filterIO, res.IO)
 	return res, nil
 }
 
-var _ Index = (*Partitioned)(nil)
+var (
+	_ Index          = (*Partitioned)(nil)
+	_ ContextQuerier = (*Partitioned)(nil)
+)

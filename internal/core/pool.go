@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -50,6 +51,20 @@ func parallelDo(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// parallelDoCtx is parallelDo with a cancellation poll before every work
+// item: once ctx is canceled, remaining items return ctx.Err() without
+// starting, so a mid-refinement (or mid-construction) cancel drains the pool
+// promptly. Items already running finish normally — parallelDo always joins
+// its workers, so no goroutine outlives the call.
+func parallelDoCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return parallelDo(workers, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	})
 }
 
 // clampWorkers normalizes a Workers option: values below 1 mean

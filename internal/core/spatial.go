@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
+	"fielddb/internal/obs"
 	"fielddb/internal/rstar"
 	"fielddb/internal/sfc"
 	"fielddb/internal/storage"
@@ -25,7 +27,12 @@ type SpatialIndex struct {
 	// point-query hot path (a few candidate probes per call) allocates no
 	// per-call buffers in steady state.
 	scratch sync.Pool
+	observed
 }
+
+// spatialMethod is the metrics/trace method label of the conventional-query
+// index.
+const spatialMethod = "Spatial"
 
 // pointScratch is the reusable per-call state of PointQuery.
 type pointScratch struct {
@@ -36,6 +43,12 @@ type pointScratch struct {
 // BuildSpatial stores the cells (in Hilbert order, for locality) and indexes
 // their bounding rectangles in a 2-D R*-tree built with Hilbert packing.
 func BuildSpatial(f field.Field, pager *storage.Pager, params rstar.Params) (*SpatialIndex, error) {
+	return BuildSpatialCtx(context.Background(), f, pager, params)
+}
+
+// BuildSpatialCtx is BuildSpatial with construction cancellation, polled
+// between cell-write batches.
+func BuildSpatialCtx(ctx context.Context, f field.Field, pager *storage.Pager, params rstar.Params) (*SpatialIndex, error) {
 	if params.PageSize == 0 {
 		params.PageSize = pager.PageSize()
 	}
@@ -47,7 +60,7 @@ func BuildSpatial(f field.Field, pager *storage.Pager, params rstar.Params) (*Sp
 	if err != nil {
 		return nil, err
 	}
-	heap, rids, err := writeCells(f, pager, identityOrder(f))
+	heap, rids, err := writeCells(ctx, f, pager, identityOrder(f))
 	if err != nil {
 		return nil, err
 	}
@@ -76,11 +89,31 @@ func BuildSpatial(f field.Field, pager *storage.Pager, params rstar.Params) (*Sp
 	return &SpatialIndex{pager: pager, heap: heap, tree: tree, rids: rids, cells: n}, nil
 }
 
+// SetObserver installs the trace/metrics sinks. Call before issuing queries.
+func (s *SpatialIndex) SetObserver(ob obs.Observer) { s.setObs(ob, spatialMethod) }
+
 // PointQuery answers F(v'): the field value at point pt, via the paged
-// R*-tree and one cell fetch. The boolean is false when pt lies outside
-// every cell.
+// R*-tree and one cell fetch.
 func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error) {
+	return s.PointQueryContext(context.Background(), pt)
+}
+
+// PointQueryContext is PointQuery with cancellation (polled between candidate
+// cell fetches) and tracing: a filter span for the R*-tree descent, a decode
+// span for the candidate fetch + interpolation. The trace's Lo/Hi carry the
+// query point's X and Y. The returned Stats are valid even on error — the
+// partial activity is still published, so pager totals stay the sum of all
+// reported per-query stats.
+func (s *SpatialIndex) PointQueryContext(ctx context.Context, pt geom.Point) (float64, storage.Stats, error) {
+	tb, start := s.startQuery(spatialMethod, obs.KindPoint, pt.X, pt.Y)
+	w, st, err := s.pointQuery(ctx, tb, pt)
+	s.endQuery(tb, start, err)
+	return w, st, err
+}
+
+func (s *SpatialIndex) pointQuery(ctx context.Context, tb *obs.TraceBuilder, pt geom.Point) (float64, storage.Stats, error) {
 	qc := s.pager.BeginQuery()
+	qc.AttachTrace(tb)
 	query := rstar.Rect2D(pt.X, pt.X, pt.Y, pt.Y)
 	ps, _ := s.scratch.Get().(*pointScratch)
 	if ps == nil {
@@ -90,6 +123,7 @@ func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error)
 		ps.candidates = ps.candidates[:0]
 		s.scratch.Put(ps)
 	}()
+	qc.BeginSpan(obs.PhaseFilter)
 	err := s.tree.PagedSearchCtx(qc, query, func(e rstar.Entry) bool {
 		ps.candidates = append(ps.candidates, e.Data)
 		return true
@@ -97,8 +131,14 @@ func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error)
 	if err != nil {
 		return 0, qc.Stats(), err
 	}
+	qc.EndSpan()
+	filterIO := qc.LocalStats()
 	var c field.Cell
+	qc.BeginSpan(obs.PhaseDecode)
 	for _, id := range ps.candidates {
+		if err := ctx.Err(); err != nil {
+			return 0, qc.Stats(), err
+		}
 		rec, err := s.heap.GetCtx(qc, s.rids[id], ps.buf)
 		if err != nil {
 			return 0, qc.Stats(), err
@@ -108,15 +148,30 @@ func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error)
 			return 0, qc.Stats(), err
 		}
 		if w, ok := field.Interpolate(&c, pt); ok {
-			return w, qc.Stats(), nil
+			qc.EndSpan()
+			st := qc.Stats()
+			s.recordIO(filterIO, st)
+			return w, st, nil
 		}
 	}
-	return 0, qc.Stats(), fmt.Errorf("core: point %v outside the field", pt)
+	qc.EndSpan()
+	st := qc.Stats()
+	s.recordIO(filterIO, st)
+	return 0, st, fmt.Errorf("core: point %v outside the field", pt)
 }
+
+// Close releases the spatial index's underlying store.
+func (s *SpatialIndex) Close() error { return s.pager.Close() }
 
 // IOStats returns the cumulative page-access statistics of the spatial
 // index's store.
 func (s *SpatialIndex) IOStats() storage.Stats { return s.pager.Stats() }
+
+// PoolShardStats returns the per-shard buffer-pool counters of the spatial
+// index's store (nil when the pool is disabled).
+func (s *SpatialIndex) PoolShardStats() []storage.PoolShardStats {
+	return s.pager.PoolShardStats()
+}
 
 // Stats describes the built index.
 func (s *SpatialIndex) Stats() IndexStats {

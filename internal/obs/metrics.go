@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxMethods bounds the per-method counter table of a Metrics registry. The
+// engine registers a handful of strategies; slots past the bound fall into
+// the shared overflow behaviour of RegisterMethod.
+const MaxMethods = 16
+
+// histBuckets is the latency histogram resolution: bucket i counts queries
+// with wall latency ≤ 1µs·2^i, the last bucket is unbounded (2^24 µs ≈ 16.8s
+// covers everything the simulated clock produces).
+const histBuckets = 26
+
+// Histogram is a lock-free log₂ latency histogram. The zero value is ready
+// to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	h.buckets[histBucketOf(d)].Add(1)
+}
+
+// histBucketOf maps a duration to its bucket index.
+func histBucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for ≤1µs, else ⌈log₂(µs)⌉
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot.
+type HistBucket struct {
+	// UpperBound is the bucket's inclusive latency ceiling (0 means the
+	// bucket is the unbounded tail).
+	UpperBound time.Duration
+	Count      int64
+}
+
+// histUpperBound returns bucket i's ceiling, or 0 for the unbounded tail.
+func histUpperBound(i int) time.Duration {
+	if i == histBuckets-1 {
+		return 0
+	}
+	return time.Microsecond << i
+}
+
+// MethodCounters is the per-strategy query accounting in a snapshot.
+type MethodCounters struct {
+	Method string
+	// Queries counts every finished query (including failed and canceled
+	// ones).
+	Queries int64
+	// Failures counts queries that returned a non-cancellation error.
+	Failures int64
+	// Canceled counts queries that returned context.Canceled or
+	// context.DeadlineExceeded.
+	Canceled int64
+}
+
+// Metrics is the engine's cumulative metrics registry. All recording paths
+// are atomic and allocation-free, so the registry can stay attached to every
+// query without distorting what it measures; every Record* method is also a
+// no-op on a nil receiver, mirroring the nil-tracer fast path.
+//
+// Method slots are registered once at index-build time (RegisterMethod) and
+// passed back as plain ints, keeping the per-query path free of map lookups.
+type Metrics struct {
+	mu    sync.Mutex // guards names (registration only)
+	names []string
+
+	queries  [MaxMethods]atomic.Int64
+	failures [MaxMethods]atomic.Int64
+	canceled [MaxMethods]atomic.Int64
+
+	latency Histogram
+
+	// Pages read by kind, following the paper's two-step accounting: index
+	// pages are the filter step's R*-tree reads, cell pages the refinement
+	// (or point-query decode) step's heap reads.
+	indexPages atomic.Int64
+	cellPages  atomic.Int64
+	cacheHits  atomic.Int64
+	simNano    atomic.Int64
+
+	// Worker-pool accounting for parallel refinement sections: items
+	// executed, summed busy time across workers, and the wall time of the
+	// sections. Busy/wall is the achieved average concurrency.
+	workerItems atomic.Int64
+	workerBusy  atomic.Int64
+	workerWall  atomic.Int64
+
+	// Contour assembly (facade stage after a zero-width value query).
+	contours    atomic.Int64
+	contourNano atomic.Int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// RegisterMethod returns the counter slot for a strategy name, creating it on
+// first use. Registration is idempotent per name and safe for concurrent use.
+// It returns -1 — a slot every Record* method ignores — when m is nil or the
+// table is full.
+func (m *Metrics) RegisterMethod(name string) int {
+	if m == nil {
+		return -1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, n := range m.names {
+		if n == name {
+			return i
+		}
+	}
+	if len(m.names) >= MaxMethods {
+		return -1
+	}
+	m.names = append(m.names, name)
+	return len(m.names) - 1
+}
+
+// RecordQuery counts one finished query on the given method slot and folds
+// its wall latency into the histogram.
+func (m *Metrics) RecordQuery(slot int, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(d)
+	if slot < 0 || slot >= MaxMethods {
+		return
+	}
+	m.queries[slot].Add(1)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		m.canceled[slot].Add(1)
+	} else {
+		m.failures[slot].Add(1)
+	}
+}
+
+// RecordPages attributes a finished query's page accesses: indexReads from
+// the filter step, cellReads from the refinement/decode step, plus the
+// query's cache hits and simulated disk time.
+func (m *Metrics) RecordPages(indexReads, cellReads, cacheHits int, sim time.Duration) {
+	if m == nil {
+		return
+	}
+	m.indexPages.Add(int64(indexReads))
+	m.cellPages.Add(int64(cellReads))
+	m.cacheHits.Add(int64(cacheHits))
+	m.simNano.Add(int64(sim))
+}
+
+// RecordWorkers folds one parallel section into the worker-pool accounting.
+func (m *Metrics) RecordWorkers(items int, busy, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.workerItems.Add(int64(items))
+	m.workerBusy.Add(int64(busy))
+	m.workerWall.Add(int64(wall))
+}
+
+// RecordContour counts one isoline assembly and its duration.
+func (m *Metrics) RecordContour(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.contours.Add(1)
+	m.contourNano.Add(int64(d))
+}
+
+// Snapshot is a point-in-time copy of a Metrics registry, safe to retain and
+// marshal.
+type Snapshot struct {
+	// Methods carries the per-strategy counters in registration order.
+	Methods []MethodCounters
+	// Queries is the total query count across methods (the latency
+	// histogram's sample count).
+	Queries int64
+	// LatencySum is total wall time across all queries; Latency holds the
+	// histogram's non-empty buckets; LatencyP50/P95 are bucket-resolution
+	// upper-bound estimates (0 when no queries ran).
+	LatencySum time.Duration
+	Latency    []HistBucket
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	// Pages read by kind, plus cache hits and the simulated disk clock.
+	IndexPagesRead int64
+	CellPagesRead  int64
+	CacheHits      int64
+	SimElapsed     time.Duration
+	// Worker-pool utilization: WorkerConcurrency = busy / wall is the
+	// achieved average parallelism of the refinement sections (0 when none
+	// ran).
+	WorkerItems       int64
+	WorkerBusy        time.Duration
+	WorkerWall        time.Duration
+	WorkerConcurrency float64
+	// Contour assemblies and their cumulative duration.
+	ContourAssemblies int64
+	ContourTime       time.Duration
+}
+
+// Snapshot returns a consistent-enough copy for reporting: counters are read
+// atomically, but concurrent recording may skew sums by in-flight queries.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	m.mu.Lock()
+	names := append([]string(nil), m.names...)
+	m.mu.Unlock()
+	s := Snapshot{
+		Queries:           m.latency.count.Load(),
+		LatencySum:        time.Duration(m.latency.sumNano.Load()),
+		IndexPagesRead:    m.indexPages.Load(),
+		CellPagesRead:     m.cellPages.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		SimElapsed:        time.Duration(m.simNano.Load()),
+		WorkerItems:       m.workerItems.Load(),
+		WorkerBusy:        time.Duration(m.workerBusy.Load()),
+		WorkerWall:        time.Duration(m.workerWall.Load()),
+		ContourAssemblies: m.contours.Load(),
+		ContourTime:       time.Duration(m.contourNano.Load()),
+	}
+	for i, n := range names {
+		s.Methods = append(s.Methods, MethodCounters{
+			Method:   n,
+			Queries:  m.queries[i].Load(),
+			Failures: m.failures[i].Load(),
+			Canceled: m.canceled[i].Load(),
+		})
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = m.latency.buckets[i].Load()
+		if counts[i] > 0 {
+			s.Latency = append(s.Latency, HistBucket{UpperBound: histUpperBound(i), Count: counts[i]})
+		}
+	}
+	s.LatencyP50 = quantile(counts[:], s.Queries, 0.50)
+	s.LatencyP95 = quantile(counts[:], s.Queries, 0.95)
+	if s.WorkerWall > 0 {
+		s.WorkerConcurrency = float64(s.WorkerBusy) / float64(s.WorkerWall)
+	}
+	return s
+}
+
+// quantile returns the upper bound of the bucket where the q-quantile falls
+// (0 when the histogram is empty; the tail bucket reports the largest finite
+// bound).
+func quantile(counts []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if ub := histUpperBound(i); ub != 0 {
+				return ub
+			}
+			return time.Microsecond << (histBuckets - 2)
+		}
+	}
+	return time.Microsecond << (histBuckets - 2)
+}
+
+// String renders the snapshot as an aligned text table (the fieldbench
+// -metrics dump).
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries: %d  (p50 ≤ %v, p95 ≤ %v, total wall %v)\n",
+		s.Queries, s.LatencyP50, s.LatencyP95, s.LatencySum.Round(time.Microsecond))
+	for _, mc := range s.Methods {
+		fmt.Fprintf(&b, "  %-12s queries=%-6d failures=%-4d canceled=%d\n",
+			mc.Method, mc.Queries, mc.Failures, mc.Canceled)
+	}
+	fmt.Fprintf(&b, "pages: index=%d cell=%d hits=%d sim=%v\n",
+		s.IndexPagesRead, s.CellPagesRead, s.CacheHits, s.SimElapsed.Round(time.Microsecond))
+	if s.WorkerItems > 0 {
+		fmt.Fprintf(&b, "workers: items=%d busy=%v wall=%v concurrency=%.2f\n",
+			s.WorkerItems, s.WorkerBusy.Round(time.Microsecond),
+			s.WorkerWall.Round(time.Microsecond), s.WorkerConcurrency)
+	}
+	if s.ContourAssemblies > 0 {
+		fmt.Fprintf(&b, "contours: assemblies=%d time=%v\n",
+			s.ContourAssemblies, s.ContourTime.Round(time.Microsecond))
+	}
+	if len(s.Latency) > 0 {
+		b.WriteString("latency histogram:\n")
+		for _, hb := range s.Latency {
+			bound := "+inf"
+			if hb.UpperBound != 0 {
+				bound = "≤" + hb.UpperBound.String()
+			}
+			fmt.Fprintf(&b, "  %-10s %d\n", bound, hb.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilBuilderInert(t *testing.T) {
+	tb := Begin(nil, "M", KindValue, 0, 1)
+	if tb != nil {
+		t.Fatal("Begin with nil tracer must return nil")
+	}
+	// Every method must be a no-op on the nil receiver.
+	tb.BeginSpan(PhaseFilter, PageCounts{})
+	tb.EndSpan(PageCounts{Reads: 5})
+	tb.Finish(errors.New("boom"))
+}
+
+func TestBuilderSpanAccounting(t *testing.T) {
+	col := NewCollector(4)
+	tb := Begin(col, "I-Hilbert", KindValue, 10, 20)
+	tb.BeginSpan(PhaseFilter, PageCounts{})
+	tb.EndSpan(PageCounts{Reads: 3, RandReads: 3})
+	tb.BeginSpan(PhaseRefine, PageCounts{Reads: 3, RandReads: 3})
+	tb.EndSpan(PageCounts{Reads: 10, RandReads: 3, SeqReads: 7, CacheHits: 2})
+	tb.Finish(nil)
+
+	traces := col.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	tr := traces[0]
+	if tr.Method != "I-Hilbert" || tr.Kind != KindValue || tr.Lo != 10 || tr.Hi != 20 {
+		t.Fatalf("header: %+v", tr)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans", len(tr.Spans))
+	}
+	if tr.Spans[0].Phase != PhaseFilter || tr.Spans[0].Pages.Reads != 3 {
+		t.Fatalf("filter span: %+v", tr.Spans[0])
+	}
+	if tr.Spans[1].Phase != PhaseRefine || tr.Spans[1].Pages.Reads != 7 ||
+		tr.Spans[1].Pages.SeqReads != 7 || tr.Spans[1].Pages.CacheHits != 2 {
+		t.Fatalf("refine span: %+v", tr.Spans[1])
+	}
+	// Trace IO is the sum of span page counts.
+	if tr.IO.Reads != 10 || tr.IO.CacheHits != 2 {
+		t.Fatalf("trace IO: %+v", tr.IO)
+	}
+	if tr.Err != "" {
+		t.Fatalf("unexpected error %q", tr.Err)
+	}
+	if !strings.Contains(tr.String(), "I-Hilbert value") {
+		t.Fatalf("String: %s", tr.String())
+	}
+}
+
+func TestBuilderAutoClose(t *testing.T) {
+	// BeginSpan closes an open span; Finish closes the last one with the
+	// counts of the last boundary and records the error.
+	col := NewCollector(1)
+	tb := Begin(col, "M", KindPoint, 1, 2)
+	tb.BeginSpan(PhaseFilter, PageCounts{})
+	tb.BeginSpan(PhaseDecode, PageCounts{Reads: 2}) // implicitly ends filter
+	tb.Finish(errors.New("boom"))                   // implicitly ends decode
+
+	tr := col.Traces()[0]
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans", len(tr.Spans))
+	}
+	if tr.Spans[0].Pages.Reads != 2 {
+		t.Fatalf("filter pages: %+v", tr.Spans[0].Pages)
+	}
+	// The decode span was closed by Finish with the last boundary's counts:
+	// zero delta.
+	if tr.Spans[1].Pages.Reads != 0 {
+		t.Fatalf("decode pages: %+v", tr.Spans[1].Pages)
+	}
+	if tr.Err != "boom" {
+		t.Fatalf("err %q", tr.Err)
+	}
+}
+
+func TestCollectorRing(t *testing.T) {
+	col := NewCollector(2)
+	for i := 0; i < 5; i++ {
+		tb := Begin(col, fmt.Sprintf("m%d", i), KindValue, 0, 0)
+		tb.Finish(nil)
+	}
+	if col.Total() != 5 {
+		t.Fatalf("total %d", col.Total())
+	}
+	traces := col.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("retained %d", len(traces))
+	}
+	if traces[0].Method != "m3" || traces[1].Method != "m4" {
+		t.Fatalf("ring order: %s, %s", traces[0].Method, traces[1].Method)
+	}
+}
+
+func TestPageCountsSubAdd(t *testing.T) {
+	a := PageCounts{Reads: 10, SeqReads: 6, RandReads: 4, CacheHits: 3, SimElapsed: 10 * time.Millisecond}
+	b := PageCounts{Reads: 4, SeqReads: 2, RandReads: 2, CacheHits: 1, SimElapsed: 4 * time.Millisecond}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.SeqReads != 4 || d.RandReads != 2 || d.CacheHits != 2 || d.SimElapsed != 6*time.Millisecond {
+		t.Fatalf("Sub: %+v", d)
+	}
+	if got := b.Add(d); got != a {
+		t.Fatalf("Add: %+v", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhasePlan:    "plan",
+		PhaseFilter:  "filter",
+		PhaseRefine:  "refine",
+		PhaseDecode:  "decode",
+		PhaseContour: "contour-assemble",
+	}
+	for ph, name := range want {
+		if ph.String() != name {
+			t.Fatalf("%d: %s", ph, ph.String())
+		}
+	}
+	if got := Phase(200).String(); !strings.Contains(got, "200") {
+		t.Fatalf("unknown phase: %s", got)
+	}
+}
+
+func TestMetricsNilInert(t *testing.T) {
+	var m *Metrics
+	if slot := m.RegisterMethod("X"); slot != -1 {
+		t.Fatalf("nil RegisterMethod = %d", slot)
+	}
+	m.RecordQuery(0, time.Millisecond, nil)
+	m.RecordPages(1, 2, 3, time.Millisecond)
+	m.RecordWorkers(1, time.Millisecond, time.Millisecond)
+	m.RecordContour(time.Millisecond)
+	if s := m.Snapshot(); s.Queries != 0 {
+		t.Fatalf("nil snapshot: %+v", s)
+	}
+}
+
+func TestMetricsRegisterMethod(t *testing.T) {
+	m := NewMetrics()
+	a := m.RegisterMethod("A")
+	b := m.RegisterMethod("B")
+	if a == b {
+		t.Fatal("distinct methods share a slot")
+	}
+	if again := m.RegisterMethod("A"); again != a {
+		t.Fatalf("re-register moved slot %d -> %d", a, again)
+	}
+	for i := 0; i < MaxMethods; i++ {
+		m.RegisterMethod(fmt.Sprintf("filler-%d", i))
+	}
+	if overflow := m.RegisterMethod("overflow"); overflow != -1 {
+		t.Fatalf("overflow slot %d", overflow)
+	}
+	// Out-of-range slots must be ignored, not panic.
+	m.RecordQuery(-1, time.Millisecond, nil)
+	m.RecordQuery(MaxMethods, time.Millisecond, nil)
+}
+
+func TestMetricsRecordQueryClassification(t *testing.T) {
+	m := NewMetrics()
+	slot := m.RegisterMethod("M")
+	m.RecordQuery(slot, time.Millisecond, nil)
+	m.RecordQuery(slot, time.Millisecond, errors.New("boom"))
+	m.RecordQuery(slot, time.Millisecond, context.Canceled)
+	m.RecordQuery(slot, time.Millisecond, fmt.Errorf("wrapped: %w", context.DeadlineExceeded))
+
+	s := m.Snapshot()
+	if len(s.Methods) != 1 {
+		t.Fatalf("methods: %+v", s.Methods)
+	}
+	mc := s.Methods[0]
+	if mc.Method != "M" || mc.Queries != 4 || mc.Failures != 1 || mc.Canceled != 2 {
+		t.Fatalf("counters: %+v", mc)
+	}
+	if s.Queries != 4 {
+		t.Fatalf("total queries %d", s.Queries)
+	}
+}
+
+func TestMetricsPagesAndWorkers(t *testing.T) {
+	m := NewMetrics()
+	m.RecordPages(3, 7, 2, 10*time.Millisecond)
+	m.RecordPages(1, 1, 0, time.Millisecond)
+	m.RecordWorkers(4, 40*time.Millisecond, 10*time.Millisecond)
+	m.RecordContour(2 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.IndexPagesRead != 4 || s.CellPagesRead != 8 || s.CacheHits != 2 {
+		t.Fatalf("pages: %+v", s)
+	}
+	if s.SimElapsed != 11*time.Millisecond {
+		t.Fatalf("sim %v", s.SimElapsed)
+	}
+	if s.WorkerItems != 4 || s.WorkerBusy != 40*time.Millisecond || s.WorkerWall != 10*time.Millisecond {
+		t.Fatalf("workers: %+v", s)
+	}
+	if s.WorkerConcurrency < 3.9 || s.WorkerConcurrency > 4.1 {
+		t.Fatalf("concurrency %f", s.WorkerConcurrency)
+	}
+	if s.ContourAssemblies != 1 || s.ContourTime != 2*time.Millisecond {
+		t.Fatalf("contours: %+v", s)
+	}
+	if out := s.String(); !strings.Contains(out, "pages:") {
+		t.Fatalf("String: %s", out)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	m := NewMetrics()
+	slot := m.RegisterMethod("M")
+	// 100 queries at ~1ms, 10 at ~100ms: p50 lands in the 1ms region, p95
+	// at or above it, and the histogram total matches.
+	for i := 0; i < 100; i++ {
+		m.RecordQuery(slot, time.Millisecond, nil)
+	}
+	for i := 0; i < 10; i++ {
+		m.RecordQuery(slot, 100*time.Millisecond, nil)
+	}
+	s := m.Snapshot()
+	var total int64
+	for _, b := range s.Latency {
+		total += b.Count
+	}
+	if total != 110 {
+		t.Fatalf("histogram total %d", total)
+	}
+	if s.LatencyP50 > 5*time.Millisecond {
+		t.Fatalf("p50 %v", s.LatencyP50)
+	}
+	if s.LatencyP95 < s.LatencyP50 {
+		t.Fatalf("p95 %v < p50 %v", s.LatencyP95, s.LatencyP50)
+	}
+}
+
+func TestObserverZeroValueInert(t *testing.T) {
+	var ob Observer
+	tb := Begin(ob.Tracer, "M", KindValue, 0, 1)
+	tb.Finish(nil)
+	ob.Metrics.RecordQuery(0, time.Millisecond, nil)
+}

@@ -3,8 +3,11 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"io"
 	"sync"
 	"time"
+
+	"fielddb/internal/obs"
 )
 
 // DiskModel describes the simulated cost of page accesses. The defaults model
@@ -78,6 +81,18 @@ func (s Stats) Add(o Stats) Stats {
 func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d (seq=%d rand=%d) hits=%d writes=%d sim=%v",
 		s.Reads, s.SeqReads, s.RandReads, s.CacheHits, s.Writes, s.SimElapsed)
+}
+
+// PageCounts converts the read-side counters to the obs mirror type (obs sits
+// below storage in the import order and cannot name Stats).
+func (s Stats) PageCounts() obs.PageCounts {
+	return obs.PageCounts{
+		Reads:      s.Reads,
+		SeqReads:   s.SeqReads,
+		RandReads:  s.RandReads,
+		CacheHits:  s.CacheHits,
+		SimElapsed: s.SimElapsed,
+	}
 }
 
 // PageReader is the read side of the paged store. Two implementations exist:
@@ -449,6 +464,25 @@ func (p *Pager) DropCache() {
 // Model returns the pager's disk cost model.
 func (p *Pager) Model() DiskModel { return p.model }
 
+// PoolShardStats returns a snapshot of each buffer-pool shard's occupancy and
+// probe counters, or nil when the pool is disabled. Shard i caches page ids
+// with id & (shards-1) == i.
+func (p *Pager) PoolShardStats() []PoolShardStats {
+	if p.pool == nil {
+		return nil
+	}
+	return p.pool.shardStats()
+}
+
+// Close releases the underlying disk when it holds external resources
+// (FileDisk); in-memory disks make it a no-op.
+func (p *Pager) Close() error {
+	if c, ok := p.disk.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // SnapshotTo copies every page of the underlying disk to dst, allocating
 // pages there as needed. The copy bypasses the cost accounting — it is a
 // maintenance operation (saving a built database to a file), not part of a
@@ -503,6 +537,11 @@ type QueryCtx struct {
 	// the shared totals only by Stats (and absorbed by Merge), so the hot
 	// read path takes no per-page accounting lock.
 	flushed Stats
+
+	// tb is the query's trace builder, or nil when tracing is off. Spans are
+	// charged by snapshotting stats at phase boundaries (BeginSpan/EndSpan),
+	// never per page, so the read path above is identical either way.
+	tb *obs.TraceBuilder
 }
 
 // BeginQuery returns a fresh execution context for one query.
@@ -607,6 +646,32 @@ func (qc *QueryCtx) Stats() Stats {
 		qc.flushed = qc.stats
 	}
 	return qc.stats
+}
+
+// LocalStats returns this query's accumulated activity without publishing it
+// to the pager's cumulative totals — a boundary snapshot for phase
+// attribution, where the final Stats call still publishes every increment
+// exactly once.
+func (qc *QueryCtx) LocalStats() Stats { return qc.stats }
+
+// AttachTrace ties a trace builder (possibly nil) to this context so the
+// query pipeline can mark phase boundaries with BeginSpan/EndSpan.
+func (qc *QueryCtx) AttachTrace(tb *obs.TraceBuilder) { qc.tb = tb }
+
+// BeginSpan opens a trace span for phase ph at the current private-stats
+// boundary. A no-op without an attached trace.
+func (qc *QueryCtx) BeginSpan(ph obs.Phase) {
+	if qc.tb != nil {
+		qc.tb.BeginSpan(ph, qc.stats.PageCounts())
+	}
+}
+
+// EndSpan closes the open trace span, charging it the page activity since its
+// BeginSpan. A no-op without an attached trace.
+func (qc *QueryCtx) EndSpan() {
+	if qc.tb != nil {
+		qc.tb.EndSpan(qc.stats.PageCounts())
+	}
 }
 
 // Fork returns a child context for one worker of a parallel refinement step:

@@ -93,6 +93,25 @@ type poolShard struct {
 	cap    int
 	lru    *list.List               // front = most recently used; values are *Frame
 	frames map[PageID]*list.Element // page id -> element in lru
+	hits   int64                    // probes served from this shard
+	misses int64                    // probes that fell through to the disk
+}
+
+// PoolShardStats is a snapshot of one buffer-pool shard: its capacity and
+// occupancy in pages, and how its probes split between hits and misses.
+type PoolShardStats struct {
+	Cap    int
+	Len    int
+	Hits   int64
+	Misses int64
+}
+
+// HitRatio returns hits / probes, or 0 before the first probe.
+func (s PoolShardStats) HitRatio() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
 }
 
 // shardedPool is the shared buffer pool of a Pager: an N-way sharded,
@@ -147,9 +166,11 @@ func (sp *shardedPool) view(id PageID) *Frame {
 	s.mu.Lock()
 	el, ok := s.frames[id]
 	if !ok {
+		s.misses++
 		s.mu.Unlock()
 		return nil
 	}
+	s.hits++
 	s.lru.MoveToFront(el)
 	f := el.Value.(*Frame)
 	f.Retain()
@@ -174,10 +195,13 @@ func (sp *shardedPool) viewRun(first PageID, frames []*Frame) {
 		s.mu.Lock()
 		for i := start; i < n; i += nsh {
 			if el, ok := s.frames[first+PageID(i)]; ok {
+				s.hits++
 				s.lru.MoveToFront(el)
 				f := el.Value.(*Frame)
 				f.Retain()
 				frames[i] = f
+			} else {
+				s.misses++
 			}
 		}
 		s.mu.Unlock()
@@ -244,6 +268,18 @@ func (sp *shardedPool) update(id PageID, buf []byte) {
 	el.Value = nf
 	s.mu.Unlock()
 	old.Release()
+}
+
+// shardStats snapshots every shard's occupancy and probe counters.
+func (sp *shardedPool) shardStats() []PoolShardStats {
+	out := make([]PoolShardStats, len(sp.shards))
+	for i := range sp.shards {
+		s := &sp.shards[i]
+		s.mu.Lock()
+		out[i] = PoolShardStats{Cap: s.cap, Len: s.lru.Len(), Hits: s.hits, Misses: s.misses}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // drop empties the pool, releasing the pool's reference on every frame.

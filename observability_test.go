@@ -1,0 +1,398 @@
+package fielddb
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fielddb/internal/geom"
+	"fielddb/internal/obs"
+	"fielddb/internal/storage"
+)
+
+// recordingTracer appends every trace in arrival order.
+type recordingTracer struct {
+	mu     sync.Mutex
+	traces []*QueryTrace
+}
+
+func (r *recordingTracer) TraceQuery(t *QueryTrace) {
+	r.mu.Lock()
+	r.traces = append(r.traces, t)
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) last(t *testing.T) *QueryTrace {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.traces) == 0 {
+		t.Fatal("no trace emitted")
+	}
+	return r.traces[len(r.traces)-1]
+}
+
+// checkTrace asserts the core reconciliation invariant: the trace's span page
+// counts sum exactly to the trace IO, which equals the query's own Result.IO.
+func checkTrace(t *testing.T, tr *QueryTrace, io storage.Stats) {
+	t.Helper()
+	var sum obs.PageCounts
+	for _, sp := range tr.Spans {
+		sum = sum.Add(sp.Pages)
+	}
+	if sum != tr.IO {
+		t.Fatalf("%s %s: span sum %+v != trace IO %+v", tr.Method, tr.Kind, sum, tr.IO)
+	}
+	want := io.PageCounts()
+	if tr.IO != want {
+		t.Fatalf("%s %s: trace IO %+v != query IO %+v", tr.Method, tr.Kind, tr.IO, want)
+	}
+	if tr.Err != "" {
+		t.Fatalf("%s %s: unexpected trace error %q", tr.Method, tr.Kind, tr.Err)
+	}
+}
+
+// TestTraceReconciliation is the acceptance criterion of the observability
+// layer: for every query method and kind, the per-span page counts sum
+// exactly to the query's own Result.IO.
+func TestTraceReconciliation(t *testing.T) {
+	dem, err := TerrainDEM(64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	for _, method := range []Method{LinearScan, IAll, IHilbert, IQuad, Auto} {
+		t.Run(string(method), func(t *testing.T) {
+			rec := &recordingTracer{}
+			db, err := Open(dem, Options{Method: method, Tracer: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			intervals := [][2]float64{
+				{vr.Lo + vr.Length()*0.4, vr.Lo + vr.Length()*0.5}, // selective
+				{vr.Lo, vr.Hi},           // everything
+				{vr.Hi + 10, vr.Hi + 20}, // empty
+				{vr.Lo + vr.Length()*0.5, vr.Lo + vr.Length()*0.5}, // zero width
+			}
+			for _, iv := range intervals {
+				res, err := db.ValueQuery(iv[0], iv[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := rec.last(t)
+				if tr.Kind != obs.KindValue {
+					t.Fatalf("kind %q", tr.Kind)
+				}
+				checkTrace(t, tr, res.IO)
+			}
+			// Conventional (point) query against the spatial store.
+			_, st, err := db.PointQueryStats(geom.Pt(12.5, 40.25))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := rec.last(t)
+			if tr.Kind != obs.KindPoint || tr.Method != "Spatial" {
+				t.Fatalf("point trace %s %s", tr.Method, tr.Kind)
+			}
+			checkTrace(t, tr, st)
+			// Approximate query (partition-based methods only).
+			if ar, err := db.ApproxValueQuery(vr.Lo, vr.Lo+vr.Length()*0.25); err == nil {
+				tr := rec.last(t)
+				if tr.Kind != obs.KindApprox {
+					t.Fatalf("approx kind %q", tr.Kind)
+				}
+				checkTrace(t, tr, ar.IO)
+			} else if !errors.Is(err, ErrNoPartition) {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTraceReconciliationParallel re-runs the invariant with a parallel
+// refinement pool: worker contexts must merge into the refine span before it
+// closes.
+func TestTraceReconciliationParallel(t *testing.T) {
+	dem, err := TerrainDEM(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingTracer{}
+	db, err := Open(dem, Options{Workers: 4, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	vr := dem.ValueRange()
+	res, err := db.ValueQuery(vr.Lo, vr.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrace(t, rec.last(t), res.IO)
+}
+
+func TestContourTrace(t *testing.T) {
+	dem, err := TerrainDEM(32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// SetTracer after Open must reinstall the sinks.
+	col := NewTraceCollector(8)
+	db.SetTracer(col)
+	vr := dem.ValueRange()
+	if _, err := db.ContourMap(vr.Lo + vr.Length()*0.5); err != nil {
+		t.Fatal(err)
+	}
+	traces := col.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want value + contour", len(traces))
+	}
+	if traces[0].Kind != obs.KindValue {
+		t.Fatalf("first trace kind %q", traces[0].Kind)
+	}
+	ct := traces[1]
+	if ct.Kind != obs.KindContour {
+		t.Fatalf("second trace kind %q", ct.Kind)
+	}
+	if len(ct.Spans) != 1 || ct.Spans[0].Phase != obs.PhaseContour {
+		t.Fatalf("contour spans: %+v", ct.Spans)
+	}
+	if ct.IO.Reads != 0 {
+		t.Fatalf("contour assembly read %d pages", ct.IO.Reads)
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	dem, err := TerrainDEM(64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	vr := dem.ValueRange()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := db.ValueQuery(vr.Lo, vr.Lo+vr.Length()*0.3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.PointQuery(geom.Pt(20.5, 30.5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.ApproxValueQuery(vr.Lo, vr.Lo+vr.Length()*0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Contours(vr.Lo + vr.Length()*0.5); err != nil {
+		t.Fatal(err)
+	}
+	// An inverted interval is rejected before reaching the engine and must
+	// not count as a query.
+	if _, err := db.ValueQuery(5, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+
+	m := db.Metrics()
+	if m.Engine.Queries != 3*n+1 {
+		t.Fatalf("engine queries %d, want %d", m.Engine.Queries, 3*n+1)
+	}
+	byMethod := map[string]int64{}
+	for _, mc := range m.Engine.Methods {
+		byMethod[mc.Method] = mc.Queries
+	}
+	if byMethod["I-Hilbert"] != 2*n+1 || byMethod["Spatial"] != n {
+		t.Fatalf("per-method queries: %v", byMethod)
+	}
+	if m.Engine.IndexPagesRead == 0 || m.Engine.CellPagesRead == 0 {
+		t.Fatalf("pages by kind: %+v", m.Engine)
+	}
+	// Engine page totals reconcile with the per-store I/O counters.
+	engineReads := m.Engine.IndexPagesRead + m.Engine.CellPagesRead
+	storeReads := int64(m.ValueIO.Reads + m.SpatialIO.Reads)
+	if engineReads != storeReads {
+		t.Fatalf("engine reads %d != store reads %d", engineReads, storeReads)
+	}
+	if m.Engine.WorkerItems == 0 {
+		t.Fatal("no worker utilization recorded under Workers=2")
+	}
+	if m.Engine.ContourAssemblies != 1 {
+		t.Fatalf("contours %d", m.Engine.ContourAssemblies)
+	}
+	if m.ValuePool == nil || m.SpatialPool == nil {
+		t.Fatal("pool stats missing with pool enabled")
+	}
+	var probes int64
+	for _, s := range m.ValuePool {
+		probes += s.Hits + s.Misses
+	}
+	if probes == 0 {
+		t.Fatal("no pool probes counted")
+	}
+	if out := m.String(); len(out) == 0 {
+		t.Fatal("empty metrics rendering")
+	}
+
+	// ColdCache runs report no pool shards.
+	db2, err := Open(dem, Options{ColdCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if m2 := db2.Metrics(); m2.ValuePool != nil || m2.SpatialPool != nil {
+		t.Fatal("pool stats present with ColdCache")
+	}
+}
+
+// countdownCtx is a context whose Err trips to context.Canceled after n
+// polls — a deterministic way to cancel mid-refinement.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.n.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestValueQueryCancellation(t *testing.T) {
+	dem, err := TerrainDEM(128, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	for _, workers := range []int{1, 4} {
+		db, err := Open(dem, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := runtime.NumGoroutine()
+		ctx := newCountdownCtx(2)
+		_, err = db.ValueQueryContext(ctx, vr.Lo, vr.Hi)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// All refinement workers must have been joined: the goroutine count
+		// settles back to (at most) where it started.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := runtime.NumGoroutine(); got > before {
+			t.Fatalf("workers=%d: %d goroutines before, %d after cancel", workers, before, got)
+		}
+		db.Close()
+	}
+}
+
+func TestCancellationAcrossQueryKinds(t *testing.T) {
+	dem, err := TerrainDEM(64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	vr := dem.ValueRange()
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ValueQueryContext(canceled, vr.Lo, vr.Hi); !errors.Is(err, context.Canceled) {
+		t.Fatalf("value: %v", err)
+	}
+	if _, err := db.ApproxValueQueryContext(canceled, vr.Lo, vr.Hi); !errors.Is(err, context.Canceled) {
+		t.Fatalf("approx: %v", err)
+	}
+	if _, _, err := db.PointQueryStatsContext(newCountdownCtx(0), geom.Pt(12.5, 40.25)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("point: %v", err)
+	}
+	if _, err := db.ContourMapContext(canceled, vr.Lo+vr.Length()*0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("contour: %v", err)
+	}
+	if _, err := AndContext(canceled, []*DB{db}, []Interval{{Lo: vr.Lo, Hi: vr.Hi}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("and: %v", err)
+	}
+	// A canceled query must be classified as canceled, not failed.
+	found := false
+	for _, mc := range db.Metrics().Engine.Methods {
+		if mc.Method == "I-Hilbert" {
+			found = true
+			if mc.Canceled == 0 {
+				t.Fatalf("no canceled queries recorded: %+v", mc)
+			}
+			if mc.Failures != 0 {
+				t.Fatalf("cancellations misclassified as failures: %+v", mc)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("I-Hilbert missing from metrics")
+	}
+}
+
+func TestOpenContextCancellation(t *testing.T) {
+	dem, err := TerrainDEM(128, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OpenContext(ctx, dem, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential open: %v", err)
+	}
+	if _, err := OpenContext(ctx, dem, Options{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel open: %v", err)
+	}
+}
+
+// TestTracingDisabledStatsIntact guards the nil-tracer fast path: queries
+// without a tracer still produce identical results and I/O accounting.
+func TestTracingDisabledStatsIntact(t *testing.T) {
+	dem, err := TerrainDEM(64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	plain, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	traced, err := Open(dem, Options{Tracer: NewTraceCollector(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traced.Close()
+	a, err := plain.ValueQuery(vr.Lo+vr.Length()*0.4, vr.Lo+vr.Length()*0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := traced.ValueQuery(vr.Lo+vr.Length()*0.4, vr.Lo+vr.Length()*0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IO != b.IO || a.CellsMatched != b.CellsMatched || a.Area != b.Area {
+		t.Fatalf("tracing changed the query: %+v vs %+v", a.IO, b.IO)
+	}
+}
