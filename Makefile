@@ -5,15 +5,20 @@
 
 GO ?= go
 
-.PHONY: check build vet test race cover bench-parallel bench-smoke
+.PHONY: check build vet fmt test race cover bench-parallel bench-smoke bench-compare
 
-check: build vet race cover bench-smoke
+check: build vet fmt race cover bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt is a gate, not a suggestion: fail if any tracked Go file needs
+# formatting (gofmt -l prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -40,3 +45,12 @@ bench-parallel:
 # real -benchtime for numbers; see BENCH_BASELINE.json).
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkValueRange -benchtime 1x .
+
+# Regression gate on the simulated-disk metrics: measure the deterministic
+# value-range suite (one 64-query rotation per cell, exactly the
+# BenchmarkValueRange workload) and compare pages/op and simns/op against the
+# newest section of BENCH_BASELINE.json. Wall-clock metrics are not gated.
+BENCH_NEW ?= /tmp/fielddb-bench-new.json
+bench-compare:
+	$(GO) run ./cmd/fieldbench -bench-json $(BENCH_NEW)
+	$(GO) run ./cmd/fieldbench -compare -tolerance 0.02 BENCH_BASELINE.json $(BENCH_NEW)

@@ -37,8 +37,22 @@ func main() {
 		workers = flag.Int("workers", 0, "run the refinement-parallelism speedup table up to N workers and exit")
 		asJSON  = flag.Bool("json", false, "emit results as machine-readable JSON instead of tables")
 		metrics = flag.Bool("metrics", false, "run a mixed demo workload and dump the engine metrics registry")
+
+		benchJSON = flag.String("bench-json", "", "measure the deterministic value-range suite (the BenchmarkValueRange workload) and write {name: row} JSON to this file ('-' for stdout)")
+		compare   = flag.Bool("compare", false, "compare two benchmark JSON files (args: old.json new.json); exits 1 if new regresses pages/op or simns/op beyond -tolerance")
+		tolerance = flag.Float64("tolerance", 0.01, "relative regression tolerance for -compare")
+		section   = flag.String("baseline-section", "", "section of a multi-section baseline file to compare against (default: newest recorded)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		runBenchJSON(*benchJSON)
+		return
+	}
+	if *compare {
+		runCompare(flag.Args(), *section, *tolerance)
+		return
+	}
 
 	if *metrics {
 		side, nq := 128, 16
@@ -146,6 +160,63 @@ func main() {
 	if *asJSON {
 		emitJSON(jsonReports)
 	}
+}
+
+// runBenchJSON measures the deterministic value-range suite and writes the
+// rows as flat JSON, the format -compare consumes as either side.
+func runBenchJSON(path string) {
+	rows, err := bench.ValueRangeMeasure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b, err := bench.MarshalIndent(rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runCompare gates new benchmark rows against old ones, exiting 1 on any
+// pages/op or simns/op regression beyond tol. Either file may be flat
+// -bench-json output or the multi-section BENCH_BASELINE.json layout.
+func runCompare(args []string, section string, tol float64) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fieldbench -compare [-tolerance f] [-baseline-section s] old.json new.json")
+		os.Exit(2)
+	}
+	oldRows, oldSec, err := bench.LoadRows(args[0], section)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRows, _, err := bench.LoadRows(args[1], "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	from := args[0]
+	if oldSec != "" {
+		from += "[" + oldSec + "]"
+	}
+	fails := bench.CompareRows(oldRows, newRows, tol)
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "benchmark regressions vs %s (tolerance %.1f%%):\n", from, 100*tol)
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no simulated-disk regressions vs %s across %d rows (tolerance %.1f%%)\n",
+		from, len(oldRows), 100*tol)
 }
 
 // emitJSON writes v as indented JSON on stdout, exiting non-zero on a

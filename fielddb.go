@@ -155,6 +155,13 @@ type Options struct {
 	// Curve overrides the space-filling curve ("hilbert", "zorder",
 	// "gray"; default "hilbert").
 	Curve string
+	// NoIntervalSidecar disables the columnar interval sidecar that is
+	// otherwise built alongside every value index: packed (min, max) pages
+	// in heap order that let filter passes test cell intervals without
+	// touching cell pages. The zero value — sidecar on — is the default
+	// because LinearScan's filter step reads over 6× fewer pages through
+	// it; answers are byte-identical either way.
+	NoIntervalSidecar bool
 	// DiskModel overrides the simulated disk cost model.
 	DiskModel *storage.DiskModel
 	// Tracer, when set, receives one QueryTrace per finished query (value,
@@ -230,15 +237,23 @@ func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 		switch method {
 		case Auto:
 			return core.BuildAutoCtx(ctx, f, pager, core.AutoOptions{
-				Hilbert: core.HilbertOptions{Curve: curve, Cost: cost, Workers: opts.Workers},
+				Hilbert: core.HilbertOptions{
+					Curve: curve, Cost: cost, Workers: opts.Workers,
+					NoSidecar: opts.NoIntervalSidecar,
+				},
 			})
 		case LinearScan:
-			return core.BuildLinearScanCtx(ctx, f, pager)
+			return core.BuildLinearScanWith(ctx, f, pager, core.LinearScanOptions{
+				NoSidecar: opts.NoIntervalSidecar,
+			})
 		case IAll:
-			return core.BuildIAllCtx(ctx, f, pager, core.IAllOptions{})
+			return core.BuildIAllCtx(ctx, f, pager, core.IAllOptions{
+				NoSidecar: opts.NoIntervalSidecar,
+			})
 		case IHilbert:
 			return core.BuildIHilbertCtx(ctx, f, pager, core.HilbertOptions{
 				Curve: curve, Cost: cost, Workers: opts.Workers,
+				NoSidecar: opts.NoIntervalSidecar,
 			})
 		case IQuad:
 			frac := opts.QuadMaxSizeFrac
@@ -247,9 +262,10 @@ func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 			}
 			vr := f.ValueRange()
 			return core.BuildIQuadCtx(ctx, f, pager, core.ThresholdOptions{
-				MaxSize: vr.Length()*frac + 1,
-				Cost:    cost,
-				Workers: opts.Workers,
+				MaxSize:   vr.Length()*frac + 1,
+				Cost:      cost,
+				Workers:   opts.Workers,
+				NoSidecar: opts.NoIntervalSidecar,
 			})
 		default:
 			panic("unreachable: method validated above")

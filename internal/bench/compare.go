@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fielddb/internal/storage"
+	"fielddb/internal/workload"
+)
+
+// Row is one benchmark measurement in the BENCH_BASELINE.json schema.
+// PagesOp and SimNsOp come off the simulated disk clock and are exactly
+// reproducible (the workload is a fixed 64-query rotation); NsOp is wall
+// clock and carries host noise, so regression gating compares only the
+// simulated metrics.
+type Row struct {
+	NsOp     float64 `json:"ns_op"`
+	PagesOp  float64 `json:"pages_op"`
+	SimNsOp  float64 `json:"simns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// ValueRangeMeasure runs the deterministic value-range suite — the exact
+// dataset, index specs, worker counts, selectivities, seeds, and
+// sub-benchmark names of BenchmarkValueRange — for one full 64-query
+// rotation per cell and returns the per-cell rows. Because every metric that
+// matters is read off the simulated disk, one rotation reproduces the
+// pages_op and simns_op of any -benchtime that is a multiple of 64x.
+func ValueRangeMeasure() (map[string]Row, error) {
+	f, err := workload.Terrain(256, 4217)
+	if err != nil {
+		return nil, err
+	}
+	vr := f.ValueRange()
+	rows := map[string]Row{}
+	for _, spec := range ValueRangeSpecs() {
+		pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 1<<16)
+		idx, err := spec.Build(f, pager)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Label, err)
+		}
+		workerCounts := []int{1}
+		if _, ok := idx.(interface{ SetWorkers(int) }); ok {
+			workerCounts = append(workerCounts, 4)
+		}
+		for _, workers := range workerCounts {
+			if w, ok := idx.(interface{ SetWorkers(int) }); ok {
+				w.SetWorkers(workers)
+			}
+			for _, sel := range Selectivities {
+				queries := workload.Queries(vr, sel, 64, 4217+int64(sel*1e6))
+				name := fmt.Sprintf("%s/sel=%.2f", spec.Label, sel)
+				if workers > 1 {
+					name += fmt.Sprintf("/workers=%d", workers)
+				}
+				var simNs, pages float64
+				start := time.Now()
+				for _, q := range queries {
+					res, err := idx.Query(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %w", name, err)
+					}
+					simNs += float64(res.IO.SimElapsed.Nanoseconds())
+					pages += float64(res.IO.Reads)
+				}
+				n := float64(len(queries))
+				rows[name] = Row{
+					NsOp:    float64(time.Since(start).Nanoseconds()) / n,
+					PagesOp: pages / n,
+					SimNsOp: simNs / n,
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// baselineSections is the precedence order for picking rows out of a
+// multi-section BENCH_BASELINE.json when no section is named: newest
+// recorded state first.
+var baselineSections = []string{"post_sidecar", "post_obs", "post", "pre"}
+
+// LoadRows reads benchmark rows from path. Two layouts are accepted: a flat
+// {name: row} map (what -bench-json writes) and the checked-in
+// BENCH_BASELINE.json layout of named sections (plus "_comment"/"env"
+// metadata, which is skipped). For sectioned files, section picks the rows;
+// empty means the newest known section. The chosen section name is returned
+// ("" for flat files).
+func LoadRows(path, section string) (map[string]Row, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	delete(top, "_comment")
+	delete(top, "env")
+	if section != "" {
+		msg, ok := top[section]
+		if !ok {
+			return nil, "", fmt.Errorf("%s: no section %q", path, section)
+		}
+		rows, err := decodeRows(msg)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s[%s]: %w", path, section, err)
+		}
+		return rows, section, nil
+	}
+	// Flat layout: every remaining value is a row.
+	flat := map[string]Row{}
+	isFlat := len(top) > 0
+	for name, msg := range top {
+		row, err := decodeRow(msg)
+		if err != nil {
+			isFlat = false
+			break
+		}
+		flat[name] = row
+	}
+	if isFlat {
+		return flat, "", nil
+	}
+	for _, s := range baselineSections {
+		if msg, ok := top[s]; ok {
+			rows, err := decodeRows(msg)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s[%s]: %w", path, s, err)
+			}
+			return rows, s, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%s: no recognizable benchmark rows", path)
+}
+
+// decodeRow parses one row strictly: a section object (whose keys are
+// benchmark names, not row fields) fails, which is how LoadRows tells the
+// two layouts apart.
+func decodeRow(msg json.RawMessage) (Row, error) {
+	dec := json.NewDecoder(bytes.NewReader(msg))
+	dec.DisallowUnknownFields()
+	var row Row
+	err := dec.Decode(&row)
+	return row, err
+}
+
+func decodeRows(msg json.RawMessage) (map[string]Row, error) {
+	var rows map[string]Row
+	if err := json.Unmarshal(msg, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// CompareRows gates new measurements against old ones: for every row of old,
+// the new pages_op and simns_op may not exceed the old value by more than
+// tol (relative). It returns one line per violation, empty when the new
+// numbers are clean. Wall-clock and allocation metrics are not gated — they
+// measure the host, not the engine.
+func CompareRows(oldRows, newRows map[string]Row, tol float64) []string {
+	names := make([]string, 0, len(oldRows))
+	for name := range oldRows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var fails []string
+	for _, name := range names {
+		nr, ok := newRows[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from new measurements", name))
+			continue
+		}
+		or := oldRows[name]
+		if nr.PagesOp > or.PagesOp*(1+tol) {
+			fails = append(fails, fmt.Sprintf("%s: pages/op regressed %.1f -> %.1f (+%.1f%%)",
+				name, or.PagesOp, nr.PagesOp, 100*(nr.PagesOp/or.PagesOp-1)))
+		}
+		if nr.SimNsOp > or.SimNsOp*(1+tol) {
+			fails = append(fails, fmt.Sprintf("%s: simns/op regressed %.0f -> %.0f (+%.1f%%)",
+				name, or.SimNsOp, nr.SimNsOp, 100*(nr.SimNsOp/or.SimNsOp-1)))
+		}
+	}
+	return fails
+}

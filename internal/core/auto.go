@@ -199,7 +199,7 @@ func (a *Auto) scanAll(ctx context.Context, tb *obs.TraceBuilder, q geom.Interva
 	}
 	qc.EndSpan()
 	res.IO = qc.Stats()
-	a.recordIO(storage.Stats{}, res.IO)
+	a.recordIO(storage.Stats{}, 0, res.IO)
 	return res, nil
 }
 

@@ -32,16 +32,37 @@ import (
 //	    interval lo, hi f64; avg f64; firstPage, lastPage u32;
 //	    startRef, endRef u64
 //	cell order: cells × u32
-const catalogVersion = 1
+//	version ≥ 2 appends the interval-sidecar geometry:
+//	    sidecar first page u32, sidecar pages u32
+//	    and, when sidecar pages > 0:
+//	        sidecar count u64
+//	        heap page first-positions: heap page count × u32 (the heap
+//	        position of each page's first record, for reconstructing
+//	        position ↦ RID without reading cell pages)
+//
+// Version 1 files — written before the sidecar existed — still open:
+// decodeCatalog accepts both versions, and a version-1 index simply has no
+// sidecar, so every query takes the heap-file fallback path.
+const (
+	catalogVersion       = 2
+	legacyCatalogVersion = 1
+)
 
 var (
 	catalogMagic    = [4]byte{'F', 'C', 'A', 'T'}
 	superblockMagic = [4]byte{'F', 'S', 'U', 'P'}
 )
 
-// SaveFile writes the built index — cell heap, R*-tree pages, and catalog —
-// to a single database file that OpenFile can query without rebuilding.
+// SaveFile writes the built index — cell heap, R*-tree pages, interval
+// sidecar, and catalog — to a single database file that OpenFile can query
+// without rebuilding.
 func (p *Partitioned) SaveFile(path string) error {
+	return p.saveFileVersion(path, catalogVersion)
+}
+
+// saveFileVersion is SaveFile at an explicit catalog version; the legacy
+// version is kept writable so tests can produce genuine pre-sidecar files.
+func (p *Partitioned) saveFileVersion(path string, version uint32) error {
 	disk, err := storage.OpenFileDisk(path, p.pager.PageSize())
 	if err != nil {
 		return err
@@ -56,7 +77,7 @@ func (p *Partitioned) SaveFile(path string) error {
 	if err := p.pager.SnapshotTo(disk); err != nil {
 		return fmt.Errorf("core: snapshot: %w", err)
 	}
-	blob := p.encodeCatalog()
+	blob := p.encodeCatalog(version)
 	catalogStart := disk.NumPages()
 	ps := disk.PageSize()
 	for off := 0; off < len(blob); off += ps {
@@ -81,7 +102,7 @@ func (p *Partitioned) SaveFile(path string) error {
 	}
 	super := make([]byte, ps)
 	copy(super[0:4], superblockMagic[:])
-	binary.LittleEndian.PutUint32(super[4:8], catalogVersion)
+	binary.LittleEndian.PutUint32(super[4:8], version)
 	binary.LittleEndian.PutUint32(super[8:12], uint32(catalogStart))
 	binary.LittleEndian.PutUint32(super[12:16], uint32(catalogPages))
 	binary.LittleEndian.PutUint64(super[16:24], uint64(len(blob)))
@@ -91,10 +112,10 @@ func (p *Partitioned) SaveFile(path string) error {
 	return disk.Close()
 }
 
-func (p *Partitioned) encodeCatalog() []byte {
+func (p *Partitioned) encodeCatalog(version uint32) []byte {
 	var b bytes.Buffer
 	b.Write(catalogMagic[:])
-	writeU32(&b, catalogVersion)
+	writeU32(&b, version)
 	method := []byte(p.method)
 	writeU16(&b, uint16(len(method)))
 	b.Write(method)
@@ -119,6 +140,32 @@ func (p *Partitioned) encodeCatalog() []byte {
 	}
 	for _, id := range p.order {
 		writeU32(&b, uint32(id))
+	}
+	if version >= 2 {
+		sidecarPages := 0
+		if p.sidecar != nil && p.rids != nil {
+			sidecarPages = p.sidecar.NumPages()
+		}
+		if sidecarPages > 0 {
+			writeU32(&b, uint32(p.sidecar.FirstPage()))
+			writeU32(&b, uint32(sidecarPages))
+			writeU64(&b, uint64(p.sidecar.Count()))
+			// First heap position of every heap page, so opening the file
+			// can rebuild position ↦ RID (slots are append-ordered within a
+			// page) without touching cell pages.
+			pi := -1
+			var prev storage.PageID
+			for pos, rid := range p.rids {
+				if pi < 0 || rid.Page != prev {
+					writeU32(&b, uint32(pos))
+					pi++
+					prev = rid.Page
+				}
+			}
+		} else {
+			writeU32(&b, 0)
+			writeU32(&b, 0)
+		}
 	}
 	return b.Bytes()
 }
@@ -171,7 +218,7 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 		disk.Close()
 		return nil, fmt.Errorf("core: %s: bad superblock magic", path)
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != catalogVersion {
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != catalogVersion && v != legacyCatalogVersion {
 		disk.Close()
 		return nil, fmt.Errorf("core: %s: unsupported catalog version %d", path, v)
 	}
@@ -208,18 +255,43 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 		return nil, err
 	}
 	dec.p.tree = tree
+	if dec.sidecarPages > 0 {
+		sc, err := storage.OpenIntervalSidecar(pager, dec.sidecarFirst, dec.sidecarPages, dec.sidecarCount)
+		if err != nil {
+			disk.Close()
+			return nil, fmt.Errorf("core: %s: %w", path, err)
+		}
+		dec.p.sidecar = sc
+		// Rebuild position ↦ RID from the per-page first positions: slots
+		// are assigned in append order within each page.
+		rids := make([]storage.RID, dec.cells)
+		for pi, id := range dec.heapPages {
+			next := dec.cells
+			if pi+1 < len(dec.pageFirstPos) {
+				next = dec.pageFirstPos[pi+1]
+			}
+			for pos := dec.pageFirstPos[pi]; pos < next; pos++ {
+				rids[pos] = storage.RID{Page: id, Slot: uint16(pos - dec.pageFirstPos[pi])}
+			}
+		}
+		dec.p.rids = rids
+	}
 	return dec.p, nil
 }
 
 // decodedCatalog carries the intermediate decode state.
 type decodedCatalog struct {
-	p          *Partitioned
-	cells      int
-	heapPages  []storage.PageID
-	treeRoot   storage.PageID
-	treeNodes  int
-	treeHeight int
-	groups     []groupMeta
+	p            *Partitioned
+	cells        int
+	heapPages    []storage.PageID
+	treeRoot     storage.PageID
+	treeNodes    int
+	treeHeight   int
+	groups       []groupMeta
+	sidecarFirst storage.PageID
+	sidecarPages int
+	sidecarCount int
+	pageFirstPos []int
 }
 
 func decodeCatalog(blob []byte) (*decodedCatalog, error) {
@@ -229,8 +301,9 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 	if magic != catalogMagic {
 		return nil, fmt.Errorf("bad catalog magic")
 	}
-	if v := r.u32(); v != catalogVersion {
-		return nil, fmt.Errorf("unsupported catalog version %d", v)
+	version := r.u32()
+	if version != catalogVersion && version != legacyCatalogVersion {
+		return nil, fmt.Errorf("unsupported catalog version %d", version)
 	}
 	methodLen := int(r.u16())
 	method := make([]byte, methodLen)
@@ -282,6 +355,28 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 	for i := range order {
 		order[i] = field.CellID(r.u32())
 	}
+	sidecarFirst := storage.PageID(0)
+	sidecarPages, sidecarCount := 0, 0
+	var pageFirstPos []int
+	if version >= 2 {
+		sidecarFirst = storage.PageID(r.u32())
+		sidecarPages = int(r.u32())
+		if sidecarPages > 0 {
+			sidecarCount = int(r.u64())
+			if r.err != nil || sidecarCount != cells {
+				return nil, fmt.Errorf("corrupt sidecar geometry")
+			}
+			pageFirstPos = make([]int, numPages)
+			for i := range pageFirstPos {
+				pageFirstPos[i] = int(r.u32())
+				if r.err == nil && (pageFirstPos[i] >= cells ||
+					(i == 0 && pageFirstPos[i] != 0) ||
+					(i > 0 && pageFirstPos[i] <= pageFirstPos[i-1])) {
+					return nil, fmt.Errorf("corrupt sidecar page positions")
+				}
+			}
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog truncated")
 	}
@@ -292,13 +387,17 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 		cells:  cells,
 	}
 	return &decodedCatalog{
-		p:          part,
-		cells:      cells,
-		heapPages:  heapPages,
-		treeRoot:   treeRoot,
-		treeNodes:  treeNodes,
-		treeHeight: treeHeight,
-		groups:     groups,
+		p:            part,
+		cells:        cells,
+		heapPages:    heapPages,
+		treeRoot:     treeRoot,
+		treeNodes:    treeNodes,
+		treeHeight:   treeHeight,
+		groups:       groups,
+		sidecarFirst: sidecarFirst,
+		sidecarPages: sidecarPages,
+		sidecarCount: sidecarCount,
+		pageFirstPos: pageFirstPos,
 	}, nil
 }
 

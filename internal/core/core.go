@@ -52,8 +52,10 @@ type Result struct {
 	// CandidateGroups is the number of subfields the filter step selected
 	// (the number of candidate cell intervals for I-All, 0 for LinearScan).
 	CandidateGroups int
-	// CellsFetched is the number of cells read and tested during the
-	// estimation step (every cell for LinearScan).
+	// CellsFetched is the number of cell intervals tested during the
+	// estimation step (every cell for LinearScan). A sidecar-served filter
+	// tests intervals from the packed columns instead of cell records; the
+	// count is the same either way.
 	CellsFetched int
 	// CellsMatched is the number of fetched cells whose interval
 	// intersects the query — the candidate cells of §2.2.2.
@@ -72,18 +74,19 @@ type Result struct {
 
 // IndexStats describes a built index.
 type IndexStats struct {
-	Method     Method
-	Cells      int
-	CellPages  int // heap-file pages holding cell records
-	IndexPages int // R*-tree pages (0 for LinearScan)
-	Groups     int // subfields (cells for I-All, 0 for LinearScan)
-	TreeHeight int
+	Method       Method
+	Cells        int
+	CellPages    int // heap-file pages holding cell records
+	IndexPages   int // R*-tree pages (0 for LinearScan)
+	SidecarPages int // packed interval-sidecar pages (0 when disabled)
+	Groups       int // subfields (cells for I-All, 0 for LinearScan)
+	TreeHeight   int
 }
 
 // String implements fmt.Stringer.
 func (s IndexStats) String() string {
-	return fmt.Sprintf("%s: cells=%d cellPages=%d indexPages=%d groups=%d height=%d",
-		s.Method, s.Cells, s.CellPages, s.IndexPages, s.Groups, s.TreeHeight)
+	return fmt.Sprintf("%s: cells=%d cellPages=%d indexPages=%d sidecarPages=%d groups=%d height=%d",
+		s.Method, s.Cells, s.CellPages, s.IndexPages, s.SidecarPages, s.Groups, s.TreeHeight)
 }
 
 // Index answers field value queries over one field.
@@ -156,34 +159,59 @@ const writeCellsStride = 512
 
 // writeCells appends the cells of f to a fresh heap file on pager in the
 // order given by ids, returning the heap file and the RID of every cell in
-// write order. ctx is polled every writeCellsStride cells so a canceled build
-// stops without writing the rest of the field.
-func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID) (*storage.HeapFile, []storage.RID, error) {
+// write order. When sidecar is true it also builds the columnar interval
+// sidecar: each cell's (min, max) — taken by partial decode from the very
+// record bytes just appended, so the sidecar is byte-identical to
+// CellIntervalFromRecord on the stored records — is buffered and written to
+// contiguous packed pages right after the heap flush. ctx is polled every
+// writeCellsStride cells so a canceled build stops without writing the rest
+// of the field.
+func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID, sidecar bool) (*storage.HeapFile, []storage.RID, *storage.IntervalSidecar, error) {
 	heap := storage.NewHeapFile(pager)
 	rids := make([]storage.RID, len(ids))
+	var lo, hi []float64
+	if sidecar {
+		lo = make([]float64, len(ids))
+		hi = make([]float64, len(ids))
+	}
 	var c field.Cell
 	var buf []byte
 	for i, id := range ids {
 		if i%writeCellsStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		f.Cell(id, &c)
 		if err := c.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("core: %w", err)
+			return nil, nil, nil, fmt.Errorf("core: %w", err)
 		}
 		buf = field.AppendCell(buf[:0], &c)
 		rid, err := heap.Append(buf)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: storing cell %d: %w", id, err)
+			return nil, nil, nil, fmt.Errorf("core: storing cell %d: %w", id, err)
 		}
 		rids[i] = rid
+		if sidecar {
+			iv, err := field.CellIntervalFromRecord(buf)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("core: sidecar interval for cell %d: %w", id, err)
+			}
+			lo[i], hi[i] = iv.Lo, iv.Hi
+		}
 	}
 	if err := heap.Flush(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return heap, rids, nil
+	var sc *storage.IntervalSidecar
+	if sidecar {
+		var err error
+		sc, err = storage.BuildIntervalSidecar(pager, lo, hi)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return heap, rids, sc, nil
 }
 
 // identityOrder returns the cell ids of f in natural order.

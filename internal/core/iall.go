@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
@@ -18,11 +20,12 @@ import (
 // access. The paper shows this can be slower than LinearScan at high query
 // selectivity (Figure 11.a).
 type IAll struct {
-	pager *storage.Pager
-	heap  *storage.HeapFile
-	tree  *rstar.Tree
-	rids  []storage.RID
-	cells int
+	pager   *storage.Pager
+	heap    *storage.HeapFile
+	tree    *rstar.Tree
+	rids    []storage.RID
+	sidecar *storage.IntervalSidecar
+	cells   int
 	observed
 }
 
@@ -35,6 +38,11 @@ type IAllOptions struct {
 	BulkLoad bool
 	// Params override the R*-tree parameters (page size etc.).
 	Params rstar.Params
+	// NoSidecar skips building the columnar interval sidecar. I-All's
+	// filter step never touches cell pages either way — the R*-tree stores
+	// every cell's exact interval — so the sidecar is kept only for storage
+	// parity with the other methods.
+	NoSidecar bool
 }
 
 // BuildIAll stores the field's cells in a heap file and indexes every cell
@@ -49,7 +57,7 @@ func BuildIAllCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts
 	if opts.Params.PageSize == 0 {
 		opts.Params.PageSize = pager.PageSize()
 	}
-	heap, rids, err := writeCells(ctx, f, pager, identityOrder(f))
+	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), !opts.NoSidecar)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +91,7 @@ func BuildIAllCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts
 	if err := tree.Persist(pager); err != nil {
 		return nil, err
 	}
-	return &IAll{pager: pager, heap: heap, tree: tree, rids: rids, cells: n}, nil
+	return &IAll{pager: pager, heap: heap, tree: tree, rids: rids, sidecar: sc, cells: n}, nil
 }
 
 // SetObserver installs the trace/metrics sinks. Call before issuing queries.
@@ -94,7 +102,7 @@ func (ia *IAll) Method() Method { return MethodIAll }
 
 // Stats implements Index.
 func (ia *IAll) Stats() IndexStats {
-	return IndexStats{
+	s := IndexStats{
 		Method:     MethodIAll,
 		Cells:      ia.cells,
 		CellPages:  ia.heap.NumPages(),
@@ -102,11 +110,22 @@ func (ia *IAll) Stats() IndexStats {
 		Groups:     ia.cells,
 		TreeHeight: ia.tree.Height(),
 	}
+	if ia.sidecar != nil {
+		s.SidecarPages = ia.sidecar.NumPages()
+	}
+	return s
 }
 
-// iallCancelStride is how many candidate fetches I-All performs between
-// cancellation polls (each fetch costs up to one random page access).
-const iallCancelStride = 64
+// iallScratch pools the per-query candidate buffers — the tree-visit
+// collection slice and the sorted fetch positions — the way spatial.go pools
+// point-query scratch: the slices grow to the selectivity's candidate count,
+// so reuse removes the dominant per-query allocations.
+var iallScratch = sync.Pool{New: func() any { return new(iallBuf) }}
+
+type iallBuf struct {
+	candidates []uint64
+	pos        []int32
+}
 
 // Query implements Index: filter through the persisted R*-tree, then fetch
 // each candidate cell individually.
@@ -132,39 +151,46 @@ func (ia *IAll) valueQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Int
 	qc := ia.pager.BeginQuery()
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
-	var candidates []uint64
+	sb := iallScratch.Get().(*iallBuf)
+	defer iallScratch.Put(sb)
+	candidates := sb.candidates[:0]
 	qc.BeginSpan(obs.PhaseFilter)
 	err := ia.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		candidates = append(candidates, e.Data)
 		return true
 	})
+	sb.candidates = candidates
 	if err != nil {
 		return nil, err
 	}
 	qc.EndSpan()
 	filterIO := qc.LocalStats()
 	res.CandidateGroups = len(candidates)
+	// The tree visits candidates in search order — effectively scrambled —
+	// which made every fetch its own random page access. Cell ids are heap
+	// positions (I-All stores cells in natural order), so sorting turns the
+	// refinement into ascending page runs: the same distinct pages, read
+	// once each and charged sequentially whenever candidates are physically
+	// adjacent. The answer geometry folds in heap order; cross-method
+	// comparisons are unaffected because region sets are order-insensitive
+	// up to float summation order.
+	pos := sb.pos[:0]
+	for _, id := range candidates {
+		pos = append(pos, int32(id))
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	sb.pos = pos
 	var c field.Cell
-	var buf []byte
 	qc.BeginSpan(obs.PhaseRefine)
-	for i, id := range candidates {
-		if i%iallCancelStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		rec, err := ia.heap.GetCtx(qc, ia.rids[id], buf)
-		if err != nil {
-			return nil, fmt.Errorf("core: fetching cell %d: %w", id, err)
-		}
-		buf = rec[:0]
-		if err := estimateRecord(res, rec, &c, q); err != nil {
-			return nil, err
-		}
+	err = fetchPositions(ctx, qc, ia.rids, pos, func(rec []byte) error {
+		return estimateRecord(res, rec, &c, q)
+	})
+	if err != nil {
+		return nil, err
 	}
 	qc.EndSpan()
 	res.IO = qc.Stats()
-	ia.recordIO(filterIO, res.IO)
+	ia.recordIO(filterIO, 0, res.IO)
 	return res, nil
 }
 

@@ -10,13 +10,25 @@ import (
 	"fielddb/internal/storage"
 )
 
-// LinearScan is the no-index baseline: every query scans all cell pages
-// sequentially and tests every cell interval.
+// LinearScan is the no-index baseline: every query tests every cell
+// interval. With the interval sidecar (the default) the test runs over the
+// packed sidecar pages — a sequential scan more than an order of magnitude
+// shorter than the cell pages — and only the pages holding matching cells
+// are read from the heap file; without it, every cell page is scanned.
 type LinearScan struct {
-	pager *storage.Pager
-	heap  *storage.HeapFile
-	cells int
+	pager   *storage.Pager
+	heap    *storage.HeapFile
+	rids    []storage.RID
+	sidecar *storage.IntervalSidecar
+	cells   int
 	observed
+}
+
+// LinearScanOptions tunes the LinearScan build.
+type LinearScanOptions struct {
+	// NoSidecar disables the columnar interval sidecar; queries then scan
+	// the full cell heap the way the paper's §2.2.2 baseline does.
+	NoSidecar bool
 }
 
 // BuildLinearScan stores the field's cells in a heap file (in natural cell
@@ -28,11 +40,16 @@ func BuildLinearScan(f field.Field, pager *storage.Pager) (*LinearScan, error) {
 // BuildLinearScanCtx is BuildLinearScan with construction cancellation,
 // polled between cell-write batches.
 func BuildLinearScanCtx(ctx context.Context, f field.Field, pager *storage.Pager) (*LinearScan, error) {
-	heap, _, err := writeCells(ctx, f, pager, identityOrder(f))
+	return BuildLinearScanWith(ctx, f, pager, LinearScanOptions{})
+}
+
+// BuildLinearScanWith is BuildLinearScanCtx with the full option set.
+func BuildLinearScanWith(ctx context.Context, f field.Field, pager *storage.Pager, opts LinearScanOptions) (*LinearScan, error) {
+	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), !opts.NoSidecar)
 	if err != nil {
 		return nil, err
 	}
-	return &LinearScan{pager: pager, heap: heap, cells: f.NumCells()}, nil
+	return &LinearScan{pager: pager, heap: heap, rids: rids, sidecar: sc, cells: f.NumCells()}, nil
 }
 
 // SetObserver installs the trace/metrics sinks. Call before issuing queries.
@@ -43,14 +60,19 @@ func (ls *LinearScan) Method() Method { return MethodLinearScan }
 
 // Stats implements Index.
 func (ls *LinearScan) Stats() IndexStats {
-	return IndexStats{
+	s := IndexStats{
 		Method:    MethodLinearScan,
 		Cells:     ls.cells,
 		CellPages: ls.heap.NumPages(),
 	}
+	if ls.sidecar != nil {
+		s.SidecarPages = ls.sidecar.NumPages()
+	}
+	return s
 }
 
-// Query implements Index by scanning the entire heap file.
+// Query implements Index by scanning the sidecar (or, without one, the
+// entire heap file).
 func (ls *LinearScan) Query(q geom.Interval) (*Result, error) {
 	return ls.QueryContext(context.Background(), q)
 }
@@ -62,9 +84,60 @@ func (ls *LinearScan) QueryContext(ctx context.Context, q geom.Interval) (*Resul
 		return nil, fmt.Errorf("core: empty query interval")
 	}
 	tb, start := ls.startQuery(string(MethodLinearScan), obs.KindValue, q.Lo, q.Hi)
-	res, err := ls.scanQuery(ctx, tb, q)
+	var res *Result
+	var err error
+	if ls.sidecar != nil {
+		res, err = ls.sidecarQuery(ctx, tb, q)
+	} else {
+		res, err = ls.scanQuery(ctx, tb, q)
+	}
 	ls.endQuery(tb, start, err)
 	return res, err
+}
+
+// sidecarQuery is the sidecar-served pipeline: a sequential scan of the
+// packed interval pages selects the surviving positions, then only the heap
+// pages holding survivors are read — in position order, so the answer
+// geometry folds in exactly the order the full scan produces and the Result
+// is byte-identical to scanQuery's.
+func (ls *LinearScan) sidecarQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
+	qc := ls.pager.BeginQuery()
+	qc.AttachTrace(tb)
+	res := &Result{Query: q}
+	pb := getPosBuf()
+	defer putPosBuf(pb)
+	var scanErr error
+	qc.BeginSpan(obs.PhaseSidecar)
+	err := ls.sidecar.ScanRange(qc, 0, ls.cells, func(base int, lo, hi []float64) bool {
+		pb.pos = field.FilterIntervals(pb.pos, int32(base), lo, hi, q.Lo, q.Hi)
+		scanErr = ctx.Err()
+		return scanErr == nil
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CellsFetched = ls.cells
+	qc.EndSpan()
+	sidecarIO := qc.LocalStats()
+	qc.BeginSpan(obs.PhaseRefine)
+	var c field.Cell
+	err = fetchPositions(ctx, qc, ls.rids, pb.pos, func(rec []byte) error {
+		if err := field.DecodeCell(rec, &c); err != nil {
+			return err
+		}
+		estimateMatched(res, &c, q)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	qc.EndSpan()
+	res.IO = qc.Stats()
+	ls.recordIO(storage.Stats{}, sidecarIO.Reads, res.IO)
+	return res, nil
 }
 
 func (ls *LinearScan) scanQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
@@ -74,14 +147,15 @@ func (ls *LinearScan) scanQuery(ctx context.Context, tb *obs.TraceBuilder, q geo
 	qc := ls.pager.BeginQuery()
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
-	// LinearScan has no filter step: the whole query is one refinement span.
+	// Without a sidecar there is no filter step: the whole query is one
+	// refinement span.
 	qc.BeginSpan(obs.PhaseRefine)
 	if err := scanEstimate(ctx, ls.heap, qc, q, res); err != nil {
 		return nil, err
 	}
 	qc.EndSpan()
 	res.IO = qc.Stats()
-	ls.recordIO(storage.Stats{}, res.IO)
+	ls.recordIO(storage.Stats{}, 0, res.IO)
 	return res, nil
 }
 

@@ -53,12 +53,16 @@ func (o *observed) endQuery(tb *obs.TraceBuilder, start time.Time, err error) {
 	}
 }
 
-// recordIO attributes a finished query's page accesses by step: filter is the
-// private-stats snapshot taken at the filter/refinement boundary, so the
-// refinement (or decode) step is the remainder.
-func (o *observed) recordIO(filter, total storage.Stats) {
+// recordIO attributes a finished query's page accesses by step: filter is
+// the private-stats snapshot taken at the filter/refinement boundary,
+// sidecarReads is the portion of the query's reads served by the interval
+// sidecar, and the refinement (or decode) step is the remainder. The three
+// parts always sum back to total.Reads, which is what keeps the metrics
+// registry reconciling with the pager's own totals.
+func (o *observed) recordIO(filter storage.Stats, sidecarReads int, total storage.Stats) {
 	if o.ob.Metrics != nil {
-		o.ob.Metrics.RecordPages(filter.Reads, total.Reads-filter.Reads, total.CacheHits, total.SimElapsed)
+		o.ob.Metrics.RecordPages(filter.Reads, sidecarReads,
+			total.Reads-filter.Reads-sidecarReads, total.CacheHits, total.SimElapsed)
 	}
 }
 

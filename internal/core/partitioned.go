@@ -48,10 +48,34 @@ type Partitioned struct {
 	groups []groupMeta
 	order  []field.CellID // heap-file cell order (partition order)
 	cells  int
+	// rids maps heap position to record id (nil for pre-sidecar files);
+	// sidecar is the packed interval segment (nil when disabled or absent).
+	rids    []storage.RID
+	sidecar *storage.IntervalSidecar
+	// sidecarRefine switches the refinement step to sidecar-filtered page
+	// fetches; see SetSidecarRefine for why this is off by default.
+	sidecarRefine bool
 	// workers bounds the goroutines of the parallel refinement step; 0 or 1
 	// keeps the query single-threaded.
 	workers int
 	observed
+}
+
+// SetSidecarRefine toggles sidecar-filtered refinement: each merged run's
+// intervals are tested on the sidecar first and only heap pages holding a
+// matching cell are read. It reports whether the mode is armed (the index
+// must carry a sidecar; pre-sidecar files cannot).
+//
+// The mode is off by default because it is a measured loss on this
+// workload: on the Hilbert layout 95–97% of merged-run pages already hold a
+// matching cell at the paper's selectivities — value clustering is exactly
+// what the subfield partitioning buys — so the sidecar reads add more pages
+// than the few all-miss heap pages they skip. The switch exists for layouts
+// or workloads with value-impure runs, and as the identity oracle the tests
+// use to verify the sidecar path end to end.
+func (p *Partitioned) SetSidecarRefine(on bool) bool {
+	p.sidecarRefine = on && p.sidecar != nil && p.rids != nil
+	return p.sidecarRefine
 }
 
 // SetWorkers bounds the worker pool that parallelizes the refinement step
@@ -83,6 +107,9 @@ type HilbertOptions struct {
 	// per-subfield metadata) and is inherited as the query-time refinement
 	// parallelism. 0 or 1 means single-threaded.
 	Workers int
+	// NoSidecar skips building the columnar interval sidecar (and with it
+	// the SetSidecarRefine mode and the sidecar catalog fields).
+	NoSidecar bool
 }
 
 // BuildIHilbert builds the paper's proposed index: Hilbert linearization,
@@ -111,7 +138,7 @@ func BuildIHilbertCtx(ctx context.Context, f field.Field, pager *storage.Pager, 
 		return nil, err
 	}
 	groups := subfield.BuildGreedy(refs, cost)
-	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers)
+	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar)
 }
 
 // ThresholdOptions tunes BuildIThreshold and BuildIQuad.
@@ -130,6 +157,8 @@ type ThresholdOptions struct {
 	// Workers bounds construction and refinement parallelism, as in
 	// HilbertOptions.
 	Workers int
+	// NoSidecar skips the interval sidecar, as in HilbertOptions.
+	NoSidecar bool
 }
 
 // BuildIThreshold is the fixed-threshold ablation: Hilbert linearization
@@ -160,7 +189,7 @@ func BuildIThresholdCtx(ctx context.Context, f field.Field, pager *storage.Pager
 		return nil, err
 	}
 	groups := subfield.BuildThreshold(refs, cost, opts.MaxSize)
-	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers)
+	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar)
 	return p, err
 }
 
@@ -192,14 +221,14 @@ func BuildIQuadCtx(ctx context.Context, f field.Field, pager *storage.Pager, opt
 		return nil, err
 	}
 	ordered, groups := subfield.BuildQuad(refs, f.Bounds(), cost, opts.MaxSize, opts.MaxDepth)
-	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers)
+	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers, !opts.NoSidecar)
 }
 
 // buildPartitioned stores cells in partition order and indexes the group
 // intervals. ctx cancels construction between cell-write batches and between
 // per-subfield metadata work units.
 func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *storage.Pager,
-	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int) (*Partitioned, error) {
+	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int, sidecar bool) (*Partitioned, error) {
 	if err := subfield.Validate(refs, groups); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -211,7 +240,7 @@ func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *
 	for i, r := range refs {
 		ids[i] = r.ID
 	}
-	heap, rids, err := writeCells(ctx, f, pager, ids)
+	heap, rids, sc, err := writeCells(ctx, f, pager, ids, sidecar)
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +296,8 @@ func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *
 		groups:  metas,
 		order:   ids,
 		cells:   len(refs),
+		rids:    rids,
+		sidecar: sc,
 		workers: workers,
 	}, nil
 }
@@ -276,7 +307,7 @@ func (p *Partitioned) Method() Method { return p.method }
 
 // Stats implements Index.
 func (p *Partitioned) Stats() IndexStats {
-	return IndexStats{
+	s := IndexStats{
 		Method:     p.method,
 		Cells:      p.cells,
 		CellPages:  p.heap.NumPages(),
@@ -284,6 +315,10 @@ func (p *Partitioned) Stats() IndexStats {
 		Groups:     len(p.groups),
 		TreeHeight: p.tree.Height(),
 	}
+	if p.sidecar != nil {
+		s.SidecarPages = p.sidecar.NumPages()
+	}
+	return s
 }
 
 // NumGroups returns the number of subfields in the partition.
@@ -362,7 +397,7 @@ func (p *Partitioned) approxQuery(tb *obs.TraceBuilder, q geom.Interval) (*Appro
 		res.AvgValue = math.NaN()
 	}
 	res.IO = qc.Stats()
-	p.recordIO(res.IO, res.IO)
+	p.recordIO(res.IO, 0, res.IO)
 	return res, nil
 }
 
@@ -378,16 +413,23 @@ func (p *Partitioned) ForEachGroup(fn func(group int, iv geom.Interval, cells []
 }
 
 // pageRun is one contiguous stretch of heap-file pages — one sequential-I/O
-// unit of the refinement step.
-type pageRun struct{ first, last int }
+// unit of the refinement step — together with the heap-position range of the
+// member subfields' cells (used by the sidecar-filtered refinement to scan
+// the matching stretch of the interval columns).
+type pageRun struct{ first, last, posLo, posHi int }
 
 // mergeRuns sorts the selected subfields' page runs and merges overlapping or
 // adjacent ones: consecutive subfields share boundary pages, and reading each
-// merged run once keeps the I/O sequential.
+// merged run once keeps the I/O sequential. Subfields tile the heap in
+// position order, so a merged run's position range is the min/max over its
+// members; it can cover an interleaved unselected subfield, whose cells are
+// provably non-matching (their group interval missed the query) and filter
+// out like any other.
 func (p *Partitioned) mergeRuns(selected []int) []pageRun {
 	runs := make([]pageRun, 0, len(selected))
 	for _, gi := range selected {
-		runs = append(runs, pageRun{p.groups[gi].firstPage, p.groups[gi].lastPage})
+		g := p.groups[gi]
+		runs = append(runs, pageRun{g.firstPage, g.lastPage, g.startRef, g.endRef})
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].first < runs[j].first })
 	merged := runs[:1]
@@ -396,6 +438,12 @@ func (p *Partitioned) mergeRuns(selected []int) []pageRun {
 		if r.first <= last.last+1 {
 			if r.last > last.last {
 				last.last = r.last
+			}
+			if r.posLo < last.posLo {
+				last.posLo = r.posLo
+			}
+			if r.posHi > last.posHi {
+				last.posHi = r.posHi
 			}
 			continue
 		}
@@ -428,6 +476,42 @@ func (p *Partitioned) scanRun(ctx context.Context, qc *storage.QueryCtx, r pageR
 		return err
 	}
 	return cellErr
+}
+
+// scanRunSidecar is scanRun with the interval tests served by the sidecar:
+// the run's position range is scanned from the packed columns (sequential,
+// ~255 intervals per page), and only heap pages holding a surviving cell
+// are read, grouped into sub-runs by fetchPositions. Matching cells fold in
+// ascending position order — the order scanRun visits them — so Regions,
+// Isolines, Area and the matched/tested counters are identical to scanRun's;
+// only the page accounting differs (that being the point). sidecarReads
+// receives the run's sidecar page-read count for metric attribution.
+func (p *Partitioned) scanRunSidecar(ctx context.Context, qc *storage.QueryCtx, r pageRun, q geom.Interval, res *Result, sidecarReads *int) error {
+	pb := getPosBuf()
+	defer putPosBuf(pb)
+	before := qc.LocalStats().Reads
+	var scanErr error
+	err := p.sidecar.ScanRange(qc, r.posLo, r.posHi, func(base int, lo, hi []float64) bool {
+		pb.pos = field.FilterIntervals(pb.pos, int32(base), lo, hi, q.Lo, q.Hi)
+		scanErr = ctx.Err()
+		return scanErr == nil
+	})
+	*sidecarReads += qc.LocalStats().Reads - before
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return err
+	}
+	res.CellsFetched += r.posHi - r.posLo
+	var c field.Cell
+	return fetchPositions(ctx, qc, p.rids, pb.pos, func(rec []byte) error {
+		if err := field.DecodeCell(rec, &c); err != nil {
+			return err
+		}
+		estimateMatched(res, &c, q)
+		return nil
+	})
 }
 
 // Query implements Index: Step 1 (filter) finds the subfields whose
@@ -477,10 +561,12 @@ func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.Trace
 	res.CandidateGroups = len(selected)
 	if len(selected) == 0 {
 		res.IO = qc.Stats()
-		o.recordIO(filterIO, res.IO)
+		o.recordIO(filterIO, 0, res.IO)
 		return res, nil
 	}
 	merged := p.mergeRuns(selected)
+	useSidecar := p.sidecarRefine && p.sidecar != nil && p.rids != nil
+	sidecarReads := 0
 
 	qc.BeginSpan(obs.PhaseRefine)
 	workers := clampWorkers(p.workers)
@@ -489,13 +575,19 @@ func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.Trace
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := p.scanRun(ctx, qc, r, q, res); err != nil {
+			var err error
+			if useSidecar {
+				err = p.scanRunSidecar(ctx, qc, r, q, res, &sidecarReads)
+			} else {
+				err = p.scanRun(ctx, qc, r, q, res)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
 		qc.EndSpan()
 		res.IO = qc.Stats()
-		o.recordIO(filterIO, res.IO)
+		o.recordIO(filterIO, sidecarReads, res.IO)
 		return res, nil
 	}
 
@@ -513,6 +605,7 @@ func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.Trace
 	}
 	partials := make([]*Result, len(merged))
 	ctxs := make([]*storage.QueryCtx, len(merged))
+	sideReads := make([]int, len(merged))
 	err = parallelDoCtx(ctx, workers, len(merged), func(i int) error {
 		var t0 time.Time
 		if timed {
@@ -520,8 +613,14 @@ func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.Trace
 		}
 		child := qc.Fork()
 		part := &Result{Query: q}
-		if err := p.scanRun(ctx, child, merged[i], q, part); err != nil {
-			return err
+		var runErr error
+		if useSidecar {
+			runErr = p.scanRunSidecar(ctx, child, merged[i], q, part, &sideReads[i])
+		} else {
+			runErr = p.scanRun(ctx, child, merged[i], q, part)
+		}
+		if runErr != nil {
+			return runErr
 		}
 		partials[i] = part
 		ctxs[i] = child
@@ -542,13 +641,14 @@ func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.Trace
 		res.Regions = append(res.Regions, part.Regions...)
 		res.Isolines = append(res.Isolines, part.Isolines...)
 		qc.Merge(ctxs[i])
+		sidecarReads += sideReads[i]
 	}
 	for _, pg := range res.Regions {
 		res.Area += pg.Area()
 	}
 	qc.EndSpan()
 	res.IO = qc.Stats()
-	o.recordIO(filterIO, res.IO)
+	o.recordIO(filterIO, sidecarReads, res.IO)
 	return res, nil
 }
 

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"fielddb/internal/storage"
+)
+
+// posScratch pools the per-query survivor-position buffers of the
+// sidecar-served filter passes, the way spatial.go pools point-query
+// scratch: filters run per query and the buffers grow to the selectivity's
+// survivor count, so reuse removes the dominant per-query allocation.
+var posScratch = sync.Pool{New: func() any { return new(posBuf) }}
+
+type posBuf struct{ pos []int32 }
+
+func getPosBuf() *posBuf {
+	b := posScratch.Get().(*posBuf)
+	b.pos = b.pos[:0]
+	return b
+}
+
+func putPosBuf(b *posBuf) { posScratch.Put(b) }
+
+// fetchCancelStride is how many survivor records a position fetch processes
+// between cancellation polls.
+const fetchCancelStride = 1024
+
+// fetchPositions reads the heap records at the given ascending positions
+// through qc and hands each record to fn in position order. Positions whose
+// pages are physically consecutive are grouped into one ReadRun — every page
+// of a run holds at least one survivor, so the run reads exactly the pages
+// the positions require, each once, charged sequentially after the first.
+// rids must be the heap file's record ids in append order (position i ↦
+// rids[i]). ctx is polled per run and every fetchCancelStride records.
+func fetchPositions(ctx context.Context, qc *storage.QueryCtx, rids []storage.RID, pos []int32, fn func(rec []byte) error) error {
+	processed := 0
+	for i := 0; i < len(pos); {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Extend the run while the next survivor sits on the same page or the
+		// page immediately after: a gap page would be read (and charged) for
+		// nothing, so it ends the run instead.
+		first := rids[pos[i]].Page
+		last := first
+		j := i + 1
+		for j < len(pos) {
+			pg := rids[pos[j]].Page
+			if pg != last && pg != last+1 {
+				break
+			}
+			last = pg
+			j++
+		}
+		k := i
+		var innerErr error
+		err := qc.ReadRun(first, last, func(id storage.PageID, page []byte) bool {
+			for k < j && rids[pos[k]].Page == id {
+				rec, err := storage.RecordInPage(page, rids[pos[k]].Slot)
+				if err == nil {
+					err = fn(rec)
+				}
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				k++
+				processed++
+				if processed%fetchCancelStride == 0 {
+					if innerErr = ctx.Err(); innerErr != nil {
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if innerErr != nil {
+			return innerErr
+		}
+		i = j
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/grid"
+	"fielddb/internal/storage"
+)
+
+// flatDEM builds a DEM whose cells all carry the same value — every cell
+// interval is degenerate (lo == hi), the edge case that trips naive interval
+// encodings.
+func flatDEM(t testing.TB, side int) *grid.DEM {
+	t.Helper()
+	heights := make([]float64, (side+1)*(side+1))
+	for i := range heights {
+		heights[i] = 42.5
+	}
+	d, err := grid.New(geom.Pt(0, 0), 1, 1, side, side, heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// checkSidecarIdentity verifies the property the sidecar's correctness rests
+// on: every (lo, hi) entry is bit-for-bit identical to
+// CellIntervalFromRecord on the heap record stored at the same position.
+func checkSidecarIdentity(t *testing.T, pager *storage.Pager, heap *storage.HeapFile,
+	rids []storage.RID, sc *storage.IntervalSidecar, cells int) {
+	t.Helper()
+	if sc == nil {
+		t.Fatal("no sidecar built")
+	}
+	if sc.Count() != cells {
+		t.Fatalf("sidecar count %d, want %d", sc.Count(), cells)
+	}
+	if len(rids) != cells {
+		t.Fatalf("rids %d, want %d", len(rids), cells)
+	}
+	qc := pager.BeginQuery()
+	var buf []byte
+	err := sc.ScanRange(qc, 0, cells, func(base int, lo, hi []float64) bool {
+		for i := range lo {
+			pos := base + i
+			rec, err := heap.GetCtx(qc, rids[pos], buf)
+			if err != nil {
+				t.Fatalf("pos %d: %v", pos, err)
+			}
+			iv, err := field.CellIntervalFromRecord(rec)
+			if err != nil {
+				t.Fatalf("pos %d: %v", pos, err)
+			}
+			if math.Float64bits(lo[i]) != math.Float64bits(iv.Lo) ||
+				math.Float64bits(hi[i]) != math.Float64bits(iv.Hi) {
+				t.Fatalf("pos %d: sidecar (%v, %v) != record (%v, %v)",
+					pos, lo[i], hi[i], iv.Lo, iv.Hi)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSidecarMatchesRecordIntervals is the property test of the sidecar
+// build: across grids and TINs — including a degenerate all-flat field — and
+// across every builder that writes a sidecar, the packed columns reproduce
+// CellIntervalFromRecord exactly.
+func TestSidecarMatchesRecordIntervals(t *testing.T) {
+	fields := map[string]field.Field{
+		"dem-rough":  testDEM(t, 32, 0.9),
+		"dem-smooth": testDEM(t, 16, 0.2),
+		"dem-flat":   flatDEM(t, 12),
+		"tin":        testTIN(t, 300),
+	}
+	ctx := context.Background()
+	for name, f := range fields {
+		t.Run(name, func(t *testing.T) {
+			ls, err := BuildLinearScanWith(ctx, f, newPager(), LinearScanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSidecarIdentity(t, ls.pager, ls.heap, ls.rids, ls.sidecar, ls.cells)
+
+			ia, err := BuildIAllCtx(ctx, f, newPager(), IAllOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSidecarIdentity(t, ia.pager, ia.heap, ia.rids, ia.sidecar, ia.cells)
+
+			ih, err := BuildIHilbertCtx(ctx, f, newPager(), HilbertOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSidecarIdentity(t, ih.pager, ih.heap, ih.rids, ih.sidecar, ih.cells)
+
+			vr := f.ValueRange()
+			iq, err := BuildIQuadCtx(ctx, f, newPager(), ThresholdOptions{MaxSize: vr.Length()/8 + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSidecarIdentity(t, iq.pager, iq.heap, iq.rids, iq.sidecar, iq.cells)
+		})
+	}
+}
+
+// answerFields strips a Result down to the parts that define the answer
+// (and the cost counters that must agree across equivalent pipelines).
+type answerFields struct {
+	CandidateGroups int
+	CellsFetched    int
+	CellsMatched    int
+	Regions         []geom.Polygon
+	Isolines        [][2]geom.Point
+	Area            float64
+}
+
+func answerOf(r *Result) answerFields {
+	return answerFields{
+		CandidateGroups: r.CandidateGroups,
+		CellsFetched:    r.CellsFetched,
+		CellsMatched:    r.CellsMatched,
+		Regions:         r.Regions,
+		Isolines:        r.Isolines,
+		Area:            r.Area,
+	}
+}
+
+// testQueries returns a query mix covering selective, everything, empty, and
+// zero-width intervals over f's value range.
+func testQueries(f field.Field) []geom.Interval {
+	vr := f.ValueRange()
+	return []geom.Interval{
+		{Lo: vr.Lo + vr.Length()*0.4, Hi: vr.Lo + vr.Length()*0.45},
+		{Lo: vr.Lo, Hi: vr.Hi},
+		{Lo: vr.Hi + 10, Hi: vr.Hi + 20},
+		{Lo: vr.Lo + vr.Length()*0.5, Hi: vr.Lo + vr.Length()*0.5},
+	}
+}
+
+// TestLinearScanSidecarByteIdentity is the identity criterion of the
+// tentpole: the sidecar-served LinearScan returns byte-identical answers —
+// geometry, counters, everything but the page accounting — to the full heap
+// scan it replaces.
+func TestLinearScanSidecarByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	for name, f := range map[string]field.Field{"dem": testDEM(t, 32, 0.6), "tin": testTIN(t, 400)} {
+		t.Run(name, func(t *testing.T) {
+			with, err := BuildLinearScanWith(ctx, f, newPager(), LinearScanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			without, err := BuildLinearScanWith(ctx, f, newPager(), LinearScanOptions{NoSidecar: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if with.sidecar == nil || without.sidecar != nil {
+				t.Fatal("sidecar toggle ignored")
+			}
+			for _, q := range testQueries(f) {
+				a, err := with.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := without.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
+					t.Fatalf("query %v: sidecar answer diverged:\n%+v\nvs\n%+v", q, answerOf(a), answerOf(b))
+				}
+				// The sidecar path must not read more pages than the scan it
+				// replaces (on the full-range query they tie at heap+sidecar
+				// vs heap; on selective ones it must win).
+				if a.IO.Reads > b.IO.Reads+with.sidecar.NumPages() {
+					t.Fatalf("query %v: sidecar read %d pages, scan %d", q, a.IO.Reads, b.IO.Reads)
+				}
+			}
+		})
+	}
+}
+
+// TestIAllSidecarToggleIdentity: I-All's filter never touches cell pages
+// either way (the tree stores exact intervals), so the sidecar toggle may
+// change nothing about a query — including its I/O.
+func TestIAllSidecarToggleIdentity(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.6)
+	with, err := BuildIAllCtx(ctx, f, newPager(), IAllOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := BuildIAllCtx(ctx, f, newPager(), IAllOptions{NoSidecar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range testQueries(f) {
+		a, err := with.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := without.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
+			t.Fatalf("query %v: answers diverged", q)
+		}
+		if a.IO != b.IO {
+			t.Fatalf("query %v: IO diverged: %+v vs %+v", q, a.IO, b.IO)
+		}
+	}
+}
+
+// TestPartitionedSidecarRefine forces the opt-in sidecar-filtered refinement
+// on I-Hilbert and checks it returns the same answer geometry as the default
+// whole-run path, sequentially and under a parallel refinement pool.
+func TestPartitionedSidecarRefine(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.6)
+	def, err := BuildIHilbertCtx(ctx, f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := BuildIHilbertCtx(ctx, f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.SetSidecarRefine(true) {
+		t.Fatal("SetSidecarRefine refused with a sidecar present")
+	}
+	noSC, err := BuildIHilbertCtx(ctx, f, newPager(), HilbertOptions{NoSidecar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSC.SetSidecarRefine(true) {
+		t.Fatal("SetSidecarRefine armed without a sidecar")
+	}
+	for _, workers := range []int{1, 4} {
+		def.SetWorkers(workers)
+		forced.SetWorkers(workers)
+		for _, q := range testQueries(f) {
+			a, err := def.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := forced.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The forced mode counts intervals tested per run rather than per
+			// fetched page, so CellsFetched may differ; the answer must not.
+			if a.CandidateGroups != b.CandidateGroups || a.CellsMatched != b.CellsMatched ||
+				a.Area != b.Area || !reflect.DeepEqual(a.Regions, b.Regions) ||
+				!reflect.DeepEqual(a.Isolines, b.Isolines) {
+				t.Fatalf("workers=%d query %v: forced sidecar refinement diverged", workers, q)
+			}
+		}
+	}
+}
+
+// TestSaveFileSidecarRoundtrip: a version-2 file round-trips the sidecar —
+// geometry, position map, and the forced refinement mode all survive reopen.
+func TestSaveFileSidecarRoundtrip(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "terrain.fidx")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenFile(path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if got, want := opened.Stats().SidecarPages, built.Stats().SidecarPages; got != want || got == 0 {
+		t.Fatalf("sidecar pages %d, want %d (> 0)", got, want)
+	}
+	if !reflect.DeepEqual(opened.rids, built.rids) {
+		t.Fatal("reconstructed position map differs from the built one")
+	}
+	checkSidecarIdentity(t, opened.pager, opened.heap, opened.rids, opened.sidecar, opened.cells)
+	if !opened.SetSidecarRefine(true) || !built.SetSidecarRefine(true) {
+		t.Fatal("SetSidecarRefine refused on a v2 index")
+	}
+	for _, q := range testQueries(f) {
+		a, err := built.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := opened.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
+			t.Fatalf("query %v: reopened index diverged", q)
+		}
+	}
+}
+
+// TestOpenFileLegacyV1 writes a genuine pre-sidecar (version 1) file and
+// checks the fallback contract: it opens, it reports no sidecar, the forced
+// mode refuses to arm, and every query answers exactly like the current
+// format.
+func TestOpenFileLegacyV1(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "legacy.fidx")
+	v2Path := filepath.Join(dir, "current.fidx")
+	if err := built.saveFileVersion(v1Path, legacyCatalogVersion); err != nil {
+		t.Fatal(err)
+	}
+	if err := built.SaveFile(v2Path); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := OpenFile(v1Path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatalf("v1 file did not open: %v", err)
+	}
+	defer legacy.Close()
+	current, err := OpenFile(v2Path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer current.Close()
+	if legacy.sidecar != nil || legacy.rids != nil {
+		t.Fatal("v1 file decoded a sidecar")
+	}
+	if legacy.Stats().SidecarPages != 0 {
+		t.Fatalf("v1 stats claim %d sidecar pages", legacy.Stats().SidecarPages)
+	}
+	if legacy.SetSidecarRefine(true) {
+		t.Fatal("SetSidecarRefine armed on a pre-sidecar file")
+	}
+	rng := rand.New(rand.NewSource(9))
+	vr := f.ValueRange()
+	queries := testQueries(f)
+	for trial := 0; trial < 10; trial++ {
+		lo := vr.Lo + rng.Float64()*vr.Length()
+		queries = append(queries, geom.Interval{Lo: lo, Hi: lo + rng.Float64()*vr.Length()*0.1})
+	}
+	for _, q := range queries {
+		a, err := legacy.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := current.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
+			t.Fatalf("query %v: legacy answer diverged from current format", q)
+		}
+	}
+}

@@ -60,7 +60,7 @@ func BuildSpatialCtx(ctx context.Context, f field.Field, pager *storage.Pager, p
 	if err != nil {
 		return nil, err
 	}
-	heap, rids, err := writeCells(ctx, f, pager, identityOrder(f))
+	heap, rids, _, err := writeCells(ctx, f, pager, identityOrder(f), false)
 	if err != nil {
 		return nil, err
 	}
@@ -150,13 +150,13 @@ func (s *SpatialIndex) pointQuery(ctx context.Context, tb *obs.TraceBuilder, pt 
 		if w, ok := field.Interpolate(&c, pt); ok {
 			qc.EndSpan()
 			st := qc.Stats()
-			s.recordIO(filterIO, st)
+			s.recordIO(filterIO, 0, st)
 			return w, st, nil
 		}
 	}
 	qc.EndSpan()
 	st := qc.Stats()
-	s.recordIO(filterIO, st)
+	s.recordIO(filterIO, 0, st)
 	return 0, st, fmt.Errorf("core: point %v outside the field", pt)
 }
 

@@ -72,6 +72,37 @@ func CellIntervalFromRecord(rec []byte) (geom.Interval, error) {
 	return iv, nil
 }
 
+// FilterIntervals tests the packed interval columns lo/hi — one sidecar
+// page's worth at a time — against the closed query interval [qlo, qhi] and
+// appends the positions base+i of the intersecting entries to out. The test
+// is exactly geom.Interval.Intersects on the same operands (cell intervals
+// are never empty), so a sidecar filter selects bit-for-bit the same cells
+// as testing CellIntervalFromRecord per record.
+//
+// The loop is branch-reduced: every iteration writes the candidate position
+// unconditionally and advances the output cursor by a comparison-derived
+// 0/1, so there is no taken-branch or memmove cost on the (common) discard
+// path.
+func FilterIntervals(out []int32, base int32, lo, hi []float64, qlo, qhi float64) []int32 {
+	j := len(out)
+	need := j + len(lo)
+	if cap(out) < need {
+		grown := make([]int32, j, need+need/2)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:need]
+	for i, l := range lo {
+		out[j] = base + int32(i)
+		inc := 0
+		if hi[i] >= qlo && l <= qhi {
+			inc = 1
+		}
+		j += inc
+	}
+	return out[:j]
+}
+
 // DecodeCell parses a record produced by AppendCell into dst, reusing its
 // slices when capacities allow.
 func DecodeCell(rec []byte, dst *Cell) error {

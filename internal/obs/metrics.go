@@ -96,12 +96,14 @@ type Metrics struct {
 	latency Histogram
 
 	// Pages read by kind, following the paper's two-step accounting: index
-	// pages are the filter step's R*-tree reads, cell pages the refinement
-	// (or point-query decode) step's heap reads.
-	indexPages atomic.Int64
-	cellPages  atomic.Int64
-	cacheHits  atomic.Int64
-	simNano    atomic.Int64
+	// pages are the filter step's R*-tree reads, sidecar pages the packed
+	// interval columns a sidecar-served filter scans, and cell pages the
+	// refinement (or point-query decode) step's heap reads.
+	indexPages   atomic.Int64
+	sidecarPages atomic.Int64
+	cellPages    atomic.Int64
+	cacheHits    atomic.Int64
+	simNano      atomic.Int64
 
 	// Worker-pool accounting for parallel refinement sections: items
 	// executed, summed busy time across workers, and the wall time of the
@@ -162,13 +164,15 @@ func (m *Metrics) RecordQuery(slot int, d time.Duration, err error) {
 }
 
 // RecordPages attributes a finished query's page accesses: indexReads from
-// the filter step, cellReads from the refinement/decode step, plus the
+// the filter step's R*-tree search, sidecarReads from interval-sidecar
+// scans, cellReads from the refinement/decode step's heap pages, plus the
 // query's cache hits and simulated disk time.
-func (m *Metrics) RecordPages(indexReads, cellReads, cacheHits int, sim time.Duration) {
+func (m *Metrics) RecordPages(indexReads, sidecarReads, cellReads, cacheHits int, sim time.Duration) {
 	if m == nil {
 		return
 	}
 	m.indexPages.Add(int64(indexReads))
+	m.sidecarPages.Add(int64(sidecarReads))
 	m.cellPages.Add(int64(cellReads))
 	m.cacheHits.Add(int64(cacheHits))
 	m.simNano.Add(int64(sim))
@@ -209,10 +213,11 @@ type Snapshot struct {
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
 	// Pages read by kind, plus cache hits and the simulated disk clock.
-	IndexPagesRead int64
-	CellPagesRead  int64
-	CacheHits      int64
-	SimElapsed     time.Duration
+	IndexPagesRead   int64
+	SidecarPagesRead int64
+	CellPagesRead    int64
+	CacheHits        int64
+	SimElapsed       time.Duration
 	// Worker-pool utilization: WorkerConcurrency = busy / wall is the
 	// achieved average parallelism of the refinement sections (0 when none
 	// ran).
@@ -238,6 +243,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Queries:           m.latency.count.Load(),
 		LatencySum:        time.Duration(m.latency.sumNano.Load()),
 		IndexPagesRead:    m.indexPages.Load(),
+		SidecarPagesRead:  m.sidecarPages.Load(),
 		CellPagesRead:     m.cellPages.Load(),
 		CacheHits:         m.cacheHits.Load(),
 		SimElapsed:        time.Duration(m.simNano.Load()),
@@ -304,8 +310,8 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "  %-12s queries=%-6d failures=%-4d canceled=%d\n",
 			mc.Method, mc.Queries, mc.Failures, mc.Canceled)
 	}
-	fmt.Fprintf(&b, "pages: index=%d cell=%d hits=%d sim=%v\n",
-		s.IndexPagesRead, s.CellPagesRead, s.CacheHits, s.SimElapsed.Round(time.Microsecond))
+	fmt.Fprintf(&b, "pages: index=%d sidecar=%d cell=%d hits=%d sim=%v\n",
+		s.IndexPagesRead, s.SidecarPagesRead, s.CellPagesRead, s.CacheHits, s.SimElapsed.Round(time.Microsecond))
 	if s.WorkerItems > 0 {
 		fmt.Fprintf(&b, "workers: items=%d busy=%v wall=%v concurrency=%.2f\n",
 			s.WorkerItems, s.WorkerBusy.Round(time.Microsecond),

@@ -139,7 +139,7 @@ func TestMetricsNilInert(t *testing.T) {
 		t.Fatalf("nil RegisterMethod = %d", slot)
 	}
 	m.RecordQuery(0, time.Millisecond, nil)
-	m.RecordPages(1, 2, 3, time.Millisecond)
+	m.RecordPages(1, 0, 2, 3, time.Millisecond)
 	m.RecordWorkers(1, time.Millisecond, time.Millisecond)
 	m.RecordContour(time.Millisecond)
 	if s := m.Snapshot(); s.Queries != 0 {
@@ -191,13 +191,13 @@ func TestMetricsRecordQueryClassification(t *testing.T) {
 
 func TestMetricsPagesAndWorkers(t *testing.T) {
 	m := NewMetrics()
-	m.RecordPages(3, 7, 2, 10*time.Millisecond)
-	m.RecordPages(1, 1, 0, time.Millisecond)
+	m.RecordPages(3, 2, 7, 2, 10*time.Millisecond)
+	m.RecordPages(1, 1, 1, 0, time.Millisecond)
 	m.RecordWorkers(4, 40*time.Millisecond, 10*time.Millisecond)
 	m.RecordContour(2 * time.Millisecond)
 
 	s := m.Snapshot()
-	if s.IndexPagesRead != 4 || s.CellPagesRead != 8 || s.CacheHits != 2 {
+	if s.IndexPagesRead != 4 || s.SidecarPagesRead != 3 || s.CellPagesRead != 8 || s.CacheHits != 2 {
 		t.Fatalf("pages: %+v", s)
 	}
 	if s.SimElapsed != 11*time.Millisecond {

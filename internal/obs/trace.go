@@ -46,13 +46,17 @@ const (
 	// PhaseContour is isoline assembly over a finished zero-width query's
 	// segments; it reads no pages.
 	PhaseContour
+	// PhaseSidecar is a filter step served by the columnar interval sidecar:
+	// a sequential scan of packed (lo, hi) pages instead of cell pages. Its
+	// page counts are what Metrics attributes to SidecarPagesRead.
+	PhaseSidecar
 	numPhases
 )
 
 // NumPhases is the number of defined phases, for sizing per-phase tables.
 const NumPhases = int(numPhases)
 
-var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble"}
+var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter"}
 
 // String implements fmt.Stringer.
 func (p Phase) String() string {

@@ -176,6 +176,14 @@ func (h *HeapFile) GetCtx(r PageReader, rid RID, buf []byte) ([]byte, error) {
 	return recordInPage(buf, rid.Slot)
 }
 
+// RecordInPage extracts slot s from a heap-file page image — the slot
+// arithmetic behind GetCtx, exported for readers that already hold a page
+// (the sidecar-filtered refinement step fetches whole survivor pages through
+// ReadRun and picks out the surviving records by slot).
+func RecordInPage(buf []byte, s uint16) ([]byte, error) {
+	return recordInPage(buf, s)
+}
+
 // recordInPage extracts slot s from a page image.
 func recordInPage(buf []byte, s uint16) ([]byte, error) {
 	n := binary.LittleEndian.Uint16(buf[0:2])

@@ -89,6 +89,23 @@ func TestTraceReconciliation(t *testing.T) {
 					t.Fatalf("kind %q", tr.Kind)
 				}
 				checkTrace(t, tr, res.IO)
+				// LinearScan's filter step is sidecar-served by default: every
+				// value query's trace must carry a sidecar-filter span whose
+				// page reads are part of the sum checkTrace just verified.
+				if method == LinearScan {
+					var sidecar *Span
+					for i := range tr.Spans {
+						if tr.Spans[i].Phase == obs.PhaseSidecar {
+							sidecar = &tr.Spans[i]
+						}
+					}
+					if sidecar == nil {
+						t.Fatalf("no sidecar-filter span in %v", tr.Spans)
+					}
+					if sidecar.Pages.Reads == 0 {
+						t.Fatal("sidecar-filter span read no pages")
+					}
+				}
 			}
 			// Conventional (point) query against the spatial store.
 			_, st, err := db.PointQueryStats(geom.Pt(12.5, 40.25))
@@ -134,6 +151,48 @@ func TestTraceReconciliationParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkTrace(t, rec.last(t), res.IO)
+}
+
+// TestTraceReconciliationSidecarRefine re-runs the invariant with the opt-in
+// sidecar-filtered refinement forced on a partition index, sequentially and
+// with a parallel pool: the per-run sidecar reads of every worker must land
+// in the span sums and in Result.IO.
+func TestTraceReconciliationSidecarRefine(t *testing.T) {
+	dem, err := TerrainDEM(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := dem.ValueRange()
+	for _, workers := range []int{1, 4} {
+		rec := &recordingTracer{}
+		db, err := Open(dem, Options{Method: IHilbert, Workers: workers, Tracer: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, ok := db.index.(interface{ SetSidecarRefine(bool) bool })
+		if !ok || !sr.SetSidecarRefine(true) {
+			t.Fatal("could not force sidecar refinement")
+		}
+		for _, iv := range [][2]float64{
+			{vr.Lo + vr.Length()*0.4, vr.Lo + vr.Length()*0.5},
+			{vr.Lo, vr.Hi},
+		} {
+			res, err := db.ValueQuery(iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkTrace(t, rec.last(t), res.IO)
+		}
+		m := db.Metrics()
+		if m.Engine.SidecarPagesRead == 0 {
+			t.Fatalf("workers=%d: forced mode recorded no sidecar reads", workers)
+		}
+		engineReads := m.Engine.IndexPagesRead + m.Engine.SidecarPagesRead + m.Engine.CellPagesRead
+		if engineReads != int64(m.ValueIO.Reads) {
+			t.Fatalf("workers=%d: engine reads %d != store reads %d", workers, engineReads, m.ValueIO.Reads)
+		}
+		db.Close()
+	}
 }
 
 func TestContourTrace(t *testing.T) {
@@ -218,8 +277,10 @@ func TestMetricsRegistry(t *testing.T) {
 	if m.Engine.IndexPagesRead == 0 || m.Engine.CellPagesRead == 0 {
 		t.Fatalf("pages by kind: %+v", m.Engine)
 	}
-	// Engine page totals reconcile with the per-store I/O counters.
-	engineReads := m.Engine.IndexPagesRead + m.Engine.CellPagesRead
+	// Engine page totals reconcile with the per-store I/O counters across
+	// all three read kinds (I-Hilbert's default path never touches the
+	// sidecar, so its sidecar reads are zero — but they stay in the sum).
+	engineReads := m.Engine.IndexPagesRead + m.Engine.SidecarPagesRead + m.Engine.CellPagesRead
 	storeReads := int64(m.ValueIO.Reads + m.SpatialIO.Reads)
 	if engineReads != storeReads {
 		t.Fatalf("engine reads %d != store reads %d", engineReads, storeReads)
@@ -242,6 +303,28 @@ func TestMetricsRegistry(t *testing.T) {
 	}
 	if out := m.String(); len(out) == 0 {
 		t.Fatal("empty metrics rendering")
+	}
+
+	// LinearScan serves its filter step from the sidecar, so its sidecar
+	// reads must be non-zero and the three read kinds must still sum to the
+	// store totals.
+	lsdb, err := Open(dem, Options{Method: LinearScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsdb.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := lsdb.ValueQuery(vr.Lo, vr.Lo+vr.Length()*0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lm := lsdb.Metrics()
+	if lm.Engine.SidecarPagesRead == 0 {
+		t.Fatalf("LinearScan recorded no sidecar reads: %+v", lm.Engine)
+	}
+	lsReads := lm.Engine.IndexPagesRead + lm.Engine.SidecarPagesRead + lm.Engine.CellPagesRead
+	if lsReads != int64(lm.ValueIO.Reads) {
+		t.Fatalf("LinearScan engine reads %d != store reads %d", lsReads, lm.ValueIO.Reads)
 	}
 
 	// ColdCache runs report no pool shards.
