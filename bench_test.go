@@ -122,6 +122,63 @@ func BenchmarkValueRange(b *testing.B) {
 	}
 }
 
+// BenchmarkValueRangeConcurrent is the concurrent-workload suite behind the
+// "Concurrent/*" rows of BENCH_BASELINE.json: the same specs, terrain, and
+// 64-query rotations as BenchmarkValueRange, but executed as shared-scan
+// batches of bench.ConcurrentClients members. The reported pages/op and
+// simns/op are *physical* per-query costs — what the batch actually read
+// divided by the member count — and qps_sim is queries per simulated-disk
+// second, the throughput metric the bench-compare gate watches (higher is
+// better). Per-member results stay byte-identical to solo execution.
+func BenchmarkValueRangeConcurrent(b *testing.B) {
+	f, err := workload.Terrain(256, 4217)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vr := f.ValueRange()
+	for _, spec := range bench.ValueRangeSpecs() {
+		pager := storage.NewPager(storage.NewMemDisk(storage.DefaultPageSize), storage.DefaultDiskModel, 1<<16)
+		idx, err := spec.Build(f, pager)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bq, ok := idx.(core.BatchQuerier)
+		if !ok {
+			continue
+		}
+		for _, sel := range bench.Selectivities {
+			queries := workload.Queries(vr, sel, 64, 4217+int64(sel*1e6))
+			name := fmt.Sprintf("Concurrent/%s/sel=%.2f/clients=%d", spec.Label, sel, bench.ConcurrentClients)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				var phys storage.Stats
+				members := make([]core.BatchQuery, bench.ConcurrentClients)
+				nq := 0
+				for i := 0; i < b.N; i++ {
+					off := (i * bench.ConcurrentClients) % len(queries)
+					for j := range members {
+						members[j] = core.BatchQuery{Query: queries[off+j]}
+					}
+					results, st := bq.QueryBatch(members)
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+					phys = phys.Add(st.Physical)
+					nq += len(members)
+				}
+				n := float64(nq)
+				b.ReportMetric(float64(phys.SimElapsed.Nanoseconds())/n, "simns/op")
+				b.ReportMetric(float64(phys.Reads)/n, "pages/op")
+				if phys.SimElapsed > 0 {
+					b.ReportMetric(n/phys.SimElapsed.Seconds(), "qps_sim")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig8a regenerates Figure 8a: terrain DEM, LinearScan vs I-All vs
 // I-Hilbert across Qinterval 0–0.1.
 func BenchmarkFig8a(b *testing.B) {

@@ -38,7 +38,10 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit results as machine-readable JSON instead of tables")
 		metrics = flag.Bool("metrics", false, "run a mixed demo workload and dump the engine metrics registry")
 
-		benchJSON = flag.String("bench-json", "", "measure the deterministic value-range suite (the BenchmarkValueRange workload) and write {name: row} JSON to this file ('-' for stdout)")
+		clients     = flag.Int("clients", 0, "run a concurrent value-range load with N client goroutines and report throughput, latency quantiles, and batch coalescing")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "admission window for -clients: concurrent arrivals within this window share one scan (0 disables batching)")
+
+		benchJSON = flag.String("bench-json", "", "measure the deterministic value-range suite (the BenchmarkValueRange workload, solo and concurrent) and write {name: row} JSON to this file ('-' for stdout)")
 		compare   = flag.Bool("compare", false, "compare two benchmark JSON files (args: old.json new.json); exits 1 if new regresses pages/op or simns/op beyond -tolerance")
 		tolerance = flag.Float64("tolerance", 0.01, "relative regression tolerance for -compare")
 		section   = flag.String("baseline-section", "", "section of a multi-section baseline file to compare against (default: newest recorded)")
@@ -51,6 +54,18 @@ func main() {
 	}
 	if *compare {
 		runCompare(flag.Args(), *section, *tolerance)
+		return
+	}
+
+	if *clients > 0 {
+		side, nq := 128, 256
+		if *full {
+			side, nq = 256, 1024
+		}
+		if *queries > 0 {
+			nq = *queries
+		}
+		runClients(side, *clients, nq, *batchWindow, *asJSON)
 		return
 	}
 
@@ -162,13 +177,22 @@ func main() {
 	}
 }
 
-// runBenchJSON measures the deterministic value-range suite and writes the
-// rows as flat JSON, the format -compare consumes as either side.
+// runBenchJSON measures the deterministic value-range suite — the solo rows
+// and the concurrent (batched) rows — and writes them as one flat JSON map,
+// the format -compare consumes as either side.
 func runBenchJSON(path string) {
 	rows, err := bench.ValueRangeMeasure()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	conc, err := bench.ConcurrentMeasure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for name, row := range conc {
+		rows[name] = row
 	}
 	b, err := bench.MarshalIndent(rows)
 	if err != nil {

@@ -23,6 +23,11 @@ type Row struct {
 	SimNsOp  float64 `json:"simns_op"`
 	BOp      float64 `json:"b_op,omitempty"`
 	AllocsOp float64 `json:"allocs_op,omitempty"`
+	// QPSSim is queries per simulated-disk second — the throughput metric of
+	// the concurrent (batched) rows, where cost-per-query hides how much
+	// coalescing the shared scan achieved. Unlike the cost metrics it is
+	// higher-is-better, and the gate fails when it drops.
+	QPSSim float64 `json:"qps_sim,omitempty"`
 }
 
 // ValueRangeMeasure runs the deterministic value-range suite — the exact
@@ -83,7 +88,7 @@ func ValueRangeMeasure() (map[string]Row, error) {
 // baselineSections is the precedence order for picking rows out of a
 // multi-section BENCH_BASELINE.json when no section is named: newest
 // recorded state first.
-var baselineSections = []string{"post_sidecar", "post_obs", "post", "pre"}
+var baselineSections = []string{"post_batch", "post_sidecar", "post_obs", "post", "pre"}
 
 // LoadRows reads benchmark rows from path. Two layouts are accepted: a flat
 // {name: row} map (what -bench-json writes) and the checked-in
@@ -184,6 +189,11 @@ func CompareRows(oldRows, newRows map[string]Row, tol float64) []string {
 		if nr.SimNsOp > or.SimNsOp*(1+tol) {
 			fails = append(fails, fmt.Sprintf("%s: simns/op regressed %.0f -> %.0f (+%.1f%%)",
 				name, or.SimNsOp, nr.SimNsOp, 100*(nr.SimNsOp/or.SimNsOp-1)))
+		}
+		// Throughput is higher-is-better: gate drops, not rises.
+		if or.QPSSim > 0 && nr.QPSSim < or.QPSSim*(1-tol) {
+			fails = append(fails, fmt.Sprintf("%s: qps_sim regressed %.1f -> %.1f (-%.1f%%)",
+				name, or.QPSSim, nr.QPSSim, 100*(1-nr.QPSSim/or.QPSSim)))
 		}
 	}
 	return fails

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+)
+
+// batchIndex is an index that answers queries solo and batched.
+type batchIndex interface {
+	Index
+	ContextQuerier
+	BatchQuerier
+}
+
+// buildBatchable builds every batch-capable index flavor over f, each on its
+// own pager, keyed by a descriptive name.
+func buildBatchable(t testing.TB, f field.Field) map[string]batchIndex {
+	t.Helper()
+	out := map[string]batchIndex{}
+	ls, err := BuildLinearScan(f, newPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["LinearScan+sidecar"] = ls
+	lsPlain, err := BuildLinearScanWith(context.Background(), f, newPager(), LinearScanOptions{NoSidecar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["LinearScan"] = lsPlain
+	ia, err := BuildIAll(f, newPager(), IAllOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["I-All"] = ia
+	ih, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["I-Hilbert"] = ih
+	ihw, err := BuildIHilbert(f, newPager(), HilbertOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["I-Hilbert+workers"] = ihw
+	vr := f.ValueRange()
+	iq, err := BuildIQuad(f, newPager(), ThresholdOptions{MaxSize: vr.Length()/8 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["I-Quad"] = iq
+	return out
+}
+
+// randomQuerySet draws k intervals exercising the demux edge cases:
+// overlapping, disjoint, nested, zero-width, whole-range, and off-range
+// (valid but matching nothing).
+func randomQuerySet(rng *rand.Rand, vr geom.Interval, k int) []geom.Interval {
+	qs := make([]geom.Interval, 0, k)
+	for len(qs) < k {
+		switch rng.Intn(6) {
+		case 0: // selective random band
+			lo := vr.Lo + rng.Float64()*vr.Length()
+			qs = append(qs, geom.Interval{Lo: lo, Hi: lo + rng.Float64()*vr.Length()*0.1})
+		case 1: // wide band — overlaps most others
+			lo := vr.Lo + rng.Float64()*vr.Length()*0.3
+			qs = append(qs, geom.Interval{Lo: lo, Hi: lo + vr.Length()*0.5})
+		case 2: // nested pair
+			lo := vr.Lo + rng.Float64()*vr.Length()*0.5
+			outer := geom.Interval{Lo: lo, Hi: lo + vr.Length()*0.3}
+			inner := geom.Interval{Lo: lo + vr.Length()*0.1, Hi: lo + vr.Length()*0.2}
+			qs = append(qs, outer, inner)
+		case 3: // zero width (isolines)
+			w := vr.Lo + rng.Float64()*vr.Length()
+			qs = append(qs, geom.Interval{Lo: w, Hi: w})
+		case 4: // whole range
+			qs = append(qs, vr)
+		case 5: // off the value range: valid, selects nothing
+			qs = append(qs, geom.Interval{Lo: vr.Hi + 10, Hi: vr.Hi + 20})
+		}
+	}
+	return qs[:k]
+}
+
+// soloResults answers qs one at a time through the solo pipeline.
+func soloResults(t *testing.T, idx batchIndex, qs []geom.Interval) []*Result {
+	t.Helper()
+	out := make([]*Result, len(qs))
+	for i, q := range qs {
+		res, err := idx.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatalf("solo query %d %v: %v", i, q, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// checkBatchStats asserts the two accounting planes reconcile: attributed ==
+// Σ member reads, physical + saved == attributed, physical ≤ attributed.
+func checkBatchStats(t *testing.T, st BatchStats, results []BatchResult) {
+	t.Helper()
+	attributed := 0
+	for _, r := range results {
+		if r.Err == nil {
+			attributed += r.Res.IO.Reads
+		}
+	}
+	if st.AttributedReads != attributed {
+		t.Fatalf("attributed %d, want Σ member reads %d", st.AttributedReads, attributed)
+	}
+	if st.Physical.Reads+st.PagesSaved != attributed {
+		t.Fatalf("physical %d + saved %d != attributed %d",
+			st.Physical.Reads, st.PagesSaved, attributed)
+	}
+	if st.Physical.Reads > attributed {
+		t.Fatalf("physical %d exceeds attributed %d", st.Physical.Reads, attributed)
+	}
+}
+
+// TestBatchMatchesSolo is the batch executor's core property: for random
+// query sets — overlapping, disjoint, nested, zero-width — every member's
+// batched Result is deep-equal (geometry, counters, and per-query I/O
+// statistics alike) to its solo execution, on every batch-capable method.
+func TestBatchMatchesSolo(t *testing.T) {
+	f := testDEM(t, 64, 0.6)
+	vr := f.ValueRange()
+	for name, idx := range buildBatchable(t, f) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial, k := range []int{1, 2, 3, 5, 8, 16} {
+				qs := randomQuerySet(rng, vr, k)
+				solo := soloResults(t, idx, qs)
+				members := make([]BatchQuery, k)
+				for i, q := range qs {
+					members[i] = BatchQuery{Query: q}
+				}
+				results, st := idx.QueryBatch(members)
+				if st.Size != k || len(results) != k {
+					t.Fatalf("trial %d: size %d/%d, want %d", trial, st.Size, len(results), k)
+				}
+				for i := range results {
+					if results[i].Err != nil {
+						t.Fatalf("trial %d member %d %v: %v", trial, i, qs[i], results[i].Err)
+					}
+					if !reflect.DeepEqual(solo[i], results[i].Res) {
+						t.Fatalf("trial %d member %d %v: batched result diverges from solo\nsolo:  %+v\nbatch: %+v",
+							trial, i, qs[i], solo[i], results[i].Res)
+					}
+				}
+				checkBatchStats(t, st, results)
+			}
+		})
+	}
+}
+
+// TestBatchSharesPages asserts the point of batching: a batch of overlapping
+// queries reads fewer physical pages than the sum of its members' attributed
+// reads, on the shared-scan methods.
+func TestBatchSharesPages(t *testing.T) {
+	f := testDEM(t, 64, 0.6)
+	vr := f.ValueRange()
+	lo := vr.Lo + vr.Length()*0.3
+	qs := []geom.Interval{
+		{Lo: lo, Hi: lo + vr.Length()*0.2},
+		{Lo: lo + vr.Length()*0.05, Hi: lo + vr.Length()*0.25},
+		{Lo: lo, Hi: lo + vr.Length()*0.2},
+		{Lo: lo + vr.Length()*0.1, Hi: lo + vr.Length()*0.3},
+	}
+	members := make([]BatchQuery, len(qs))
+	for i, q := range qs {
+		members[i] = BatchQuery{Query: q}
+	}
+	for name, idx := range buildBatchable(t, f) {
+		if name == "I-Quad" { // partition layouts can be too coarse to overlap
+			continue
+		}
+		results, st := idx.QueryBatch(members)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s member %d: %v", name, i, r.Err)
+			}
+		}
+		if st.PagesSaved == 0 {
+			t.Errorf("%s: overlapping batch saved no pages (physical %d, attributed %d)",
+				name, st.Physical.Reads, st.AttributedReads)
+		}
+	}
+}
+
+// TestBatchEmptyAndInvalidMembers checks member-level validation: an empty
+// interval fails its member with the solo error text while the rest of the
+// batch answers normally, and an empty batch is a no-op.
+func TestBatchEmptyAndInvalidMembers(t *testing.T) {
+	f := testDEM(t, 32, 0.6)
+	vr := f.ValueRange()
+	for name, idx := range buildBatchable(t, f) {
+		q := geom.Interval{Lo: vr.Lo + vr.Length()*0.4, Hi: vr.Lo + vr.Length()*0.6}
+		solo := soloResults(t, idx, []geom.Interval{q})
+		results, st := idx.QueryBatch([]BatchQuery{
+			{Query: q},
+			{Query: geom.Interval{Lo: 5, Hi: 1}}, // empty (inverted) interval
+			{Query: q},
+		})
+		if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "empty query interval") {
+			t.Fatalf("%s: empty member error = %v", name, results[1].Err)
+		}
+		for _, i := range []int{0, 2} {
+			if results[i].Err != nil {
+				t.Fatalf("%s member %d: %v", name, i, results[i].Err)
+			}
+			if !reflect.DeepEqual(solo[0], results[i].Res) {
+				t.Fatalf("%s member %d diverges from solo next to a failed member", name, i)
+			}
+		}
+		checkBatchStats(t, st, results)
+		if res, st := idx.QueryBatch(nil); res != nil || st != (BatchStats{}) {
+			t.Fatalf("%s: empty batch returned %v, %+v", name, res, st)
+		}
+	}
+}
+
+// TestBatchMemberCancellation checks isolation: one member canceled
+// mid-batch fails with its context's error while every other member's result
+// stays byte-identical to solo.
+func TestBatchMemberCancellation(t *testing.T) {
+	f := testDEM(t, 64, 0.6)
+	vr := f.ValueRange()
+	for name, idx := range buildBatchable(t, f) {
+		t.Run(name, func(t *testing.T) {
+			qs := []geom.Interval{
+				{Lo: vr.Lo, Hi: vr.Hi},
+				{Lo: vr.Lo + vr.Length()*0.2, Hi: vr.Lo + vr.Length()*0.6},
+				{Lo: vr.Lo, Hi: vr.Hi},
+			}
+			solo := soloResults(t, idx, qs)
+			for _, polls := range []int64{0, 3} {
+				members := []BatchQuery{
+					{Query: qs[0]},
+					{Ctx: newCountdownCtx(polls), Query: qs[1]},
+					{Query: qs[2]},
+				}
+				results, st := idx.QueryBatch(members)
+				if !errors.Is(results[1].Err, context.Canceled) {
+					t.Fatalf("polls=%d: canceled member err = %v", polls, results[1].Err)
+				}
+				for _, i := range []int{0, 2} {
+					if results[i].Err != nil {
+						t.Fatalf("polls=%d member %d: %v", polls, i, results[i].Err)
+					}
+					if !reflect.DeepEqual(solo[i], results[i].Res) {
+						t.Fatalf("polls=%d: member %d disturbed by sibling cancellation", polls, i)
+					}
+				}
+				// The canceled member's attributed charges stay unpublished,
+				// so saved can undercount but never corrupt: physical + saved
+				// ≤ attributed-with-cancellation never holds exactly; assert
+				// only the reported planes' internal consistency.
+				if st.Physical.Reads+st.PagesSaved < st.Physical.Reads {
+					t.Fatalf("polls=%d: negative saved", polls)
+				}
+			}
+		})
+	}
+}
+
+// countdownCtx is a context whose Err trips to context.Canceled after n
+// polls — a deterministic mid-pipeline cancellation.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.n.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBatchAllCanceled checks the scan aborts early and every member reports
+// its context's error when the whole batch is canceled up front.
+func TestBatchAllCanceled(t *testing.T) {
+	f := testDEM(t, 32, 0.6)
+	vr := f.ValueRange()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, idx := range buildBatchable(t, f) {
+		results, _ := idx.QueryBatch([]BatchQuery{
+			{Ctx: ctx, Query: vr},
+			{Ctx: ctx, Query: geom.Interval{Lo: vr.Lo, Hi: vr.Lo + vr.Length()*0.5}},
+		})
+		for i, r := range results {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("%s member %d: err = %v, want canceled", name, i, r.Err)
+			}
+		}
+	}
+}
+
+// TestBatchConcurrent runs several batches concurrently against one index
+// (exercising the pooled scratch under the race detector) and checks every
+// member still equals its solo answer.
+func TestBatchConcurrent(t *testing.T) {
+	f := testDEM(t, 64, 0.6)
+	vr := f.ValueRange()
+	for name, idx := range buildBatchable(t, f) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			const goroutines = 4
+			sets := make([][]geom.Interval, goroutines)
+			solos := make([][]*Result, goroutines)
+			for g := range sets {
+				sets[g] = randomQuerySet(rng, vr, 6)
+				solos[g] = soloResults(t, idx, sets[g])
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					members := make([]BatchQuery, len(sets[g]))
+					for i, q := range sets[g] {
+						members[i] = BatchQuery{Query: q}
+					}
+					results, _ := idx.QueryBatch(members)
+					for i := range results {
+						if results[i].Err != nil {
+							errs[g] = results[i].Err
+							return
+						}
+						if !reflect.DeepEqual(solos[g][i], results[i].Res) {
+							errs[g] = errors.New("batched result diverges from solo")
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Fatalf("goroutine %d: %v", g, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSidecarRefineFallback checks the partitioned fallback: with
+// sidecar-filtered refinement armed there is no shared whole-run fetch to
+// coalesce, so QueryBatch executes members solo — and still answers exactly.
+func TestBatchSidecarRefineFallback(t *testing.T) {
+	f := testDEM(t, 64, 0.6)
+	vr := f.ValueRange()
+	ih, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ih.SetSidecarRefine(true) {
+		t.Fatal("could not arm sidecar refinement")
+	}
+	qs := randomQuerySet(rand.New(rand.NewSource(31)), vr, 4)
+	solo := soloResults(t, ih, qs)
+	members := make([]BatchQuery, len(qs))
+	for i, q := range qs {
+		members[i] = BatchQuery{Query: q}
+	}
+	results, st := idxQueryBatch(ih, members)
+	for i := range results {
+		if results[i].Err != nil {
+			t.Fatalf("member %d: %v", i, results[i].Err)
+		}
+		if !reflect.DeepEqual(solo[i], results[i].Res) {
+			t.Fatalf("member %d diverges from solo under sidecar refinement", i)
+		}
+	}
+	if st.PagesSaved != 0 {
+		t.Fatalf("sequential fallback reported %d saved pages", st.PagesSaved)
+	}
+}
+
+func idxQueryBatch(idx BatchQuerier, members []BatchQuery) ([]BatchResult, BatchStats) {
+	return idx.QueryBatch(members)
+}
+
+// TestBatcherWindow checks the admission window: concurrent queries answer
+// exactly as solo, a lone query takes the solo path, and a canceled member
+// fails alone without stranding its group.
+func TestBatcherWindow(t *testing.T) {
+	f := testDEM(t, 32, 0.6)
+	vr := f.ValueRange()
+	ls, err := BuildLinearScan(f, newPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(ls, 20*time.Millisecond)
+	if b.Window() != 20*time.Millisecond {
+		t.Fatalf("window %v", b.Window())
+	}
+	qs := randomQuerySet(rand.New(rand.NewSource(41)), vr, 8)
+	solo := soloResults(t, ls, qs)
+
+	// Lone query: the group of one takes the solo path.
+	res, err := b.QueryContext(context.Background(), qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo[0], res) {
+		t.Fatal("lone batched query diverges from solo")
+	}
+
+	// Concurrent queries, one pre-canceled: correctness regardless of how
+	// the scheduler grouped them.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(qs)+1)
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q geom.Interval) {
+			defer wg.Done()
+			res, err := b.QueryContext(context.Background(), q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(solo[i], res) {
+				errs[i] = errors.New("batched result diverges from solo")
+			}
+		}(i, q)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := b.QueryContext(canceled, qs[0]); !errors.Is(err, context.Canceled) {
+			errs[len(qs)] = errors.New("canceled member did not fail with context.Canceled")
+		}
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+// TestBatchAllocs is the scratch-reuse satellite's gate: once the pools are
+// warm, a batch's demux machinery adds no allocations beyond what its
+// members would have allocated solo plus the shared fetch's own page
+// accounting — so a 4-member batch stays within the sum of 4 solo runs.
+func TestBatchAllocs(t *testing.T) {
+	f := testDEM(t, 32, 0.6)
+	vr := f.ValueRange()
+	ls, err := BuildLinearScan(f, newPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Interval{Lo: vr.Lo + vr.Length()*0.4, Hi: vr.Lo + vr.Length()*0.6}
+	members := []BatchQuery{{Query: q}, {Query: q}, {Query: q}, {Query: q}}
+	runBatch := func() {
+		results, _ := ls.QueryBatch(members)
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	runSolo := func() {
+		for range members {
+			if _, err := ls.QueryContext(context.Background(), q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runBatch() // warm the batch scratch pool
+	runSolo()
+	soloAllocs := testing.AllocsPerRun(20, runSolo)
+	batchAllocs := testing.AllocsPerRun(20, runBatch)
+	// The batch pays everything solo pays (the attributed replay allocates
+	// the same per-page accounting) plus a small fixed per-batch overhead —
+	// the member table, the result slice, the shared fetch context. The
+	// demux machinery itself (positions, bounds, runs, coverage) is pooled,
+	// so nothing scales with the batch beyond the solo costs.
+	if batchAllocs > soloAllocs+128 {
+		t.Fatalf("batch allocates %v per run, solo total %v (+128 allowance)", batchAllocs, soloAllocs)
+	}
+}

@@ -75,3 +75,43 @@ func clampWorkers(w int) int {
 	}
 	return w
 }
+
+// batchScratch pools the per-batch demux state — per-member survivor
+// positions, query-bound columns, run lists, coverage flags — the way
+// posScratch and iallScratch pool solo-query buffers: the slices grow to
+// the batch's size and survivor counts, so steady-state batch execution
+// allocates nothing for its demux machinery beyond what the member queries
+// would have allocated solo (asserted by TestBatchAllocs).
+var batchScratch = sync.Pool{New: func() any { return new(batchBuf) }}
+
+type batchBuf struct {
+	pos  [][]int32 // per-member survivor/candidate positions
+	qlo  []float64 // per-member query bounds (NaN marks a dead member)
+	qhi  []float64
+	cov  []bool    // per-member page-coverage flags (run-based demux)
+	sel  []int     // selected-subfield scratch (partitioned filter)
+	runs []pageRun // union page-index runs
+	prs  []physRun // union PageID runs
+}
+
+func getBatchBuf(k int) *batchBuf {
+	b := batchScratch.Get().(*batchBuf)
+	for len(b.pos) < k {
+		b.pos = append(b.pos, nil)
+	}
+	for i := 0; i < k; i++ {
+		b.pos[i] = b.pos[i][:0]
+	}
+	if cap(b.qlo) < k {
+		b.qlo = make([]float64, k)
+		b.qhi = make([]float64, k)
+		b.cov = make([]bool, k)
+	}
+	b.qlo, b.qhi, b.cov = b.qlo[:k], b.qhi[:k], b.cov[:k]
+	b.sel = b.sel[:0]
+	b.runs = b.runs[:0]
+	b.prs = b.prs[:0]
+	return b
+}
+
+func putBatchBuf(b *batchBuf) { batchScratch.Put(b) }

@@ -369,3 +369,79 @@ func TestOpenFileLegacyV1(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenFileLegacyV1Accounting closes the v1→v2 coverage gap: on a genuine
+// pre-sidecar file, per-query page accounting still reconciles (published
+// per-query stats sum to the store totals), a refused SetSidecarRefine
+// leaves answers and accounting untouched, and the batch executor serves the
+// legacy index with member results byte-identical to solo.
+func TestOpenFileLegacyV1Accounting(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Path := filepath.Join(t.TempDir(), "legacy.fidx")
+	if err := built.saveFileVersion(v1Path, legacyCatalogVersion); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := OpenFile(v1Path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+
+	queries := testQueries(f)
+	solo := make([]*Result, len(queries))
+	published := storage.Stats{}
+	before := legacy.pager.Stats()
+	for i, q := range queries {
+		solo[i], err = legacy.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		published = published.Add(solo[i].IO)
+	}
+	if got := legacy.pager.Stats().Sub(before); got != published {
+		t.Fatalf("store totals advanced by %+v, published per-query stats sum to %+v", got, published)
+	}
+
+	// A refused opt-in must not perturb answers or accounting.
+	if legacy.SetSidecarRefine(true) {
+		t.Fatal("SetSidecarRefine armed on a v1 file")
+	}
+	for i, q := range queries {
+		res, err := legacy.QueryContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solo[i], res) {
+			t.Fatalf("query %v changed after refused SetSidecarRefine", q)
+		}
+	}
+
+	// The batch executor takes the shared-scan path (no sidecar to refine
+	// with) and every member must equal its solo answer, I/O included.
+	members := make([]BatchQuery, len(queries))
+	for i, q := range queries {
+		members[i] = BatchQuery{Query: q}
+	}
+	before = legacy.pager.Stats()
+	results, st := legacy.QueryBatch(members)
+	batchPublished := storage.Stats{}
+	for i := range results {
+		if results[i].Err != nil {
+			t.Fatalf("member %d: %v", i, results[i].Err)
+		}
+		if !reflect.DeepEqual(solo[i], results[i].Res) {
+			t.Fatalf("member %d: batched answer on v1 file diverged from solo", i)
+		}
+		batchPublished = batchPublished.Add(results[i].Res.IO)
+	}
+	if got := legacy.pager.Stats().Sub(before); got != batchPublished {
+		t.Fatalf("batch: store totals advanced by %+v, published member stats sum to %+v", got, batchPublished)
+	}
+	if st.AttributedReads != batchPublished.Reads {
+		t.Fatalf("attributed %d != Σ member reads %d", st.AttributedReads, batchPublished.Reads)
+	}
+}

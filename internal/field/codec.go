@@ -103,6 +103,26 @@ func FilterIntervals(out []int32, base int32, lo, hi []float64, qlo, qhi float64
 	return out[:j]
 }
 
+// FilterIntervalsMulti is FilterIntervals for a batch of query intervals:
+// one pass over the packed columns evaluates every query's predicate per
+// entry, appending the surviving positions to that query's own out slice.
+// Per query the selection is bit-for-bit what FilterIntervals would produce
+// on the same operands, so a shared sidecar scan can serve a whole batch
+// without changing any member's answer. out must have at least len(qlo)
+// slices; a query whose bounds are NaN (the batch executor's dead-member
+// marker) selects nothing.
+func FilterIntervalsMulti(out [][]int32, base int32, lo, hi []float64, qlo, qhi []float64) {
+	for i, l := range lo {
+		h := hi[i]
+		p := base + int32(i)
+		for k, ql := range qlo {
+			if h >= ql && l <= qhi[k] {
+				out[k] = append(out[k], p)
+			}
+		}
+	}
+}
+
 // DecodeCell parses a record produced by AppendCell into dst, reusing its
 // slices when capacities allow.
 func DecodeCell(rec []byte, dst *Cell) error {

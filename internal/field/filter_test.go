@@ -1,0 +1,78 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fielddb/internal/geom"
+)
+
+// TestFilterIntervalsMatchesIntersects checks the branch-reduced column
+// filter selects bit-for-bit the positions geom.Interval.Intersects would.
+func TestFilterIntervalsMatchesIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 257
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = rng.Float64() * 100
+		hi[i] = lo[i] + rng.Float64()*10
+	}
+	for _, q := range []geom.Interval{
+		{Lo: 20, Hi: 40}, {Lo: 50, Hi: 50}, {Lo: -10, Hi: -5}, {Lo: 0, Hi: 200},
+	} {
+		got := FilterIntervals(nil, 1000, lo, hi, q.Lo, q.Hi)
+		var want []int32
+		for i := range lo {
+			if (geom.Interval{Lo: lo[i], Hi: hi[i]}).Intersects(q) {
+				want = append(want, 1000+int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: %d selected, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("q=%v: position %d = %d, want %d", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFilterIntervalsMulti checks the batched filter: per query the
+// selection equals a FilterIntervals pass on the same operands, and NaN
+// bounds (the batch executor's dead-member marker) select nothing.
+func TestFilterIntervalsMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 100
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = rng.Float64() * 100
+		hi[i] = lo[i] + rng.Float64()*10
+	}
+	qlo := []float64{20, 50, math.NaN(), -10, 0}
+	qhi := []float64{40, 50, math.NaN(), -5, 200}
+	out := make([][]int32, len(qlo))
+	// Two chunks with different bases, as a paged scan would deliver.
+	FilterIntervalsMulti(out, 0, lo[:60], hi[:60], qlo, qhi)
+	FilterIntervalsMulti(out, 60, lo[60:], hi[60:], qlo, qhi)
+	for k := range qlo {
+		var want []int32
+		if !math.IsNaN(qlo[k]) {
+			want = FilterIntervals(nil, 0, lo, hi, qlo[k], qhi[k])
+		}
+		if len(out[k]) != len(want) {
+			t.Fatalf("query %d: %d selected, want %d", k, len(out[k]), len(want))
+		}
+		for i := range want {
+			if out[k][i] != want[i] {
+				t.Fatalf("query %d: position %d = %d, want %d", k, i, out[k][i], want[i])
+			}
+		}
+	}
+	if len(out[2]) != 0 {
+		t.Fatalf("NaN-bounded query selected %d positions", len(out[2]))
+	}
+}

@@ -115,6 +115,40 @@ type Metrics struct {
 	// Contour assembly (facade stage after a zero-width value query).
 	contours    atomic.Int64
 	contourNano atomic.Int64
+
+	// Shared-scan batch accounting: how many batches ran, how many member
+	// queries they carried (a log₂ size histogram), the physical page reads
+	// the batches performed, and how many attributed page reads the
+	// deduplication saved (Σ attributed = physical + saved).
+	batches       atomic.Int64
+	batchQueries  atomic.Int64
+	batchSizes    [batchSizeBuckets]atomic.Int64
+	batchPhysical atomic.Int64
+	batchSaved    atomic.Int64
+}
+
+// batchSizeBuckets is the batch-size histogram resolution: bucket i counts
+// batches of size ≤ 2^i (2^16 member queries is far past any plausible
+// admission window).
+const batchSizeBuckets = 17
+
+// batchSizeBucketOf maps a batch size to its bucket index.
+func batchSizeBucketOf(size int) int {
+	if size < 1 {
+		size = 1
+	}
+	b := bits.Len64(uint64(size - 1)) // 0 for size 1, else ⌈log₂(size)⌉
+	if b >= batchSizeBuckets {
+		b = batchSizeBuckets - 1
+	}
+	return b
+}
+
+// BatchSizeBucket is one non-empty batch-size histogram bucket in a snapshot.
+type BatchSizeBucket struct {
+	// MaxSize is the bucket's inclusive size ceiling.
+	MaxSize int64
+	Count   int64
 }
 
 // NewMetrics returns an empty registry.
@@ -188,6 +222,20 @@ func (m *Metrics) RecordWorkers(items int, busy, wall time.Duration) {
 	m.workerWall.Add(int64(wall))
 }
 
+// RecordBatch folds one shared-scan batch into the batch accounting: its
+// member-query count, the physical (deduplicated) page reads the batch
+// performed, and the attributed page reads the coalescing saved.
+func (m *Metrics) RecordBatch(size int, physicalReads, savedReads int64) {
+	if m == nil {
+		return
+	}
+	m.batches.Add(1)
+	m.batchQueries.Add(int64(size))
+	m.batchSizes[batchSizeBucketOf(size)].Add(1)
+	m.batchPhysical.Add(physicalReads)
+	m.batchSaved.Add(savedReads)
+}
+
 // RecordContour counts one isoline assembly and its duration.
 func (m *Metrics) RecordContour(d time.Duration) {
 	if m == nil {
@@ -228,6 +276,16 @@ type Snapshot struct {
 	// Contour assemblies and their cumulative duration.
 	ContourAssemblies int64
 	ContourTime       time.Duration
+	// Shared-scan batches: Batches/BatchQueries count executed batches and
+	// their member queries, BatchSizes holds the non-empty size-histogram
+	// buckets, BatchPhysicalPages is the deduplicated reads the batches
+	// performed, and CoalescedPagesSaved the attributed reads the sharing
+	// avoided (attributed total = physical + saved).
+	Batches             int64
+	BatchQueries        int64
+	BatchSizes          []BatchSizeBucket
+	BatchPhysicalPages  int64
+	CoalescedPagesSaved int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting: counters are read
@@ -240,18 +298,27 @@ func (m *Metrics) Snapshot() Snapshot {
 	names := append([]string(nil), m.names...)
 	m.mu.Unlock()
 	s := Snapshot{
-		Queries:           m.latency.count.Load(),
-		LatencySum:        time.Duration(m.latency.sumNano.Load()),
-		IndexPagesRead:    m.indexPages.Load(),
-		SidecarPagesRead:  m.sidecarPages.Load(),
-		CellPagesRead:     m.cellPages.Load(),
-		CacheHits:         m.cacheHits.Load(),
-		SimElapsed:        time.Duration(m.simNano.Load()),
-		WorkerItems:       m.workerItems.Load(),
-		WorkerBusy:        time.Duration(m.workerBusy.Load()),
-		WorkerWall:        time.Duration(m.workerWall.Load()),
-		ContourAssemblies: m.contours.Load(),
-		ContourTime:       time.Duration(m.contourNano.Load()),
+		Queries:             m.latency.count.Load(),
+		LatencySum:          time.Duration(m.latency.sumNano.Load()),
+		IndexPagesRead:      m.indexPages.Load(),
+		SidecarPagesRead:    m.sidecarPages.Load(),
+		CellPagesRead:       m.cellPages.Load(),
+		CacheHits:           m.cacheHits.Load(),
+		SimElapsed:          time.Duration(m.simNano.Load()),
+		WorkerItems:         m.workerItems.Load(),
+		WorkerBusy:          time.Duration(m.workerBusy.Load()),
+		WorkerWall:          time.Duration(m.workerWall.Load()),
+		ContourAssemblies:   m.contours.Load(),
+		ContourTime:         time.Duration(m.contourNano.Load()),
+		Batches:             m.batches.Load(),
+		BatchQueries:        m.batchQueries.Load(),
+		BatchPhysicalPages:  m.batchPhysical.Load(),
+		CoalescedPagesSaved: m.batchSaved.Load(),
+	}
+	for i := 0; i < batchSizeBuckets; i++ {
+		if c := m.batchSizes[i].Load(); c > 0 {
+			s.BatchSizes = append(s.BatchSizes, BatchSizeBucket{MaxSize: 1 << i, Count: c})
+		}
 	}
 	for i, n := range names {
 		s.Methods = append(s.Methods, MethodCounters{
@@ -320,6 +387,13 @@ func (s Snapshot) String() string {
 	if s.ContourAssemblies > 0 {
 		fmt.Fprintf(&b, "contours: assemblies=%d time=%v\n",
 			s.ContourAssemblies, s.ContourTime.Round(time.Microsecond))
+	}
+	if s.Batches > 0 {
+		fmt.Fprintf(&b, "batches: %d (queries=%d physical=%d saved=%d)\n",
+			s.Batches, s.BatchQueries, s.BatchPhysicalPages, s.CoalescedPagesSaved)
+		for _, bb := range s.BatchSizes {
+			fmt.Fprintf(&b, "  size ≤%-6d %d\n", bb.MaxSize, bb.Count)
+		}
 	}
 	if len(s.Latency) > 0 {
 		b.WriteString("latency histogram:\n")

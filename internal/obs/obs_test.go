@@ -250,3 +250,60 @@ func TestObserverZeroValueInert(t *testing.T) {
 	tb.Finish(nil)
 	ob.Metrics.RecordQuery(0, time.Millisecond, nil)
 }
+
+func TestMetricsRecordBatch(t *testing.T) {
+	var nilM *Metrics
+	nilM.RecordBatch(4, 100, 10) // nil receiver stays inert
+
+	m := NewMetrics()
+	m.RecordBatch(1, 50, 0)
+	m.RecordBatch(2, 80, 20)
+	m.RecordBatch(16, 300, 700)
+	m.RecordBatch(17, 300, 700) // next power-of-two bucket
+
+	s := m.Snapshot()
+	if s.Batches != 4 || s.BatchQueries != 1+2+16+17 {
+		t.Fatalf("batches: %+v", s)
+	}
+	if s.BatchPhysicalPages != 50+80+300+300 || s.CoalescedPagesSaved != 20+700+700 {
+		t.Fatalf("pages: physical=%d saved=%d", s.BatchPhysicalPages, s.CoalescedPagesSaved)
+	}
+	byMax := map[int64]int64{}
+	for _, b := range s.BatchSizes {
+		byMax[b.MaxSize] += b.Count
+	}
+	if byMax[1] != 1 || byMax[2] != 1 || byMax[16] != 1 || byMax[32] != 1 {
+		t.Fatalf("size buckets: %v", byMax)
+	}
+	var total int64
+	for _, b := range s.BatchSizes {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("bucket total %d", total)
+	}
+	if out := s.String(); !strings.Contains(out, "batches:") {
+		t.Fatalf("String lacks batches block: %s", out)
+	}
+	// A batch-free snapshot omits the block.
+	if out := NewMetrics().Snapshot().String(); strings.Contains(out, "batches:") {
+		t.Fatalf("batch-free String shows batches block: %s", out)
+	}
+}
+
+func TestBatchSizeBucketOf(t *testing.T) {
+	cases := map[int]int64{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 16: 16, 17: 32, 1 << 20: 1 << 16}
+	for size, wantMax := range cases {
+		m := NewMetrics()
+		m.RecordBatch(size, 0, 0)
+		var got int64
+		for _, b := range m.Snapshot().BatchSizes {
+			if b.Count > 0 {
+				got = b.MaxSize
+			}
+		}
+		if got != wantMax {
+			t.Fatalf("size %d landed in bucket ≤%d, want ≤%d", size, got, wantMax)
+		}
+	}
+}

@@ -50,13 +50,19 @@ const (
 	// a sequential scan of packed (lo, hi) pages instead of cell pages. Its
 	// page counts are what Metrics attributes to SidecarPagesRead.
 	PhaseSidecar
+	// PhaseBatchFetch is the shared fetch of a KindBatch trace: the
+	// deduplicated physical page reads that served a whole batch of value
+	// queries. It appears only in batch-level traces, never in per-query
+	// ones — the member queries report their attributed pages through the
+	// usual phases.
+	PhaseBatchFetch
 	numPhases
 )
 
 // NumPhases is the number of defined phases, for sizing per-phase tables.
 const NumPhases = int(numPhases)
 
-var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter"}
+var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch"}
 
 // String implements fmt.Stringer.
 func (p Phase) String() string {
@@ -72,6 +78,11 @@ const (
 	KindPoint   = "point"   // conventional query F(v')
 	KindApprox  = "approx"  // summary-only approximate value query
 	KindContour = "contour" // isoline assembly after a zero-width value query
+	// KindBatch marks the batch-level trace of one shared-scan batch: its Lo
+	// and Hi are the covering interval of the member queries, its IO the
+	// *physical* (deduplicated) page activity. Member queries additionally
+	// emit their own KindValue traces with attributed (as-if-solo) counts.
+	KindBatch = "batch"
 )
 
 // PageCounts is the page-access activity attributable to one span. It mirrors

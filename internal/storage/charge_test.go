@@ -1,0 +1,72 @@
+package storage
+
+import "testing"
+
+// TestChargeMatchesRead is the contract of the batch executor's attribution
+// plane: charging a page sequence without moving data produces exactly the
+// statistics that reading the same sequence would — reads, the
+// sequential/random split, cache hits, and the simulated clock alike.
+func TestChargeMatchesRead(t *testing.T) {
+	const pages = 64
+	newStore := func() *Pager {
+		d := NewMemDisk(128)
+		for i := 0; i < pages; i++ {
+			d.Alloc()
+		}
+		return NewPager(d, DefaultDiskModel, 8)
+	}
+	// Sequences exercising every accounting transition: runs, single pages,
+	// backward jumps, and revisits that hit the per-query LRU view.
+	sequences := [][2]PageID{
+		{0, 9}, {10, 10}, {40, 45}, {5, 7}, {41, 44}, {63, 63}, {0, 2},
+	}
+
+	read := newStore().BeginQuery()
+	for _, s := range sequences {
+		err := read.ReadRun(s[0], s[1], func(PageID, []byte) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	charged := newStore().BeginQuery()
+	for _, s := range sequences {
+		charged.ChargeRun(s[0], s[1])
+	}
+	if got, want := charged.LocalStats(), read.LocalStats(); got != want {
+		t.Fatalf("ChargeRun stats %+v != ReadRun stats %+v", got, want)
+	}
+
+	// ChargePage page by page is ChargeRun unrolled.
+	paged := newStore().BeginQuery()
+	for _, s := range sequences {
+		for id := s[0]; id <= s[1]; id++ {
+			paged.ChargePage(id)
+		}
+	}
+	if got, want := paged.LocalStats(), read.LocalStats(); got != want {
+		t.Fatalf("ChargePage stats %+v != ReadRun stats %+v", got, want)
+	}
+}
+
+// TestChargePublishes checks charged pages flow into the pager totals on
+// Stats() exactly like read pages, preserving the invariant that the pager's
+// cumulative statistics equal the sum of the published per-query statistics.
+func TestChargePublishes(t *testing.T) {
+	d := NewMemDisk(128)
+	for i := 0; i < 8; i++ {
+		d.Alloc()
+	}
+	p := NewPager(d, DefaultDiskModel, 4)
+	qc := p.BeginQuery()
+	qc.ChargeRun(0, 5)
+	published := qc.Stats()
+	if p.Stats() != published {
+		t.Fatalf("pager totals %+v != published %+v", p.Stats(), published)
+	}
+	// An unpublished context leaves the totals untouched.
+	p.BeginQuery().ChargeRun(0, 5)
+	if p.Stats() != published {
+		t.Fatalf("unpublished charges leaked into pager totals: %+v", p.Stats())
+	}
+}

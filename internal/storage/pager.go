@@ -633,6 +633,23 @@ func (qc *QueryCtx) note(id PageID) {
 	qc.seen[id] = qc.lru.PushFront(id)
 }
 
+// ChargePage charges one page access to this query's private accounting
+// without moving any data. It is the attribution half of a shared (batched)
+// fetch: the bytes come from one physical run read serving a whole batch,
+// while every member query charges exactly the page sequence its solo
+// execution would have read — same ids, same order — so the per-query
+// statistics stay byte-identical to a solo run no matter how the batch
+// coalesced the I/O.
+func (qc *QueryCtx) ChargePage(id PageID) { qc.chargeRead(id) }
+
+// ChargeRun charges the pages [first, last] in ascending order, exactly as a
+// ReadRun over the same range would, without moving any data. See ChargePage.
+func (qc *QueryCtx) ChargeRun(first, last PageID) {
+	for id := first; id <= last; id++ {
+		qc.chargeRead(id)
+	}
+}
+
 // Stats returns this query's accumulated activity, including any merged
 // worker contexts, and publishes the not-yet-published part to the pager's
 // cumulative totals. Every query path ends by reporting its I/O through
