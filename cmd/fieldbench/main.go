@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,15 +42,20 @@ func main() {
 		clients     = flag.Int("clients", 0, "run a concurrent value-range load with N client goroutines and report throughput, latency quantiles, and batch coalescing")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "admission window for -clients: concurrent arrivals within this window share one scan (0 disables batching)")
 
-		benchJSON = flag.String("bench-json", "", "measure the deterministic value-range suite (the BenchmarkValueRange workload, solo and concurrent) and write {name: row} JSON to this file ('-' for stdout)")
-		compare   = flag.Bool("compare", false, "compare two benchmark JSON files (args: old.json new.json); exits 1 if new regresses pages/op or simns/op beyond -tolerance")
-		tolerance = flag.Float64("tolerance", 0.01, "relative regression tolerance for -compare")
-		section   = flag.String("baseline-section", "", "section of a multi-section baseline file to compare against (default: newest recorded)")
+		benchJSON  = flag.String("bench-json", "", "measure the deterministic value-range suite (the BenchmarkValueRange workload, solo, concurrent, and update-load) and write {name: row} JSON to this file ('-' for stdout)")
+		updateLoad = flag.Bool("update-load", false, "run only the deterministic live-update suite (batch commit cost and reader cost under interleaved updates) and print the rows")
+		compare    = flag.Bool("compare", false, "compare two benchmark JSON files (args: old.json new.json); exits 1 if new regresses pages/op or simns/op beyond -tolerance")
+		tolerance  = flag.Float64("tolerance", 0.01, "relative regression tolerance for -compare")
+		section    = flag.String("baseline-section", "", "section of a multi-section baseline file to compare against (default: newest recorded)")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		runBenchJSON(*benchJSON)
+		return
+	}
+	if *updateLoad {
+		runUpdateLoad()
 		return
 	}
 	if *compare {
@@ -177,9 +183,9 @@ func main() {
 	}
 }
 
-// runBenchJSON measures the deterministic value-range suite — the solo rows
-// and the concurrent (batched) rows — and writes them as one flat JSON map,
-// the format -compare consumes as either side.
+// runBenchJSON measures the deterministic value-range suite — the solo rows,
+// the concurrent (batched) rows, and the update-load rows — and writes them
+// as one flat JSON map, the format -compare consumes as either side.
 func runBenchJSON(path string) {
 	rows, err := bench.ValueRangeMeasure()
 	if err != nil {
@@ -194,6 +200,14 @@ func runBenchJSON(path string) {
 	for name, row := range conc {
 		rows[name] = row
 	}
+	upd, err := bench.UpdateLoadMeasure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for name, row := range upd {
+		rows[name] = row
+	}
 	b, err := bench.MarshalIndent(rows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -206,6 +220,27 @@ func runBenchJSON(path string) {
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// runUpdateLoad prints the deterministic live-update suite as a table: the
+// commit cost of update batches per method, and the per-query read cost while
+// batches commit every few queries.
+func runUpdateLoad() {
+	rows, err := bench.UpdateLoadMeasure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %12s %12s %12s\n", "row", "pages/op", "simms/op", "qps(sim)")
+	for _, name := range names {
+		r := rows[name]
+		fmt.Printf("%-40s %12.1f %12.3f %12.1f\n", name, r.PagesOp, r.SimNsOp/1e6, r.QPSSim)
 	}
 }
 

@@ -1,6 +1,10 @@
 package fielddb
 
-import "errors"
+import (
+	"errors"
+
+	"fielddb/internal/core"
+)
 
 // Typed sentinel errors of the facade. Returned errors wrap these (often with
 // the offending values appended), so callers branch with errors.Is instead of
@@ -25,3 +29,10 @@ var (
 	// *DB element.
 	ErrBadConjunction = errors.New("fielddb: invalid conjunctive query")
 )
+
+// ErrUpdatesUnsupported reports UpdateSamples on a configuration that cannot
+// apply live updates: an immutable field, the IQuad method (its spatial
+// recursion is not maintained incrementally), or an index reopened from a
+// pre-sidecar (version-1) file. Re-exported from internal/core so errors.Is
+// works across the facade boundary.
+var ErrUpdatesUnsupported = core.ErrUpdatesUnsupported

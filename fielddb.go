@@ -196,6 +196,13 @@ type DB struct {
 	metrics *obs.Metrics
 	batcher *core.Batcher // nil unless Options.BatchWindow armed it
 	closed  atomic.Bool
+	// updateMu serializes UpdateSamples batches across the two stores; no
+	// query path takes it.
+	updateMu sync.Mutex
+	// vrange caches the field's value range for ValueAbove/ValueBelow.
+	// UpdateSamples keeps it current (conservatively wide mid-batch); reading
+	// field.ValueRange() directly would race with an updater's SetSample.
+	vrange atomic.Pointer[geom.Interval]
 }
 
 // Open builds the value and spatial indexes for f.
@@ -327,6 +334,8 @@ func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 		tracer:  opts.Tracer,
 		metrics: obs.NewMetrics(),
 	}
+	vr := f.ValueRange()
+	db.vrange.Store(&vr)
 	if opts.BatchWindow > 0 {
 		if bq, ok := idx.(core.BatchQuerier); ok {
 			db.batcher = core.NewBatcher(bq, opts.BatchWindow)
@@ -497,12 +506,31 @@ func (db *DB) ValueQueryBatch(ctx context.Context, intervals []Interval) ([]*Res
 // ValueAbove answers "where is the value at least lo" (the urban noise
 // query of the paper's introduction).
 func (db *DB) ValueAbove(lo float64) (*Result, error) {
-	return db.ValueQuery(lo, db.field.ValueRange().Hi)
+	return db.ValueAboveContext(context.Background(), lo)
+}
+
+// ValueAboveContext is ValueAbove with cancellation. The open end of the
+// interval comes from the facade's cached value range, so it is safe to call
+// while an update batch runs.
+func (db *DB) ValueAboveContext(ctx context.Context, lo float64) (*Result, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	return db.ValueQueryContext(ctx, lo, db.valueRange().Hi)
 }
 
 // ValueBelow answers "where is the value at most hi".
 func (db *DB) ValueBelow(hi float64) (*Result, error) {
-	return db.ValueQuery(db.field.ValueRange().Lo, hi)
+	return db.ValueBelowContext(context.Background(), hi)
+}
+
+// ValueBelowContext is ValueBelow with cancellation; like ValueAboveContext
+// it reads the open end of the interval from the cached value range.
+func (db *DB) ValueBelowContext(ctx context.Context, hi float64) (*Result, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	return db.ValueQueryContext(ctx, db.valueRange().Lo, hi)
 }
 
 // ApproxResult is the outcome of an approximate value query answered from

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"fielddb/internal/field"
@@ -23,12 +25,12 @@ const MethodAuto Method = "I-Auto"
 // path over the same heap file.
 type Auto struct {
 	part *Partitioned
-	// hist[i] counts cells whose interval intersects the i-th equi-width
-	// bin of the value range.
-	hist     []int
-	binWidth float64
-	histLo   float64
-	cells    int
+	// state pairs the partition state the planner dispatches into with the
+	// histogram version built from the same field contents. They are
+	// published together, atomically, so a reader never plans on a histogram
+	// from one epoch and refines against another.
+	state atomic.Pointer[autoState]
+	cells int
 	// scanThreshold is the estimated matched-cell fraction above which the
 	// planner prefers the sequential scan.
 	scanThreshold float64
@@ -36,7 +38,89 @@ type Auto struct {
 	// atomically so concurrent queries don't corrupt them.
 	scanQueries   atomic.Int64
 	filterQueries atomic.Int64
+	// updMu serializes the planner's own publish step across update batches
+	// (the underlying index serializes the heavy work on its own updMu).
+	updMu sync.Mutex
 	observed
+}
+
+// autoState is one epoch's immutable planner view.
+type autoState struct {
+	ps *partState
+	h  *autoHist
+}
+
+// pinState loads the current planner state and pins its epoch, retrying
+// across the commit/publish window exactly like Partitioned.pinState.
+func (a *Auto) pinState() (*autoState, func()) {
+	for {
+		st := a.state.Load()
+		if a.part.pager.PinEpoch(st.ps.epoch) {
+			return st, func() { a.part.pager.UnpinEpoch(st.ps.epoch) }
+		}
+		runtime.Gosched()
+	}
+}
+
+// autoHist is one immutable histogram version: bins[i] counts cells whose
+// interval intersects the i-th equi-width bin of [lo, lo + len(bins)*width].
+type autoHist struct {
+	bins  []int
+	width float64
+	lo    float64
+}
+
+// buildAutoHist scans the field's cells into a fresh histogram with the given
+// resolution.
+func buildAutoHist(f field.Field, bins int) *autoHist {
+	vr := f.ValueRange()
+	width := vr.Length() / float64(bins)
+	if width <= 0 {
+		width = 1
+	}
+	h := &autoHist{bins: make([]int, bins), width: width, lo: vr.Lo}
+	var c field.Cell
+	for id := 0; id < f.NumCells(); id++ {
+		f.Cell(field.CellID(id), &c)
+		iv := c.Interval()
+		b0, b1 := h.binOf(iv.Lo), h.binOf(iv.Hi)
+		for b := b0; b <= b1; b++ {
+			h.bins[b]++
+		}
+	}
+	return h
+}
+
+func (h *autoHist) binOf(w float64) int {
+	b := int((w - h.lo) / h.width)
+	if b < 0 {
+		return 0
+	}
+	if b >= len(h.bins) {
+		return len(h.bins) - 1
+	}
+	return b
+}
+
+// estimate returns the histogram's (over-)estimate of the fraction of cells
+// (out of the given total) whose interval intersects q.
+func (h *autoHist) estimate(q geom.Interval, cells int) float64 {
+	b0, b1 := h.binOf(q.Lo), h.binOf(q.Hi)
+	max := 0
+	for b := b0; b <= b1; b++ {
+		// Bins double-count cells spanning several bins; taking the max
+		// rather than the sum keeps the estimate in [0, 1] and close for
+		// narrow queries, while wide queries are dominated by the largest
+		// bin anyway.
+		if h.bins[b] > max {
+			max = h.bins[b]
+		}
+	}
+	est := float64(max) / float64(cells) * float64(b1-b0+1)
+	if est > 1 {
+		est = 1
+	}
+	return est
 }
 
 // ScanQueries returns how many queries the planner answered with the
@@ -86,40 +170,13 @@ func BuildAutoCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts
 	if threshold <= 0 || threshold >= 1 {
 		threshold = 0.45
 	}
-	vr := f.ValueRange()
-	width := vr.Length() / float64(bins)
-	if width <= 0 {
-		width = 1
-	}
 	a := &Auto{
 		part:          part,
-		hist:          make([]int, bins),
-		binWidth:      width,
-		histLo:        vr.Lo,
 		cells:         f.NumCells(),
 		scanThreshold: threshold,
 	}
-	var c field.Cell
-	for id := 0; id < f.NumCells(); id++ {
-		f.Cell(field.CellID(id), &c)
-		iv := c.Interval()
-		b0, b1 := a.binOf(iv.Lo), a.binOf(iv.Hi)
-		for b := b0; b <= b1; b++ {
-			a.hist[b]++
-		}
-	}
+	a.state.Store(&autoState{ps: part.snap.Load(), h: buildAutoHist(f, bins)})
 	return a, nil
-}
-
-func (a *Auto) binOf(w float64) int {
-	b := int((w - a.histLo) / a.binWidth)
-	if b < 0 {
-		return 0
-	}
-	if b >= len(a.hist) {
-		return len(a.hist) - 1
-	}
-	return b
 }
 
 // EstimateSelectivity returns the histogram's (over-)estimate of the
@@ -128,22 +185,7 @@ func (a *Auto) EstimateSelectivity(q geom.Interval) float64 {
 	if a.cells == 0 || q.IsEmpty() {
 		return 0
 	}
-	b0, b1 := a.binOf(q.Lo), a.binOf(q.Hi)
-	max := 0
-	for b := b0; b <= b1; b++ {
-		// Bins double-count cells spanning several bins; taking the max
-		// rather than the sum keeps the estimate in [0, 1] and close for
-		// narrow queries, while wide queries are dominated by the largest
-		// bin anyway.
-		if a.hist[b] > max {
-			max = a.hist[b]
-		}
-	}
-	est := float64(max) / float64(a.cells) * float64(b1-b0+1)
-	if est > 1 {
-		est = 1
-	}
-	return est
+	return a.state.Load().h.estimate(q, a.cells)
 }
 
 // Method implements Index.
@@ -176,21 +218,33 @@ func (a *Auto) QueryContext(ctx context.Context, q geom.Interval) (*Result, erro
 }
 
 func (a *Auto) autoQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
+	st, release := a.pinState()
+	defer release()
+	return a.autoQueryAt(st.ps, st.h, ctx, tb, q)
+}
+
+// autoQueryAt plans and runs against one pinned partition state and one
+// histogram version; the caller must hold a pin at s.epoch.
+func (a *Auto) autoQueryAt(s *partState, h *autoHist, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
 	tb.BeginSpan(obs.PhasePlan, obs.PageCounts{})
-	sel := a.EstimateSelectivity(q)
+	sel := 0.0
+	if a.cells > 0 {
+		sel = h.estimate(q, a.cells)
+	}
 	tb.EndSpan(obs.PageCounts{})
 	if sel > a.scanThreshold {
 		a.scanQueries.Add(1)
-		return a.scanAll(ctx, tb, q)
+		return a.scanAllAt(s.epoch, ctx, tb, q)
 	}
 	a.filterQueries.Add(1)
-	return a.part.valueQuery(&a.observed, ctx, tb, q)
+	return a.part.valueQueryAt(s, &a.observed, ctx, tb, q)
 }
 
-// scanAll runs the LinearScan access path over the partitioned index's own
-// heap file.
-func (a *Auto) scanAll(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
-	qc := a.part.pager.BeginQuery()
+// scanAllAt runs the LinearScan access path over the partitioned index's own
+// heap file at the pinned epoch.
+func (a *Auto) scanAllAt(epoch uint64, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
+	qc := beginQueryAt(a.part.pager, epoch)
+	defer qc.Release()
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	qc.BeginSpan(obs.PhaseRefine)

@@ -107,11 +107,13 @@ type batchMember struct {
 func (m *batchMember) live() bool { return m.started && m.err == nil }
 
 // beginMembers validates and opens every member: trace, metrics clock, and
-// the attributed per-query context. Empty intervals fail without starting a
-// trace, matching solo QueryContext, which rejects them before startQuery;
-// already-canceled contexts fail after it, matching solo, which notices the
-// cancellation mid-pipeline and meters a canceled query.
-func (o *observed) beginMembers(method string, pager *storage.Pager, members []BatchQuery) []batchMember {
+// the attributed per-query context, every one pinned at the batch's single
+// epoch so all members read the same MVCC snapshot (the caller holds the
+// batch-level pin for the duration of the batch). Empty intervals fail
+// without starting a trace, matching solo QueryContext, which rejects them
+// before startQuery; already-canceled contexts fail after it, matching solo,
+// which notices the cancellation mid-pipeline and meters a canceled query.
+func (o *observed) beginMembers(method string, pager *storage.Pager, epoch uint64, members []BatchQuery) []batchMember {
 	ms := make([]batchMember, len(members))
 	for i, bq := range members {
 		m := &ms[i]
@@ -126,7 +128,7 @@ func (o *observed) beginMembers(method string, pager *storage.Pager, members []B
 		}
 		m.tb, m.start = o.startQuery(method, obs.KindValue, m.q.Lo, m.q.Hi)
 		m.started = true
-		m.qc = pager.BeginQuery()
+		m.qc = beginQueryAt(pager, epoch)
 		m.qc.AttachTrace(m.tb)
 		m.res = &Result{Query: m.q}
 		if err := m.ctx.Err(); err != nil {
@@ -155,6 +157,9 @@ func (o *observed) finishMembers(ms []batchMember) ([]BatchResult, int) {
 		if m.err != nil {
 			if m.started {
 				o.endQuery(m.tb, m.start, m.err)
+			}
+			if m.qc != nil {
+				m.qc.Release()
 			}
 			out[i] = BatchResult{Err: m.err}
 			continue
@@ -537,9 +542,12 @@ func (ls *LinearScan) QueryBatch(members []BatchQuery) ([]BatchResult, BatchStat
 	if len(members) == 1 {
 		return sequentialBatch(&ls.observed, ls, members)
 	}
+	epoch, release := pinCurrentEpoch(ls.pager)
+	defer release()
 	bo := ls.startBatch(string(MethodLinearScan), members)
-	ms := ls.beginMembers(string(MethodLinearScan), ls.pager, members)
-	phys := ls.pager.BeginQuery()
+	ms := ls.beginMembers(string(MethodLinearScan), ls.pager, epoch, members)
+	phys := beginQueryAt(ls.pager, epoch)
+	defer phys.Release()
 	bb := getBatchBuf(len(members))
 	defer putBatchBuf(bb)
 	if ls.sidecar != nil {
@@ -649,9 +657,12 @@ func (ia *IAll) QueryBatch(members []BatchQuery) ([]BatchResult, BatchStats) {
 	if len(members) == 1 {
 		return sequentialBatch(&ia.observed, ia, members)
 	}
+	s, release := ia.pinState()
+	defer release()
 	bo := ia.startBatch(string(MethodIAll), members)
-	ms := ia.beginMembers(string(MethodIAll), ia.pager, members)
-	phys := ia.pager.BeginQuery()
+	ms := ia.beginMembers(string(MethodIAll), ia.pager, s.epoch, members)
+	phys := beginQueryAt(ia.pager, s.epoch)
+	defer phys.Release()
 	bb := getBatchBuf(len(members))
 	defer putBatchBuf(bb)
 	var filters storage.Stats
@@ -663,7 +674,7 @@ func (ia *IAll) QueryBatch(members []BatchQuery) ([]BatchResult, BatchStats) {
 		sb := iallScratch.Get().(*iallBuf)
 		candidates := sb.candidates[:0]
 		m.qc.BeginSpan(obs.PhaseFilter)
-		err := ia.tree.PagedSearchCtx(m.qc, rstar.Interval1D(m.q.Lo, m.q.Hi), func(e rstar.Entry) bool {
+		err := s.tree.PagedSearchCtx(m.qc, rstar.Interval1D(m.q.Lo, m.q.Hi), func(e rstar.Entry) bool {
 			candidates = append(candidates, e.Data)
 			return true
 		})
@@ -715,9 +726,12 @@ func (p *Partitioned) QueryBatch(members []BatchQuery) ([]BatchResult, BatchStat
 	if len(members) == 1 || useSidecar {
 		return sequentialBatch(&p.observed, p, members)
 	}
+	s, release := p.pinState()
+	defer release()
 	bo := p.startBatch(string(p.method), members)
-	ms := p.beginMembers(string(p.method), p.pager, members)
-	phys := p.pager.BeginQuery()
+	ms := p.beginMembers(string(p.method), p.pager, s.epoch, members)
+	phys := beginQueryAt(p.pager, s.epoch)
+	defer phys.Release()
 	bb := getBatchBuf(len(members))
 	defer putBatchBuf(bb)
 	var filters storage.Stats
@@ -729,7 +743,7 @@ func (p *Partitioned) QueryBatch(members []BatchQuery) ([]BatchResult, BatchStat
 		}
 		selected := bb.sel[:0]
 		m.qc.BeginSpan(obs.PhaseFilter)
-		err := p.tree.PagedSearchCtx(m.qc, rstar.Interval1D(m.q.Lo, m.q.Hi), func(e rstar.Entry) bool {
+		err := s.tree.PagedSearchCtx(m.qc, rstar.Interval1D(m.q.Lo, m.q.Hi), func(e rstar.Entry) bool {
 			selected = append(selected, int(e.Data))
 			return true
 		})
@@ -747,7 +761,7 @@ func (p *Partitioned) QueryBatch(members []BatchQuery) ([]BatchResult, BatchStat
 			// solo's early return does (no refine span, filter-only IO).
 			continue
 		}
-		m.runs = p.mergeRuns(selected)
+		m.runs = mergeGroupRuns(s.groups, selected)
 		m.qc.BeginSpan(obs.PhaseRefine)
 		chargeRuns(m.qc, pages, m.runs)
 	}

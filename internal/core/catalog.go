@@ -10,6 +10,7 @@ import (
 	"fielddb/internal/geom"
 	"fielddb/internal/rstar"
 	"fielddb/internal/storage"
+	"fielddb/internal/subfield"
 )
 
 // On-disk database file layout for a built Partitioned index:
@@ -39,12 +40,21 @@ import (
 //	        heap page first-positions: heap page count × u32 (the heap
 //	        position of each page's first record, for reconstructing
 //	        position ↦ RID without reading cell pages)
+//	version ≥ 3 appends the live-update state:
+//	    epoch u64 (the storage epoch the saved pages materialize; SaveFile
+//	    writes the current epoch's overlay view into the base pages, so the
+//	    opened store resumes epoch numbering instead of restarting at 0)
+//	    cost epsilon f64, threshold max size f64 (the partitioning rule the
+//	    index was built with, so update batches re-derive group boundaries
+//	    with the same §3 cost bound)
 //
-// Version 1 files — written before the sidecar existed — still open:
-// decodeCatalog accepts both versions, and a version-1 index simply has no
-// sidecar, so every query takes the heap-file fallback path.
+// Older files still open: decodeCatalog accepts all three versions. A
+// version-1 index has no sidecar (every query takes the heap-file fallback
+// path); version-1 and version-2 indexes open at epoch 0 with the default
+// cost model.
 const (
-	catalogVersion       = 2
+	catalogVersion       = 3
+	catalogVersionV2     = 2
 	legacyCatalogVersion = 1
 )
 
@@ -63,6 +73,10 @@ func (p *Partitioned) SaveFile(path string) error {
 // saveFileVersion is SaveFile at an explicit catalog version; the legacy
 // version is kept writable so tests can produce genuine pre-sidecar files.
 func (p *Partitioned) saveFileVersion(path string, version uint32) error {
+	// Serialize with update batches: the snapshot below must capture the heap,
+	// sidecar and tree pages of one published state, not a commit in flight.
+	p.updMu.Lock()
+	defer p.updMu.Unlock()
 	disk, err := storage.OpenFileDisk(path, p.pager.PageSize())
 	if err != nil {
 		return err
@@ -113,6 +127,7 @@ func (p *Partitioned) saveFileVersion(path string, version uint32) error {
 }
 
 func (p *Partitioned) encodeCatalog(version uint32) []byte {
+	st := p.snap.Load()
 	var b bytes.Buffer
 	b.Write(catalogMagic[:])
 	writeU32(&b, version)
@@ -125,11 +140,11 @@ func (p *Partitioned) encodeCatalog(version uint32) []byte {
 	for _, id := range pages {
 		writeU32(&b, uint32(id))
 	}
-	writeU32(&b, uint32(p.tree.RootPage()))
-	writeU32(&b, uint32(p.tree.PersistedNodes()))
-	writeU32(&b, uint32(p.tree.Height()))
-	writeU64(&b, uint64(len(p.groups)))
-	for _, g := range p.groups {
+	writeU32(&b, uint32(st.tree.RootPage()))
+	writeU32(&b, uint32(st.tree.PersistedNodes()))
+	writeU32(&b, uint32(st.tree.Height()))
+	writeU64(&b, uint64(len(st.groups)))
+	for _, g := range st.groups {
 		writeF64(&b, g.interval.Lo)
 		writeF64(&b, g.interval.Hi)
 		writeF64(&b, g.avg)
@@ -166,6 +181,11 @@ func (p *Partitioned) encodeCatalog(version uint32) []byte {
 			writeU32(&b, 0)
 			writeU32(&b, 0)
 		}
+	}
+	if version >= 3 {
+		writeU64(&b, st.epoch)
+		writeF64(&b, p.cost.Epsilon)
+		writeF64(&b, p.maxSize)
 	}
 	return b.Bytes()
 }
@@ -218,7 +238,7 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 		disk.Close()
 		return nil, fmt.Errorf("core: %s: bad superblock magic", path)
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != catalogVersion && v != legacyCatalogVersion {
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != catalogVersion && v != catalogVersionV2 && v != legacyCatalogVersion {
 		disk.Close()
 		return nil, fmt.Errorf("core: %s: unsupported catalog version %d", path, v)
 	}
@@ -246,6 +266,10 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 		return nil, fmt.Errorf("core: %s: %w", path, err)
 	}
 	pager := storage.NewPagerShards(disk, opts.Model, opts.PoolPages, opts.PoolShards)
+	// Resume epoch numbering where the saved store left off (0 for files
+	// written before version 3): SaveFile materialized that epoch's overlay
+	// view into the base pages, so the opened store is that epoch, verbatim.
+	pager.SetEpoch(dec.epoch)
 	dec.p.pager = pager
 	dec.p.heap = storage.OpenHeapFile(pager, dec.heapPages, dec.cells)
 	tree, err := rstar.OpenPaged(pager, dec.treeRoot, 1,
@@ -254,7 +278,23 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 		disk.Close()
 		return nil, err
 	}
-	dec.p.tree = tree
+	// Restore the partitioning rule for update batches. Pre-version-3 files
+	// carry no cost model: fall back to the paper's default and, for
+	// I-Threshold, re-derive the size bound from the loosest saved group (every
+	// group respected it at build time, so the max is a faithful floor).
+	dec.p.cost = subfield.CostModel{Epsilon: dec.epsilon}
+	if dec.p.cost.Epsilon == 0 {
+		dec.p.cost = subfield.DefaultCostModel
+	}
+	dec.p.maxSize = dec.maxSize
+	if dec.p.maxSize == 0 && (dec.p.method == MethodIThresh || dec.p.method == MethodIQuad) {
+		for _, g := range dec.groups {
+			if s := dec.p.cost.Size(g.interval); s > dec.p.maxSize {
+				dec.p.maxSize = s
+			}
+		}
+	}
+	dec.p.snap.Store(&partState{epoch: dec.epoch, tree: tree, groups: dec.groups})
 	if dec.sidecarPages > 0 {
 		sc, err := storage.OpenIntervalSidecar(pager, dec.sidecarFirst, dec.sidecarPages, dec.sidecarCount)
 		if err != nil {
@@ -292,6 +332,9 @@ type decodedCatalog struct {
 	sidecarPages int
 	sidecarCount int
 	pageFirstPos []int
+	epoch        uint64
+	epsilon      float64
+	maxSize      float64
 }
 
 func decodeCatalog(blob []byte) (*decodedCatalog, error) {
@@ -302,7 +345,7 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 		return nil, fmt.Errorf("bad catalog magic")
 	}
 	version := r.u32()
-	if version != catalogVersion && version != legacyCatalogVersion {
+	if version != catalogVersion && version != catalogVersionV2 && version != legacyCatalogVersion {
 		return nil, fmt.Errorf("unsupported catalog version %d", version)
 	}
 	methodLen := int(r.u16())
@@ -377,12 +420,21 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 			}
 		}
 	}
+	var epoch uint64
+	var epsilon, maxSize float64
+	if version >= 3 {
+		epoch = r.u64()
+		epsilon = r.f64()
+		maxSize = r.f64()
+		if r.err == nil && (math.IsNaN(epsilon) || epsilon < 0 || math.IsNaN(maxSize) || maxSize < 0) {
+			return nil, fmt.Errorf("corrupt update state")
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog truncated")
 	}
 	part := &Partitioned{
 		method: Method(method),
-		groups: groups,
 		order:  order,
 		cells:  cells,
 	}
@@ -398,6 +450,9 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 		sidecarPages: sidecarPages,
 		sidecarCount: sidecarCount,
 		pageFirstPos: pageFirstPos,
+		epoch:        epoch,
+		epsilon:      epsilon,
+		maxSize:      maxSize,
 	}, nil
 }
 

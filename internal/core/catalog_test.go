@@ -118,10 +118,11 @@ func TestOpenedFileIsReadOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The reopened tree is a paged-only handle.
-	if !opened.tree.IsPagedOnly() {
+	tree := opened.snap.Load().tree
+	if !tree.IsPagedOnly() {
 		t.Fatal("reopened tree not paged-only")
 	}
-	if err := opened.tree.Insert(rstarEntryForTest()); err == nil {
+	if err := tree.Insert(rstarEntryForTest()); err == nil {
 		t.Fatal("insert into paged-only tree accepted")
 	}
 }

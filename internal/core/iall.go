@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
@@ -20,13 +22,36 @@ import (
 // access. The paper shows this can be slower than LinearScan at high query
 // selectivity (Figure 11.a).
 type IAll struct {
-	pager   *storage.Pager
-	heap    *storage.HeapFile
-	tree    *rstar.Tree
+	pager *storage.Pager
+	heap  *storage.HeapFile
+	// snap is the index's current MVCC state (see Partitioned.snap): the
+	// per-cell R*-tree valid at one storage epoch, republished whole by every
+	// update batch.
+	snap    atomic.Pointer[iallState]
 	rids    []storage.RID
 	sidecar *storage.IntervalSidecar
 	cells   int
+	// updMu serializes updaters; readers never take it.
+	updMu sync.Mutex
 	observed
+}
+
+// iallState is one epoch's immutable view of the I-All tree.
+type iallState struct {
+	epoch uint64
+	tree  *rstar.Tree
+}
+
+// pinState loads the current state and pins its epoch, retrying across the
+// commit/publish window exactly like Partitioned.pinState.
+func (ia *IAll) pinState() (*iallState, func()) {
+	for {
+		s := ia.snap.Load()
+		if ia.pager.PinEpoch(s.epoch) {
+			return s, func() { ia.pager.UnpinEpoch(s.epoch) }
+		}
+		runtime.Gosched()
+	}
 }
 
 // IAllOptions tunes the I-All build.
@@ -91,7 +116,9 @@ func BuildIAllCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts
 	if err := tree.Persist(pager); err != nil {
 		return nil, err
 	}
-	return &IAll{pager: pager, heap: heap, tree: tree, rids: rids, sidecar: sc, cells: n}, nil
+	ia := &IAll{pager: pager, heap: heap, rids: rids, sidecar: sc, cells: n}
+	ia.snap.Store(&iallState{epoch: pager.CurrentEpoch(), tree: tree})
+	return ia, nil
 }
 
 // SetObserver installs the trace/metrics sinks. Call before issuing queries.
@@ -102,13 +129,14 @@ func (ia *IAll) Method() Method { return MethodIAll }
 
 // Stats implements Index.
 func (ia *IAll) Stats() IndexStats {
+	st := ia.snap.Load()
 	s := IndexStats{
 		Method:     MethodIAll,
 		Cells:      ia.cells,
 		CellPages:  ia.heap.NumPages(),
-		IndexPages: ia.tree.PersistedNodes(),
+		IndexPages: st.tree.PersistedNodes(),
 		Groups:     ia.cells,
-		TreeHeight: ia.tree.Height(),
+		TreeHeight: st.tree.Height(),
 	}
 	if ia.sidecar != nil {
 		s.SidecarPages = ia.sidecar.NumPages()
@@ -146,16 +174,25 @@ func (ia *IAll) QueryContext(ctx context.Context, q geom.Interval) (*Result, err
 }
 
 func (ia *IAll) valueQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
+	s, release := ia.pinState()
+	defer release()
+	return ia.valueQueryAt(s, ctx, tb, q)
+}
+
+// valueQueryAt runs the pipeline against one pinned state; the caller must
+// hold a pin at s.epoch for the duration of the call.
+func (ia *IAll) valueQueryAt(s *iallState, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
 	// Per-query context: cold-start accounting with within-query page reuse
 	// (repeated candidate fetches that land on one page).
-	qc := ia.pager.BeginQuery()
+	qc := beginQueryAt(ia.pager, s.epoch)
+	defer qc.Release()
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	sb := iallScratch.Get().(*iallBuf)
 	defer iallScratch.Put(sb)
 	candidates := sb.candidates[:0]
 	qc.BeginSpan(obs.PhaseFilter)
-	err := ia.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+	err := s.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
 		candidates = append(candidates, e.Data)
 		return true
 	})

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
@@ -21,6 +22,10 @@ type LinearScan struct {
 	rids    []storage.RID
 	sidecar *storage.IntervalSidecar
 	cells   int
+	// updMu serializes updaters; readers never take it. LinearScan has no
+	// derived index structure, so its whole MVCC state is the storage epoch a
+	// query context pins.
+	updMu sync.Mutex
 	observed
 }
 
@@ -84,15 +89,20 @@ func (ls *LinearScan) QueryContext(ctx context.Context, q geom.Interval) (*Resul
 		return nil, fmt.Errorf("core: empty query interval")
 	}
 	tb, start := ls.startQuery(string(MethodLinearScan), obs.KindValue, q.Lo, q.Hi)
-	var res *Result
-	var err error
-	if ls.sidecar != nil {
-		res, err = ls.sidecarQuery(ctx, tb, q)
-	} else {
-		res, err = ls.scanQuery(ctx, tb, q)
-	}
+	res, err := ls.runQuery(ctx, tb, q, ls.pager.BeginQuery())
 	ls.endQuery(tb, start, err)
 	return res, err
+}
+
+// runQuery dispatches to the sidecar-served or full-scan pipeline on the
+// given query context — the caller chooses the epoch (BeginQuery for the
+// current one, beginQueryAt for a snapshot's) — and owns releasing its pin.
+func (ls *LinearScan) runQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval, qc *storage.QueryCtx) (*Result, error) {
+	defer qc.Release()
+	if ls.sidecar != nil {
+		return ls.sidecarQuery(ctx, tb, q, qc)
+	}
+	return ls.scanQuery(ctx, tb, q, qc)
 }
 
 // sidecarQuery is the sidecar-served pipeline: a sequential scan of the
@@ -100,8 +110,7 @@ func (ls *LinearScan) QueryContext(ctx context.Context, q geom.Interval) (*Resul
 // pages holding survivors are read — in position order, so the answer
 // geometry folds in exactly the order the full scan produces and the Result
 // is byte-identical to scanQuery's.
-func (ls *LinearScan) sidecarQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
-	qc := ls.pager.BeginQuery()
+func (ls *LinearScan) sidecarQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval, qc *storage.QueryCtx) (*Result, error) {
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	pb := getPosBuf()
@@ -140,11 +149,10 @@ func (ls *LinearScan) sidecarQuery(ctx context.Context, tb *obs.TraceBuilder, q 
 	return res, nil
 }
 
-func (ls *LinearScan) scanQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
-	// Queries are independent: each gets its own execution context, which
+func (ls *LinearScan) scanQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval, qc *storage.QueryCtx) (*Result, error) {
+	// Queries are independent: each runs on its own execution context, which
 	// accounts cold-start reads with within-query page reuse (the paper's
 	// warm-OS-cache setting) no matter what runs concurrently.
-	qc := ls.pager.BeginQuery()
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	// Without a sidecar there is no filter step: the whole query is one

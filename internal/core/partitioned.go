@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,10 +46,14 @@ type Partitioned struct {
 	method Method
 	pager  *storage.Pager
 	heap   *storage.HeapFile
-	tree   *rstar.Tree
-	groups []groupMeta
-	order  []field.CellID // heap-file cell order (partition order)
-	cells  int
+	// snap is the index's current MVCC state: the persisted R*-tree and the
+	// subfield metadata valid at one storage epoch. Readers load it once, pin
+	// its epoch, and run entirely against that state; an update batch
+	// publishes a fresh state only after committing its page overlays, so no
+	// reader ever observes a half-updated index.
+	snap  atomic.Pointer[partState]
+	order []field.CellID // heap-file cell order (partition order)
+	cells int
 	// rids maps heap position to record id (nil for pre-sidecar files);
 	// sidecar is the packed interval segment (nil when disabled or absent).
 	rids    []storage.RID
@@ -58,7 +64,42 @@ type Partitioned struct {
 	// workers bounds the goroutines of the parallel refinement step; 0 or 1
 	// keeps the query single-threaded.
 	workers int
+
+	// Live-update state. updMu serializes updaters; readers never take it.
+	// cost and maxSize reproduce the build's partitioning rule so an update
+	// batch can re-derive the group boundaries (the §3 cost bound); ivs is
+	// the current cell interval per heap position; posOf maps cell id to heap
+	// position and is built by the first update that needs it.
+	updMu   sync.Mutex
+	cost    subfield.CostModel
+	maxSize float64
+	ivs     []geom.Interval
+	posOf   map[field.CellID]int
+
 	observed
+}
+
+// partState is one epoch's immutable view of the index structure. A state is
+// never mutated after snap.Store publishes it; updates build a whole new one.
+type partState struct {
+	epoch  uint64
+	tree   *rstar.Tree
+	groups []groupMeta
+}
+
+// pinState loads the current state and pins its epoch in the pager, retrying
+// across the narrow window where an update batch has committed a new epoch
+// (retiring the loaded one) but not yet published its state. The returned
+// release must be called exactly once; while the pin is held, beginQueryAt at
+// the state's epoch cannot fail.
+func (p *Partitioned) pinState() (*partState, func()) {
+	for {
+		s := p.snap.Load()
+		if p.pager.PinEpoch(s.epoch) {
+			return s, func() { p.pager.UnpinEpoch(s.epoch) }
+		}
+		runtime.Gosched()
+	}
 }
 
 // SetSidecarRefine toggles sidecar-filtered refinement: each merged run's
@@ -138,7 +179,7 @@ func BuildIHilbertCtx(ctx context.Context, f field.Field, pager *storage.Pager, 
 		return nil, err
 	}
 	groups := subfield.BuildGreedy(refs, cost)
-	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar)
+	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar, cost, 0)
 }
 
 // ThresholdOptions tunes BuildIThreshold and BuildIQuad.
@@ -189,7 +230,7 @@ func BuildIThresholdCtx(ctx context.Context, f field.Field, pager *storage.Pager
 		return nil, err
 	}
 	groups := subfield.BuildThreshold(refs, cost, opts.MaxSize)
-	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar)
+	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar, cost, opts.MaxSize)
 	return p, err
 }
 
@@ -221,14 +262,15 @@ func BuildIQuadCtx(ctx context.Context, f field.Field, pager *storage.Pager, opt
 		return nil, err
 	}
 	ordered, groups := subfield.BuildQuad(refs, f.Bounds(), cost, opts.MaxSize, opts.MaxDepth)
-	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers, !opts.NoSidecar)
+	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers, !opts.NoSidecar, cost, opts.MaxSize)
 }
 
 // buildPartitioned stores cells in partition order and indexes the group
 // intervals. ctx cancels construction between cell-write batches and between
 // per-subfield metadata work units.
 func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *storage.Pager,
-	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int, sidecar bool) (*Partitioned, error) {
+	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int, sidecar bool,
+	cost subfield.CostModel, maxSize float64) (*Partitioned, error) {
 	if err := subfield.Validate(refs, groups); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -288,18 +330,25 @@ func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *
 	if err := tree.Persist(pager); err != nil {
 		return nil, err
 	}
-	return &Partitioned{
+	ivs := make([]geom.Interval, len(refs))
+	for i, r := range refs {
+		ivs[i] = r.Interval
+	}
+	p := &Partitioned{
 		method:  method,
 		pager:   pager,
 		heap:    heap,
-		tree:    tree,
-		groups:  metas,
 		order:   ids,
 		cells:   len(refs),
 		rids:    rids,
 		sidecar: sc,
 		workers: workers,
-	}, nil
+		cost:    cost,
+		maxSize: maxSize,
+		ivs:     ivs,
+	}
+	p.snap.Store(&partState{epoch: pager.CurrentEpoch(), tree: tree, groups: metas})
+	return p, nil
 }
 
 // Method implements Index.
@@ -307,13 +356,14 @@ func (p *Partitioned) Method() Method { return p.method }
 
 // Stats implements Index.
 func (p *Partitioned) Stats() IndexStats {
+	st := p.snap.Load()
 	s := IndexStats{
 		Method:     p.method,
 		Cells:      p.cells,
 		CellPages:  p.heap.NumPages(),
-		IndexPages: p.tree.PersistedNodes(),
-		Groups:     len(p.groups),
-		TreeHeight: p.tree.Height(),
+		IndexPages: st.tree.PersistedNodes(),
+		Groups:     len(st.groups),
+		TreeHeight: st.tree.Height(),
 	}
 	if p.sidecar != nil {
 		s.SidecarPages = p.sidecar.NumPages()
@@ -322,13 +372,14 @@ func (p *Partitioned) Stats() IndexStats {
 }
 
 // NumGroups returns the number of subfields in the partition.
-func (p *Partitioned) NumGroups() int { return len(p.groups) }
+func (p *Partitioned) NumGroups() int { return len(p.snap.Load().groups) }
 
 // GroupIntervals returns the value interval of every subfield, for
 // inspection and visualization (Figure 7).
 func (p *Partitioned) GroupIntervals() []geom.Interval {
-	out := make([]geom.Interval, len(p.groups))
-	for i, g := range p.groups {
+	groups := p.snap.Load().groups
+	out := make([]geom.Interval, len(groups))
+	for i, g := range groups {
 		out[i] = g.interval
 	}
 	return out
@@ -375,13 +426,16 @@ func (p *Partitioned) ApproxQueryContext(ctx context.Context, q geom.Interval) (
 }
 
 func (p *Partitioned) approxQuery(tb *obs.TraceBuilder, q geom.Interval) (*ApproxResult, error) {
-	qc := p.pager.BeginQuery()
+	s, release := p.pinState()
+	defer release()
+	qc := beginQueryAt(p.pager, s.epoch)
+	defer qc.Release()
 	qc.AttachTrace(tb)
 	res := &ApproxResult{Query: q}
 	var sum float64
 	qc.BeginSpan(obs.PhaseFilter)
-	err := p.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
-		g := p.groups[e.Data]
+	err := s.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+		g := s.groups[e.Data]
 		res.Groups++
 		res.CellsUpperBound += g.cells
 		sum += g.avg * float64(g.cells)
@@ -405,7 +459,7 @@ func (p *Partitioned) approxQuery(tb *obs.TraceBuilder, q geom.Interval) (*Appro
 // cells (in physical storage order) — the data behind the paper's Figure 7
 // subfield map. The cells slice is only valid during the call.
 func (p *Partitioned) ForEachGroup(fn func(group int, iv geom.Interval, cells []field.CellID) bool) {
-	for gi, g := range p.groups {
+	for gi, g := range p.snap.Load().groups {
 		if !fn(gi, g.interval, p.order[g.startRef:g.endRef]) {
 			return
 		}
@@ -418,17 +472,18 @@ func (p *Partitioned) ForEachGroup(fn func(group int, iv geom.Interval, cells []
 // the matching stretch of the interval columns).
 type pageRun struct{ first, last, posLo, posHi int }
 
-// mergeRuns sorts the selected subfields' page runs and merges overlapping or
-// adjacent ones: consecutive subfields share boundary pages, and reading each
-// merged run once keeps the I/O sequential. Subfields tile the heap in
-// position order, so a merged run's position range is the min/max over its
-// members; it can cover an interleaved unselected subfield, whose cells are
-// provably non-matching (their group interval missed the query) and filter
-// out like any other.
-func (p *Partitioned) mergeRuns(selected []int) []pageRun {
+// mergeGroupRuns sorts the selected subfields' page runs and merges
+// overlapping or adjacent ones: consecutive subfields share boundary pages,
+// and reading each merged run once keeps the I/O sequential. Subfields tile
+// the heap in position order, so a merged run's position range is the min/max
+// over its members; it can cover an interleaved unselected subfield, whose
+// cells are provably non-matching (their group interval missed the query) and
+// filter out like any other. It is a free function over one state's groups so
+// the batch executor and the snapshot pipelines share it.
+func mergeGroupRuns(groups []groupMeta, selected []int) []pageRun {
 	runs := make([]pageRun, 0, len(selected))
 	for _, gi := range selected {
-		g := p.groups[gi]
+		g := groups[gi]
 		runs = append(runs, pageRun{g.firstPage, g.lastPage, g.startRef, g.endRef})
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].first < runs[j].first })
@@ -539,17 +594,28 @@ func (p *Partitioned) QueryContext(ctx context.Context, q geom.Interval) (*Resul
 	return res, err
 }
 
-// valueQuery is the traced filter + refinement pipeline. The observed state
-// is a parameter rather than p's own because the I-Auto planner runs this
-// pipeline under its own trace and metrics slot.
+// valueQuery is the traced filter + refinement pipeline at the index's
+// current state. The observed state is a parameter rather than p's own
+// because the I-Auto planner runs this pipeline under its own trace and
+// metrics slot.
 func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
-	qc := p.pager.BeginQuery()
+	s, release := p.pinState()
+	defer release()
+	return p.valueQueryAt(s, o, ctx, tb, q)
+}
+
+// valueQueryAt runs the pipeline against one pinned state. The caller must
+// hold a pin at s.epoch for the duration of the call (pinState, a Snapshot
+// handle, or the batch executor's batch-level pin).
+func (p *Partitioned) valueQueryAt(s *partState, o *observed, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval) (*Result, error) {
+	qc := beginQueryAt(p.pager, s.epoch)
+	defer qc.Release()
 	qc.AttachTrace(tb)
 	res := &Result{Query: q}
 	query1d := rstar.Interval1D(q.Lo, q.Hi)
 	var selected []int
 	qc.BeginSpan(obs.PhaseFilter)
-	err := p.tree.PagedSearchCtx(qc, query1d, func(e rstar.Entry) bool {
+	err := s.tree.PagedSearchCtx(qc, query1d, func(e rstar.Entry) bool {
 		selected = append(selected, int(e.Data))
 		return true
 	})
@@ -564,7 +630,7 @@ func (p *Partitioned) valueQuery(o *observed, ctx context.Context, tb *obs.Trace
 		o.recordIO(filterIO, 0, res.IO)
 		return res, nil
 	}
-	merged := p.mergeRuns(selected)
+	merged := mergeGroupRuns(s.groups, selected)
 	useSidecar := p.sidecarRefine && p.sidecar != nil && p.rids != nil
 	sidecarReads := 0
 

@@ -310,10 +310,11 @@ func TestSaveFileSidecarRoundtrip(t *testing.T) {
 	}
 }
 
-// TestOpenFileLegacyV1 writes a genuine pre-sidecar (version 1) file and
-// checks the fallback contract: it opens, it reports no sidecar, the forced
-// mode refuses to arm, and every query answers exactly like the current
-// format.
+// TestOpenFileLegacyV1 writes genuine legacy files — pre-sidecar version 1
+// and pre-epoch version 2 — and checks the fallback contracts: both open, v1
+// reports no sidecar and its forced mode refuses to arm, v2 keeps its sidecar
+// but opens at epoch 0, and every query on either answers exactly like the
+// current (version 3) format.
 func TestOpenFileLegacyV1(t *testing.T) {
 	f := testDEM(t, 32, 0.7)
 	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
@@ -322,11 +323,15 @@ func TestOpenFileLegacyV1(t *testing.T) {
 	}
 	dir := t.TempDir()
 	v1Path := filepath.Join(dir, "legacy.fidx")
-	v2Path := filepath.Join(dir, "current.fidx")
+	v2Path := filepath.Join(dir, "presepoch.fidx")
+	curPath := filepath.Join(dir, "current.fidx")
 	if err := built.saveFileVersion(v1Path, legacyCatalogVersion); err != nil {
 		t.Fatal(err)
 	}
-	if err := built.SaveFile(v2Path); err != nil {
+	if err := built.saveFileVersion(v2Path, catalogVersionV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := built.SaveFile(curPath); err != nil {
 		t.Fatal(err)
 	}
 	legacy, err := OpenFile(v1Path, storage.DefaultDiskModel, 8192)
@@ -334,7 +339,12 @@ func TestOpenFileLegacyV1(t *testing.T) {
 		t.Fatalf("v1 file did not open: %v", err)
 	}
 	defer legacy.Close()
-	current, err := OpenFile(v2Path, storage.DefaultDiskModel, 8192)
+	midway, err := OpenFile(v2Path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatalf("v2 file did not open: %v", err)
+	}
+	defer midway.Close()
+	current, err := OpenFile(curPath, storage.DefaultDiskModel, 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,6 +358,12 @@ func TestOpenFileLegacyV1(t *testing.T) {
 	if legacy.SetSidecarRefine(true) {
 		t.Fatal("SetSidecarRefine armed on a pre-sidecar file")
 	}
+	if midway.sidecar == nil || midway.Stats().SidecarPages == 0 {
+		t.Fatal("v2 file lost its sidecar")
+	}
+	if e := midway.pager.CurrentEpoch(); e != 0 {
+		t.Fatalf("v2 file opened at epoch %d, want 0", e)
+	}
 	rng := rand.New(rand.NewSource(9))
 	vr := f.ValueRange()
 	queries := testQueries(f)
@@ -360,12 +376,19 @@ func TestOpenFileLegacyV1(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		m, err := midway.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
 		b, err := current.Query(q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
-			t.Fatalf("query %v: legacy answer diverged from current format", q)
+			t.Fatalf("query %v: v1 answer diverged from current format", q)
+		}
+		if !reflect.DeepEqual(answerOf(m), answerOf(b)) {
+			t.Fatalf("query %v: v2 answer diverged from current format", q)
 		}
 	}
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fielddb/internal/geom"
+	"fielddb/internal/obs"
+	"fielddb/internal/storage"
+)
+
+// beginQueryAt opens a query context pinned at epoch. The caller must already
+// hold its own pin at that epoch — pinState, a Snapshot handle, or the batch
+// executor's batch-level pin — which makes the underlying BeginQueryAt
+// infallible: a held pin keeps the epoch at or above the compaction
+// low-water mark, so a second pin at the same epoch always succeeds.
+func beginQueryAt(pager *storage.Pager, epoch uint64) *storage.QueryCtx {
+	qc, ok := pager.BeginQueryAt(epoch)
+	if !ok {
+		panic("core: snapshot epoch compacted away under an active pin")
+	}
+	return qc
+}
+
+// pinCurrentEpoch pins the pager's current epoch, retrying across the narrow
+// window where a commit retires the epoch between the load and the pin. The
+// returned release must be called exactly once.
+func pinCurrentEpoch(pager *storage.Pager) (uint64, func()) {
+	for {
+		e := pager.CurrentEpoch()
+		if pager.PinEpoch(e) {
+			return e, func() { pager.UnpinEpoch(e) }
+		}
+		runtime.Gosched()
+	}
+}
+
+// Snapshot is a pinned point-in-time view of one value index: every query
+// through the handle answers against the storage epoch and index state that
+// were current when the snapshot was acquired, byte for byte, no matter how
+// many update batches commit in the meantime. Holding a snapshot keeps its
+// epoch's page versions alive, so long-lived handles delay overlay
+// compaction; Close releases the pin (idempotently).
+type Snapshot interface {
+	// QueryContext answers a value query at the snapshot's epoch. Queries
+	// through a snapshot trace and meter exactly like queries on the live
+	// index.
+	QueryContext(ctx context.Context, q geom.Interval) (*Result, error)
+	// Epoch returns the storage epoch the snapshot reads.
+	Epoch() uint64
+	// Close releases the snapshot's epoch pin. Safe to call more than once.
+	Close() error
+}
+
+// SnapshotQuerier is implemented by value indexes that can hand out pinned
+// point-in-time views.
+type SnapshotQuerier interface {
+	AcquireSnapshot() Snapshot
+}
+
+// partSnapshot is a Partitioned (I-Hilbert / I-Threshold / I-Quad) snapshot:
+// the pinned epoch plus the partState published with it.
+type partSnapshot struct {
+	p    *Partitioned
+	st   *partState
+	once sync.Once
+}
+
+// AcquireSnapshot implements SnapshotQuerier.
+func (p *Partitioned) AcquireSnapshot() Snapshot {
+	st, _ := p.pinState()
+	return &partSnapshot{p: p, st: st}
+}
+
+func (s *partSnapshot) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	tb, start := s.p.startQuery(string(s.p.method), obs.KindValue, q.Lo, q.Hi)
+	res, err := s.p.valueQueryAt(s.st, &s.p.observed, ctx, tb, q)
+	s.p.endQuery(tb, start, err)
+	return res, err
+}
+
+func (s *partSnapshot) Epoch() uint64 { return s.st.epoch }
+
+func (s *partSnapshot) Close() error {
+	s.once.Do(func() { s.p.pager.UnpinEpoch(s.st.epoch) })
+	return nil
+}
+
+// iallSnapshot is an I-All snapshot.
+type iallSnapshot struct {
+	ia   *IAll
+	st   *iallState
+	once sync.Once
+}
+
+// AcquireSnapshot implements SnapshotQuerier.
+func (ia *IAll) AcquireSnapshot() Snapshot {
+	st, _ := ia.pinState()
+	return &iallSnapshot{ia: ia, st: st}
+}
+
+func (s *iallSnapshot) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	tb, start := s.ia.startQuery(string(MethodIAll), obs.KindValue, q.Lo, q.Hi)
+	res, err := s.ia.valueQueryAt(s.st, ctx, tb, q)
+	s.ia.endQuery(tb, start, err)
+	return res, err
+}
+
+func (s *iallSnapshot) Epoch() uint64 { return s.st.epoch }
+
+func (s *iallSnapshot) Close() error {
+	s.once.Do(func() { s.ia.pager.UnpinEpoch(s.st.epoch) })
+	return nil
+}
+
+// scanSnapshot is a LinearScan snapshot: with no derived index structure, the
+// pinned epoch is the whole state.
+type scanSnapshot struct {
+	ls    *LinearScan
+	epoch uint64
+	once  sync.Once
+}
+
+// AcquireSnapshot implements SnapshotQuerier.
+func (ls *LinearScan) AcquireSnapshot() Snapshot {
+	e, _ := pinCurrentEpoch(ls.pager)
+	return &scanSnapshot{ls: ls, epoch: e}
+}
+
+func (s *scanSnapshot) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	tb, start := s.ls.startQuery(string(MethodLinearScan), obs.KindValue, q.Lo, q.Hi)
+	res, err := s.ls.runQuery(ctx, tb, q, beginQueryAt(s.ls.pager, s.epoch))
+	s.ls.endQuery(tb, start, err)
+	return res, err
+}
+
+func (s *scanSnapshot) Epoch() uint64 { return s.epoch }
+
+func (s *scanSnapshot) Close() error {
+	s.once.Do(func() { s.ls.pager.UnpinEpoch(s.epoch) })
+	return nil
+}
+
+// autoSnapshot is an I-Auto snapshot: the pinned partition state plus the
+// histogram version published with it, so planning is as repeatable as the
+// data plane.
+type autoSnapshot struct {
+	a    *Auto
+	st   *autoState
+	once sync.Once
+}
+
+// AcquireSnapshot implements SnapshotQuerier.
+func (a *Auto) AcquireSnapshot() Snapshot {
+	st, _ := a.pinState()
+	return &autoSnapshot{a: a, st: st}
+}
+
+func (s *autoSnapshot) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	tb, start := s.a.startQuery(string(MethodAuto), obs.KindValue, q.Lo, q.Hi)
+	res, err := s.a.autoQueryAt(s.st.ps, s.st.h, ctx, tb, q)
+	s.a.endQuery(tb, start, err)
+	return res, err
+}
+
+func (s *autoSnapshot) Epoch() uint64 { return s.st.ps.epoch }
+
+func (s *autoSnapshot) Close() error {
+	s.once.Do(func() { s.a.part.pager.UnpinEpoch(s.st.ps.epoch) })
+	return nil
+}
+
+var (
+	_ SnapshotQuerier = (*Partitioned)(nil)
+	_ SnapshotQuerier = (*IAll)(nil)
+	_ SnapshotQuerier = (*LinearScan)(nil)
+	_ SnapshotQuerier = (*Auto)(nil)
+)

@@ -27,6 +27,9 @@ type SpatialIndex struct {
 	// point-query hot path (a few candidate probes per call) allocates no
 	// per-call buffers in steady state.
 	scratch sync.Pool
+	// updMu serializes updaters; point queries never take it — each pins its
+	// epoch at BeginQuery and reads a consistent view.
+	updMu sync.Mutex
 	observed
 }
 

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/rstar"
+	"fielddb/internal/storage"
+)
+
+// mutableField is the test-side view of a field that supports live updates.
+type mutableField interface {
+	field.Mutable
+}
+
+// testUpdates builds a deterministic batch over f's samples: mostly small
+// perturbations, plus a few large moves so cell intervals genuinely change.
+func testUpdates(f mutableField, n int, seed int64) []SampleUpdate {
+	rng := rand.New(rand.NewSource(seed))
+	vr := f.ValueRange()
+	updates := make([]SampleUpdate, 0, n)
+	for i := 0; i < n; i++ {
+		s := rng.Intn(f.NumSamples())
+		v := f.SampleValue(s) + rng.NormFloat64()*vr.Length()*0.02
+		if i%7 == 0 {
+			// A big move: jump toward the opposite end of the range.
+			v = vr.Lo + (1-((v-vr.Lo)/vr.Length()))*vr.Length()
+		}
+		updates = append(updates, SampleUpdate{Sample: s, Value: v})
+	}
+	return updates
+}
+
+// convergenceQueries is testQueries plus random selective intervals over the
+// (post-update) value range.
+func convergenceQueries(f field.Field, seed int64) []geom.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	vr := f.ValueRange()
+	qs := testQueries(f)
+	for i := 0; i < 10; i++ {
+		lo := vr.Lo + rng.Float64()*vr.Length()
+		qs = append(qs, geom.Interval{Lo: lo, Hi: lo + rng.Float64()*vr.Length()*0.1})
+	}
+	return qs
+}
+
+// TestUpdateConvergence is the acceptance criterion of the tentpole: after an
+// update batch, a fresh query on the updated index returns exactly what an
+// index rebuilt from scratch on the mutated field returns — for every
+// updatable method, on a grid and a TIN.
+func TestUpdateConvergence(t *testing.T) {
+	ctx := context.Background()
+	fields := map[string]func() mutableField{
+		"dem": func() mutableField { return testDEM(t, 32, 0.7) },
+		"tin": func() mutableField { return testTIN(t, 400) },
+	}
+	type builder struct {
+		build func(f field.Field) (Index, error)
+	}
+	builders := func(maxSize float64) map[string]builder {
+		return map[string]builder{
+			"LinearScan": {func(f field.Field) (Index, error) { return BuildLinearScan(f, newPager()) }},
+			"I-All":      {func(f field.Field) (Index, error) { return BuildIAll(f, newPager(), IAllOptions{}) }},
+			"I-Hilbert":  {func(f field.Field) (Index, error) { return BuildIHilbert(f, newPager(), HilbertOptions{}) }},
+			"I-Thresh": {func(f field.Field) (Index, error) {
+				return BuildIThreshold(f, newPager(), ThresholdOptions{MaxSize: maxSize})
+			}},
+			"I-Auto": {func(f field.Field) (Index, error) { return BuildAuto(f, newPager(), AutoOptions{}) }},
+		}
+	}
+	for fname, mk := range fields {
+		// MaxSize is fixed from the pre-update range so the scratch rebuild
+		// uses the identical threshold.
+		maxSize := mk().ValueRange().Length()/8 + 1
+		for mname, b := range builders(maxSize) {
+			t.Run(fname+"/"+mname, func(t *testing.T) {
+				f := mk()
+				idx, err := b.build(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				up, ok := idx.(Updater)
+				if !ok {
+					t.Fatalf("%s does not implement Updater", mname)
+				}
+				updates := testUpdates(f, 40, 77)
+				res, err := up.ApplyUpdates(ctx, f, updates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Epoch == 0 || res.SamplesApplied != len(updates) || res.CellsTouched == 0 {
+					t.Fatalf("result = %+v", res)
+				}
+				// Scratch rebuild on the mutated field is the reference.
+				scratch, err := b.build(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range convergenceQueries(f, 5) {
+					got, err := idx.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := scratch.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ga, wa := answerOf(got), answerOf(want)
+					// Tree structure may differ between incremental
+					// maintenance and a scratch build, so physical counters
+					// (CandidateGroups, CellsFetched) are compared only for
+					// methods whose answer derives from the partition cut.
+					if ga.CellsMatched != wa.CellsMatched ||
+						math.Abs(ga.Area-wa.Area) > 1e-9*(1+wa.Area) ||
+						!reflect.DeepEqual(ga.Regions, wa.Regions) ||
+						!reflect.DeepEqual(ga.Isolines, wa.Isolines) {
+						t.Fatalf("query %v diverged from scratch rebuild:\nupdated %+v\nscratch %+v",
+							q, ga, wa)
+					}
+					if ga.CandidateGroups != wa.CandidateGroups || ga.CellsFetched != wa.CellsFetched {
+						t.Fatalf("query %v: pipeline diverged: %d/%d groups, %d/%d cells",
+							q, ga.CandidateGroups, wa.CandidateGroups, ga.CellsFetched, wa.CellsFetched)
+					}
+				}
+				// Brute force agrees too (belt and braces: the scratch build
+				// and the updated index could in principle share a bug).
+				q := convergenceQueries(f, 5)[0]
+				want, wantArea := bruteForce(f, q)
+				got, err := idx.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.CellsMatched != len(want) || math.Abs(got.Area-wantArea) > 1e-6*(1+wantArea) {
+					t.Fatalf("query %v: %d cells / area %g, brute force %d / %g",
+						q, got.CellsMatched, got.Area, len(want), wantArea)
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateRegroup forces the §3 cost bound to move a group boundary: a
+// large coherent value shift across a block of the field makes the greedy cut
+// drift, ApplyUpdates reports Regrouped, and the re-cut index still converges
+// to the scratch rebuild.
+func TestUpdateRegroup(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.7)
+	p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push a quarter of the vertices far above the old range: interval
+	// lengths in that block explode, so the cost bound re-cuts.
+	vr := f.ValueRange()
+	var updates []SampleUpdate
+	for s := 0; s < f.NumSamples()/4; s++ {
+		updates = append(updates, SampleUpdate{Sample: s, Value: f.SampleValue(s) + 3*vr.Length()})
+	}
+	res, err := p.ApplyUpdates(ctx, f, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regrouped {
+		t.Fatal("massive value shift did not re-cut the partition")
+	}
+	if res.IndexPagesWritten == 0 {
+		t.Fatal("re-cut persisted no index pages")
+	}
+	scratch, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Stats().Groups, scratch.Stats().Groups; got != want {
+		t.Fatalf("re-cut produced %d groups, scratch build %d", got, want)
+	}
+	for _, q := range convergenceQueries(f, 9) {
+		got, err := p.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scratch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(got), answerOf(want)) {
+			t.Fatalf("query %v diverged after re-cut", q)
+		}
+	}
+}
+
+// TestUpdateSnapshotIsolation: a snapshot acquired before a batch keeps
+// answering with the pre-batch state, byte for byte, while post-batch queries
+// see the new state.
+func TestUpdateSnapshotIsolation(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.7)
+	p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := convergenceQueries(f, 3)
+	before := make([]*Result, len(queries))
+	for i, q := range queries {
+		if before[i], err = p.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := p.AcquireSnapshot()
+	defer snap.Close()
+	res, err := p.ApplyUpdates(ctx, f, testUpdates(f, 40, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch() == res.Epoch {
+		t.Fatal("snapshot claims the post-batch epoch")
+	}
+	changed := false
+	for i, q := range queries {
+		at, err := snap.QueryContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(at), answerOf(before[i])) {
+			t.Fatalf("query %v through the snapshot diverged from its pre-batch answer", q)
+		}
+		now, err := p.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(now), answerOf(before[i])) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("update batch changed no query answer; isolation test is vacuous")
+	}
+}
+
+// TestUpdateCatalogV3Roundtrip: saving after update batches persists the
+// materialized (patched) pages plus the epoch and cost parameters, and the
+// reopened index answers identically — then accepts further updates.
+func TestUpdateCatalogV3Roundtrip(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.7)
+	p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ApplyUpdates(ctx, f, testUpdates(f, 40, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "updated.fidx")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenFile(path, storage.DefaultDiskModel, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if got := opened.pager.CurrentEpoch(); got != res.Epoch {
+		t.Fatalf("reopened at epoch %d, saved at %d", got, res.Epoch)
+	}
+	queries := convergenceQueries(f, 7)
+	for _, q := range queries {
+		a, err := p.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := opened.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
+			t.Fatalf("query %v: reopened updated index diverged", q)
+		}
+	}
+	// The reopened index keeps updating: apply a second batch and converge
+	// against a scratch rebuild of the twice-mutated field.
+	if _, err := opened.ApplyUpdates(ctx, f, testUpdates(f, 40, 29)); err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range convergenceQueries(f, 13) {
+		a, err := opened.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scratch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(answerOf(a), answerOf(b)) {
+			t.Fatalf("query %v: reopened index diverged after second batch", q)
+		}
+	}
+}
+
+// TestUpdateValidationAndUnsupported covers the refusal paths: bad batches
+// leave the field and epoch untouched, and configurations without update
+// support say so with ErrUpdatesUnsupported.
+func TestUpdateValidationAndUnsupported(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 16, 0.6)
+	p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := f.SampleValue(3)
+	for name, bad := range map[string][]SampleUpdate{
+		"out-of-range": {{Sample: f.NumSamples(), Value: 1}},
+		"negative":     {{Sample: -1, Value: 1}},
+		"nan":          {{Sample: 3, Value: math.NaN()}},
+		"inf":          {{Sample: 3, Value: math.Inf(1)}},
+		"mixed":        {{Sample: 3, Value: 5}, {Sample: 4, Value: math.NaN()}},
+	} {
+		if _, err := p.ApplyUpdates(ctx, f, bad); err == nil {
+			t.Fatalf("%s batch accepted", name)
+		}
+	}
+	if f.SampleValue(3) != v0 {
+		t.Fatal("failed batch left a mutated sample behind")
+	}
+	if e := p.pager.CurrentEpoch(); e != 0 {
+		t.Fatalf("failed batches moved the epoch to %d", e)
+	}
+
+	// I-Quad's spatial recursion is not maintained incrementally.
+	vr := f.ValueRange()
+	iq, err := BuildIQuad(f, newPager(), ThresholdOptions{MaxSize: vr.Length()/8 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iq.ApplyUpdates(ctx, f, []SampleUpdate{{Sample: 3, Value: 5}}); !errors.Is(err, ErrUpdatesUnsupported) {
+		t.Fatalf("I-Quad update err = %v", err)
+	}
+
+	// Pre-sidecar (v1) files carry no position map: updates are refused.
+	v1Path := filepath.Join(t.TempDir(), "legacy.fidx")
+	if err := p.saveFileVersion(v1Path, legacyCatalogVersion); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := OpenFile(v1Path, storage.DefaultDiskModel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if _, err := legacy.ApplyUpdates(ctx, f, []SampleUpdate{{Sample: 3, Value: 5}}); !errors.Is(err, ErrUpdatesUnsupported) {
+		t.Fatalf("v1-file update err = %v", err)
+	}
+}
+
+// TestSpatialUpdateConvergence: after the value plane commits a batch, the
+// spatial store's record patch brings conventional queries to the new field.
+func TestSpatialUpdateConvergence(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 16, 0.6)
+	pager := newPager()
+	sp, err := BuildSpatial(f, pager, rstar.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply the samples the way the facade does: mutate the field first
+	// (standing in for the value index's ApplyUpdates), then patch records.
+	updates := testUpdates(f, 30, 41)
+	for _, u := range updates {
+		if err := f.SetSample(u.Sample, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sp.ApplyUpdates(ctx, f, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.CellsTouched == 0 || res.PagesWritten == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	scratch, err := BuildSpatial(f, newPager(), rstar.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	b := f.Bounds()
+	for i := 0; i < 50; i++ {
+		pt := geom.Pt(b.Min.X+rng.Float64()*(b.Max.X-b.Min.X), b.Min.Y+rng.Float64()*(b.Max.Y-b.Min.Y))
+		got, _, err := sp.PointQuery(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := scratch.PointQuery(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("point %v: updated store %g, scratch %g", pt, got, want)
+		}
+	}
+}

@@ -93,6 +93,25 @@ type Field interface {
 	Locate(p geom.Point) (CellID, bool)
 }
 
+// Mutable is a Field whose sample values can change after construction —
+// the live-field contract behind incremental index maintenance. Samples are
+// addressed by the model's own index: row-major vertex index for the DEM,
+// point index for the TIN. Geometry (vertex positions, the subdivision) is
+// immutable; only the measured values move, which is what keeps every cell's
+// encoded record the same length under updates.
+type Mutable interface {
+	Field
+	// NumSamples returns the number of sample points.
+	NumSamples() int
+	// SampleValue returns the current value at sample i.
+	SampleValue(i int) float64
+	// SetSample overwrites the value at sample i, keeping ValueRange exact.
+	SetSample(i int, v float64) error
+	// IncidentCells appends to dst the ids of every cell that has sample i
+	// as a vertex — the cells whose intervals an update to i can move.
+	IncidentCells(i int, dst []CellID) []CellID
+}
+
 // ValueAt evaluates the field at p by locating the containing cell and
 // applying linear interpolation on its sample points — the conventional
 // query F(v') of §2.2.1.

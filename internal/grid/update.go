@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"fielddb/internal/field"
+)
+
+// Live-update support (field.Mutable): DEM sample indices are the row-major
+// vertex indices already used by the heights slice, index = row*(nx+1)+col.
+// Only values move — the grid geometry is fixed — so every cell keeps its
+// encoded record length under updates.
+//
+// Mutation entry points are not synchronized: the caller (the core update
+// engine) serializes updaters and publishes changes to readers through MVCC
+// snapshots, never through this in-memory model.
+
+// NumSamples implements field.Mutable.
+func (d *DEM) NumSamples() int { return (d.nx + 1) * (d.ny + 1) }
+
+// SampleValue implements field.Mutable.
+func (d *DEM) SampleValue(i int) float64 { return d.heights[i] }
+
+// SetSample implements field.Mutable, keeping ValueRange exact: growing the
+// range is O(1); shrinking it (moving a sample that sat on an extreme)
+// rescans the heights.
+func (d *DEM) SetSample(i int, v float64) error {
+	if i < 0 || i >= len(d.heights) {
+		return fmt.Errorf("grid: sample %d of %d", i, len(d.heights))
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("grid: non-finite height %g", v)
+	}
+	old := d.heights[i]
+	d.heights[i] = v
+	if old <= d.valRange.Lo || old >= d.valRange.Hi {
+		d.rescanRange()
+		return nil
+	}
+	if v < d.valRange.Lo {
+		d.valRange.Lo = v
+	}
+	if v > d.valRange.Hi {
+		d.valRange.Hi = v
+	}
+	return nil
+}
+
+func (d *DEM) rescanRange() {
+	vr := d.valRange
+	vr.Lo, vr.Hi = math.Inf(1), math.Inf(-1)
+	for _, h := range d.heights {
+		if h < vr.Lo {
+			vr.Lo = h
+		}
+		if h > vr.Hi {
+			vr.Hi = h
+		}
+	}
+	d.valRange = vr
+}
+
+// IncidentCells implements field.Mutable: a vertex touches at most the four
+// cells around it, fewer on the boundary.
+func (d *DEM) IncidentCells(i int, dst []field.CellID) []field.CellID {
+	col := i % (d.nx + 1)
+	row := i / (d.nx + 1)
+	for _, r := range [2]int{row - 1, row} {
+		if r < 0 || r >= d.ny {
+			continue
+		}
+		for _, c := range [2]int{col - 1, col} {
+			if c < 0 || c >= d.nx {
+				continue
+			}
+			dst = append(dst, field.CellID(r*d.nx+c))
+		}
+	}
+	return dst
+}
+
+var _ field.Mutable = (*DEM)(nil)

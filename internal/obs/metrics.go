@@ -125,6 +125,18 @@ type Metrics struct {
 	batchSizes    [batchSizeBuckets]atomic.Int64
 	batchPhysical atomic.Int64
 	batchSaved    atomic.Int64
+
+	// Live-update accounting: UpdateSamples batches applied, sample values
+	// and cells they touched, pages written at commit (cell + sidecar
+	// overlays plus fresh index pages), epochs retired by the storage plane
+	// once no reader pinned them, and subfield regroup events (an update
+	// batch that moved a partition's group boundaries, §3 cost drift).
+	updateBatches      atomic.Int64
+	updatesApplied     atomic.Int64
+	updateCells        atomic.Int64
+	updatePagesWritten atomic.Int64
+	epochsRetired      atomic.Int64
+	regroupEvents      atomic.Int64
 }
 
 // batchSizeBuckets is the batch-size histogram resolution: bucket i counts
@@ -236,6 +248,24 @@ func (m *Metrics) RecordBatch(size int, physicalReads, savedReads int64) {
 	m.batchSaved.Add(savedReads)
 }
 
+// RecordUpdate folds one applied UpdateSamples batch into the live-update
+// accounting: how many sample values it changed, how many cells it touched,
+// how many pages it wrote at commit, how many old epochs the commit retired,
+// and whether it moved subfield group boundaries.
+func (m *Metrics) RecordUpdate(samples, cells int, pagesWritten, retired int64, regrouped bool) {
+	if m == nil {
+		return
+	}
+	m.updateBatches.Add(1)
+	m.updatesApplied.Add(int64(samples))
+	m.updateCells.Add(int64(cells))
+	m.updatePagesWritten.Add(pagesWritten)
+	m.epochsRetired.Add(retired)
+	if regrouped {
+		m.regroupEvents.Add(1)
+	}
+}
+
 // RecordContour counts one isoline assembly and its duration.
 func (m *Metrics) RecordContour(d time.Duration) {
 	if m == nil {
@@ -286,6 +316,18 @@ type Snapshot struct {
 	BatchSizes          []BatchSizeBucket
 	BatchPhysicalPages  int64
 	CoalescedPagesSaved int64
+	// Live updates: UpdateBatches counts applied UpdateSamples calls,
+	// UpdatesApplied the sample values they changed, UpdateCellsTouched the
+	// cells whose records were patched, UpdatePagesWritten the pages the
+	// commits wrote, EpochsRetired the storage epochs compacted away after
+	// their last reader unpinned, and RegroupEvents the update batches that
+	// moved subfield group boundaries.
+	UpdateBatches      int64
+	UpdatesApplied     int64
+	UpdateCellsTouched int64
+	UpdatePagesWritten int64
+	EpochsRetired      int64
+	RegroupEvents      int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting: counters are read
@@ -314,6 +356,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		BatchQueries:        m.batchQueries.Load(),
 		BatchPhysicalPages:  m.batchPhysical.Load(),
 		CoalescedPagesSaved: m.batchSaved.Load(),
+		UpdateBatches:       m.updateBatches.Load(),
+		UpdatesApplied:      m.updatesApplied.Load(),
+		UpdateCellsTouched:  m.updateCells.Load(),
+		UpdatePagesWritten:  m.updatePagesWritten.Load(),
+		EpochsRetired:       m.epochsRetired.Load(),
+		RegroupEvents:       m.regroupEvents.Load(),
 	}
 	for i := 0; i < batchSizeBuckets; i++ {
 		if c := m.batchSizes[i].Load(); c > 0 {
@@ -394,6 +442,11 @@ func (s Snapshot) String() string {
 		for _, bb := range s.BatchSizes {
 			fmt.Fprintf(&b, "  size ≤%-6d %d\n", bb.MaxSize, bb.Count)
 		}
+	}
+	if s.UpdateBatches > 0 {
+		fmt.Fprintf(&b, "updates: batches=%d samples=%d cells=%d written=%d retired=%d regroups=%d\n",
+			s.UpdateBatches, s.UpdatesApplied, s.UpdateCellsTouched,
+			s.UpdatePagesWritten, s.EpochsRetired, s.RegroupEvents)
 	}
 	if len(s.Latency) > 0 {
 		b.WriteString("latency histogram:\n")

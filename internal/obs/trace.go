@@ -56,13 +56,22 @@ const (
 	// ones — the member queries report their attributed pages through the
 	// usual phases.
 	PhaseBatchFetch
+	// PhasePatch is the staging step of a KindUpdate trace: reading the
+	// current images of every page an update batch touches (cell pages,
+	// sidecar pages) to build the copy-on-write overlays. Its page counts
+	// are reads — the pages written at commit are reported through Metrics.
+	PhasePatch
+	// PhaseMaintain is the index-maintenance step of a KindUpdate trace:
+	// hydrating the value R*-tree and recomputing subfield metadata. Page
+	// counts are the tree-node reads of the hydration.
+	PhaseMaintain
 	numPhases
 )
 
 // NumPhases is the number of defined phases, for sizing per-phase tables.
 const NumPhases = int(numPhases)
 
-var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch"}
+var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch", "patch", "index-maintain"}
 
 // String implements fmt.Stringer.
 func (p Phase) String() string {
@@ -83,6 +92,12 @@ const (
 	// *physical* (deduplicated) page activity. Member queries additionally
 	// emit their own KindValue traces with attributed (as-if-solo) counts.
 	KindBatch = "batch"
+	// KindUpdate marks the trace of one UpdateSamples batch: a patch span
+	// (staging reads) followed by an index-maintain span (tree hydration).
+	// Lo carries the number of sample updates, Hi the number of cells
+	// touched; the trace IO is the batch's read activity — writes land in
+	// Metrics as UpdatePagesWritten.
+	KindUpdate = "update"
 )
 
 // PageCounts is the page-access activity attributable to one span. It mirrors

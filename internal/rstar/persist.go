@@ -96,6 +96,93 @@ func OpenPaged(pager *storage.Pager, root storage.PageID, dims int, params Param
 // OpenPaged.
 func (t *Tree) IsPagedOnly() bool { return t.root == nil }
 
+// Hydrate returns an updatable in-memory copy of the tree. For a paged-only
+// handle the persisted node pages are read through r (defaulting to the
+// tree's pager, so the loads are charged to r when it is a per-query
+// context); a tree that already holds in-memory nodes is deep-copied without
+// touching pages. Either way the receiver is left untouched — readers holding
+// it (or searching its persisted pages) are unaffected, which is what the
+// MVCC update path relies on: mutate the copy, persist it to fresh pages,
+// then publish it as the next snapshot.
+func (t *Tree) Hydrate(r storage.PageReader) (*Tree, error) {
+	nt, err := New(t.dims, t.params)
+	if err != nil {
+		return nil, err
+	}
+	nt.pager = t.pager
+	nt.rootPage = t.rootPage
+	nt.numNodes = t.numNodes
+	nt.pagedHeight = t.pagedHeight
+	if t.root != nil {
+		nt.root = cloneNode(t.root)
+		nt.size = t.size
+		return nt, nil
+	}
+	if r == nil {
+		if t.pager == nil {
+			return nil, fmt.Errorf("rstar: cannot hydrate: tree not persisted")
+		}
+		r = t.pager
+	}
+	if t.rootPage == storage.InvalidPage {
+		return nil, fmt.Errorf("rstar: cannot hydrate: tree not persisted")
+	}
+	root, size, err := t.hydrateNode(r, t.rootPage)
+	if err != nil {
+		return nil, err
+	}
+	nt.root = root
+	nt.size = size
+	return nt, nil
+}
+
+// hydrateNode loads the node at page id and, recursively, its subtree,
+// returning the node and the number of leaf entries under it.
+func (t *Tree) hydrateNode(r storage.PageReader, id storage.PageID) (*node, int, error) {
+	buf := make([]byte, r.PageSize())
+	if err := r.ReadPage(id, buf); err != nil {
+		return nil, 0, err
+	}
+	level := int(binary.LittleEndian.Uint16(buf[0:2]))
+	count := int(binary.LittleEndian.Uint16(buf[2:4]))
+	if count > t.maxFill || nodeHeaderSize+count*(16*t.dims+8) > len(buf) {
+		return nil, 0, fmt.Errorf("rstar: node page %d: corrupt entry count %d", id, count)
+	}
+	n := &node{level: level, entries: make([]nodeEntry, 0, count)}
+	size := 0
+	for i := 0; i < count; i++ {
+		e := nodeEntry{mbr: t.entryMBR(buf, i)}
+		if level == 0 {
+			e.data = t.entryRef(buf, i)
+			size++
+		} else {
+			child, sz, err := t.hydrateNode(r, storage.PageID(t.entryRef(buf, i)))
+			if err != nil {
+				return nil, 0, err
+			}
+			if child.level != level-1 {
+				return nil, 0, fmt.Errorf("rstar: node page %d: child level %d under level %d", id, child.level, level)
+			}
+			e.child = child
+			size += sz
+		}
+		n.entries = append(n.entries, e)
+	}
+	return n, size, nil
+}
+
+// cloneNode deep-copies a subtree.
+func cloneNode(n *node) *node {
+	c := &node{level: n.level, entries: make([]nodeEntry, len(n.entries))}
+	for i, e := range n.entries {
+		c.entries[i] = nodeEntry{mbr: e.mbr.Clone(), data: e.data}
+		if e.child != nil {
+			c.entries[i].child = cloneNode(e.child)
+		}
+	}
+	return c
+}
+
 // RootPage returns the page id of the persisted root, or storage.InvalidPage
 // if the tree has not been persisted.
 func (t *Tree) RootPage() storage.PageID {

@@ -1,6 +1,7 @@
 package rstar
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -158,10 +159,17 @@ func (t *Tree) NumNodes() int {
 	return count(t.root)
 }
 
+// ErrReadOnlyIndex marks in-memory mutation of a paged-only handle (a tree
+// reopened with OpenPaged, whose node structure is not loaded). Callers that
+// need an updatable tree should Hydrate the handle first. The message keeps
+// the exact wording Insert has always returned, so errors.Is works without
+// breaking string matches.
+var ErrReadOnlyIndex = errors.New("paged-only handle; Insert unavailable")
+
 // Insert adds an entry using the full R* insertion algorithm.
 func (t *Tree) Insert(e Entry) error {
 	if t.root == nil {
-		return fmt.Errorf("rstar: tree is a paged-only handle; Insert unavailable")
+		return fmt.Errorf("rstar: tree is a %w", ErrReadOnlyIndex)
 	}
 	if e.MBR.Dims() != t.dims {
 		return fmt.Errorf("rstar: entry has %d dims, tree has %d", e.MBR.Dims(), t.dims)

@@ -102,6 +102,92 @@ func TestHeapFileScanPropagatesReadFailure(t *testing.T) {
 	}
 }
 
+func TestSidecarScanPropagatesReadFault(t *testing.T) {
+	mem := NewMemDisk(128)
+	fd := &faultDisk{Disk: mem}
+	p := NewPager(fd, DefaultDiskModel, 0)
+	n := SidecarEntriesPerPage(128)*2 + 3 // three sidecar pages
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i], hi[i] = float64(i), float64(i)+0.5
+	}
+	sc, err := BuildIntervalSidecar(p, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.failReads = true
+	fd.readsLeft = 1 // first sidecar page succeeds, second fails
+	qc := p.BeginQuery()
+	defer qc.Release()
+	err = sc.ScanRange(qc, 0, n, func(int, []float64, []float64) bool { return true })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("sidecar scan err = %v", err)
+	}
+	// The failed run charges at most the successfully read prefix — never
+	// the page whose read faulted.
+	if st := qc.LocalStats(); st.Reads > 1 {
+		t.Fatalf("failed sidecar read charged: %+v", st)
+	}
+}
+
+func TestOverlayStagingFaultLeavesLiveEpochIntact(t *testing.T) {
+	// The update write path stages copy-on-write page images by reading the
+	// current version of each page it patches. A read fault (a torn or short
+	// read surfaces as an error from the disk) during staging must abort the
+	// batch before CommitOverlays, leaving the live epoch and every page byte
+	// untouched.
+	mem := NewMemDisk(64)
+	fd := &faultDisk{Disk: mem}
+	p := NewPager(fd, DefaultDiskModel, 0)
+	var ids []PageID
+	for i := 0; i < 2; i++ {
+		id, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]byte, 64)
+		img[0] = byte(0x10 + i)
+		if err := p.WritePage(id, img); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	fd.failReads = true
+	fd.readsLeft = 1 // the second staged page read fails mid-batch
+	qc := p.BeginQuery()
+	staged := make(map[PageID][]byte)
+	var stageErr error
+	for _, id := range ids {
+		buf := make([]byte, 64)
+		if stageErr = qc.ReadPage(id, buf); stageErr != nil {
+			break
+		}
+		buf[1] = 0xFF
+		staged[id] = buf
+	}
+	qc.Release()
+	if !errors.Is(stageErr, errInjected) {
+		t.Fatalf("staging err = %v", stageErr)
+	}
+	// The batch aborts without committing; the store is exactly as built.
+	if p.CurrentEpoch() != 0 || p.OverlaidPages() != 0 {
+		t.Fatalf("aborted batch moved the store: epoch %d, %d overlaid",
+			p.CurrentEpoch(), p.OverlaidPages())
+	}
+	fd.failReads = false
+	buf := make([]byte, 64)
+	for i, id := range ids {
+		if err := p.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(0x10+i) || buf[1] != 0 {
+			t.Fatalf("page %d corrupted: % x", id, buf[:2])
+		}
+	}
+}
+
 func TestPagerCacheServesDespiteDiskFault(t *testing.T) {
 	// Once cached, a page stays readable even if the disk starts failing —
 	// and the hit is not charged.

@@ -184,6 +184,23 @@ func RecordInPage(buf []byte, s uint16) ([]byte, error) {
 	return recordInPage(buf, s)
 }
 
+// PatchRecordInPage overwrites slot s of a heap-file page image with rec,
+// which must have exactly the stored record's length — the rewrite-in-place
+// contract of value updates, where a cell's geometry (and so its encoded
+// size) never changes. The page image is modified in place; callers stage it
+// as a copy-on-write overlay rather than writing the base page.
+func PatchRecordInPage(buf []byte, s uint16, rec []byte) error {
+	old, err := recordInPage(buf, s)
+	if err != nil {
+		return err
+	}
+	if len(old) != len(rec) {
+		return fmt.Errorf("storage: patch record length %d != stored %d", len(rec), len(old))
+	}
+	copy(old, rec)
+	return nil
+}
+
 // recordInPage extracts slot s from a page image.
 func recordInPage(buf []byte, s uint16) ([]byte, error) {
 	n := binary.LittleEndian.Uint16(buf[0:2])

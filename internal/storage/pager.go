@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fielddb/internal/obs"
@@ -151,6 +152,11 @@ type Pager struct {
 	mu       sync.Mutex // guards stats and lastPage
 	stats    Stats
 	lastPage PageID // pager-level seq detection, for reads outside a QueryCtx
+
+	// epoch and ov form the MVCC plane (see epoch.go): the current epoch new
+	// queries pin, and the copy-on-write overlay versions of updated pages.
+	epoch atomic.Uint64
+	ov    epochPlane
 }
 
 // NewPager wraps disk with accounting under the given cost model.
@@ -203,9 +209,17 @@ func (p *Pager) PoolShards() int {
 	return len(p.pool.shards)
 }
 
-// readThrough copies page id into buf from the shared pool or, on a miss,
-// from the disk (populating the pool). It moves data only — no accounting.
-func (p *Pager) readThrough(id PageID, buf []byte) (cached bool, err error) {
+// readThrough copies page id as seen at epoch into buf: the newest overlay
+// version at or below epoch when one exists, else the shared pool or, on a
+// miss, the disk (populating the pool). It moves data only — no accounting.
+func (p *Pager) readThrough(id PageID, buf []byte, epoch uint64) (cached bool, err error) {
+	if p.ov.active() {
+		if f := p.ov.view(id, epoch); f != nil {
+			copy(buf, f.Data())
+			f.Release()
+			return true, nil
+		}
+	}
 	if p.pool != nil && p.pool.get(id, buf) {
 		return true, nil
 	}
@@ -220,10 +234,16 @@ func (p *Pager) readThrough(id PageID, buf []byte) (cached bool, err error) {
 	return false, nil
 }
 
-// viewThrough returns a retained frame for page id from the shared pool or,
-// on a miss, from the disk (populating the pool). Data movement only — no
+// viewThrough returns a retained frame for page id as seen at epoch: the
+// newest overlay version at or below epoch when one exists, else the shared
+// pool or, on a miss, the disk (populating the pool). Data movement only — no
 // accounting.
-func (p *Pager) viewThrough(id PageID) (f *Frame, cached bool, err error) {
+func (p *Pager) viewThrough(id PageID, epoch uint64) (f *Frame, cached bool, err error) {
+	if p.ov.active() {
+		if f := p.ov.view(id, epoch); f != nil {
+			return f, true, nil
+		}
+	}
 	if p.pool != nil {
 		if f := p.pool.view(id); f != nil {
 			return f, true, nil
@@ -241,17 +261,38 @@ func (p *Pager) viewThrough(id PageID) (f *Frame, cached bool, err error) {
 }
 
 // viewRunThrough fills frames with retained frames for the pages
-// first..first+len(frames)-1: resident pages come from one batched pool
-// probe, and each maximal missing sub-run is fetched with a single
-// vectorized disk read. cached[i] reports pool residency at probe time. On
-// error all frames are released and frames is left nil-filled.
-func (p *Pager) viewRunThrough(first PageID, frames []*Frame, cached []bool) error {
+// first..first+len(frames)-1 as seen at epoch: overlaid pages resolve to
+// their overlay version, the rest come from one batched pool probe, and each
+// maximal still-missing sub-run is fetched with a single vectorized disk
+// read. cached[i] reports overlay or pool residency at probe time. On error
+// all frames are released and frames is left nil-filled.
+func (p *Pager) viewRunThrough(first PageID, frames []*Frame, cached []bool, epoch uint64) error {
 	n := len(frames)
 	for i := 0; i < n; i++ {
 		frames[i] = nil
 		cached[i] = false
 	}
-	if p.pool != nil {
+	if p.ov.active() {
+		for i := 0; i < n; i++ {
+			frames[i] = p.ov.view(first+PageID(i), epoch)
+		}
+		if p.pool != nil {
+			// Probe the pool only for the gaps between overlay hits, so a
+			// stale base image never shadows an overlay version.
+			for i := 0; i < n; {
+				if frames[i] != nil {
+					i++
+					continue
+				}
+				j := i + 1
+				for j < n && frames[j] == nil {
+					j++
+				}
+				p.pool.viewRun(first+PageID(i), frames[i:j])
+				i = j
+			}
+		}
+	} else if p.pool != nil {
 		p.pool.viewRun(first, frames)
 	}
 	for i := 0; i < n; {
@@ -319,7 +360,7 @@ func (p *Pager) fetchRun(first PageID, frames []*Frame) error {
 // each page through charge before handing its image to fn. An early stop by
 // fn leaves the remaining pages uncharged — exactly like breaking out of a
 // per-page ReadPage loop.
-func (p *Pager) readRunChunks(first, last PageID, charge func(id PageID, cached bool), fn func(id PageID, page []byte) bool) error {
+func (p *Pager) readRunChunks(first, last PageID, epoch uint64, charge func(id PageID, cached bool), fn func(id PageID, page []byte) bool) error {
 	if first > last {
 		return nil
 	}
@@ -330,7 +371,7 @@ func (p *Pager) readRunChunks(first, last PageID, charge func(id PageID, cached 
 		if n > runChunkPages {
 			n = runChunkPages
 		}
-		if err := p.viewRunThrough(start, frames[:n], cached[:n]); err != nil {
+		if err := p.viewRunThrough(start, frames[:n], cached[:n], epoch); err != nil {
 			return err
 		}
 		stop := false
@@ -364,7 +405,7 @@ func (p *Pager) addStats(d Stats) {
 // the pager-level sequential tracker. Query pipelines should prefer a
 // QueryCtx from BeginQuery, which keeps this accounting per query.
 func (p *Pager) ReadPage(id PageID, buf []byte) error {
-	cached, err := p.readThrough(id, buf)
+	cached, err := p.readThrough(id, buf, p.epoch.Load())
 	if err != nil {
 		return err
 	}
@@ -375,7 +416,7 @@ func (p *Pager) ReadPage(id PageID, buf []byte) error {
 // ViewPage implements PageViewer with the same pager-level accounting as
 // ReadPage; the caller must Release the returned frame.
 func (p *Pager) ViewPage(id PageID) (*Frame, error) {
-	f, cached, err := p.viewThrough(id)
+	f, cached, err := p.viewThrough(id, p.epoch.Load())
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +426,7 @@ func (p *Pager) ViewPage(id PageID) (*Frame, error) {
 
 // ReadRun implements RunReader with pager-level accounting.
 func (p *Pager) ReadRun(first, last PageID, fn func(id PageID, page []byte) bool) error {
-	return p.readRunChunks(first, last, p.chargeRead, fn)
+	return p.readRunChunks(first, last, p.epoch.Load(), p.chargeRead, fn)
 }
 
 // chargeRead charges one page access to the pager-level accounting.
@@ -483,18 +524,24 @@ func (p *Pager) Close() error {
 	return nil
 }
 
-// SnapshotTo copies every page of the underlying disk to dst, allocating
-// pages there as needed. The copy bypasses the cost accounting — it is a
-// maintenance operation (saving a built database to a file), not part of a
-// measured query.
+// SnapshotTo copies every page of the store as seen at the current epoch to
+// dst, allocating pages there as needed: overlaid pages are materialized from
+// their newest overlay version, so the saved file is the live state, not the
+// stale base. The copy bypasses the cost accounting — it is a maintenance
+// operation (saving a built database to a file), not part of a measured
+// query.
 func (p *Pager) SnapshotTo(dst Disk) error {
 	if dst.PageSize() != p.disk.PageSize() {
 		return fmt.Errorf("storage: snapshot page size mismatch: %d vs %d", dst.PageSize(), p.disk.PageSize())
 	}
+	epoch := p.epoch.Load()
 	buf := make([]byte, p.disk.PageSize())
 	n := p.disk.NumPages()
 	for id := 0; id < n; id++ {
-		if err := p.disk.ReadPage(PageID(id), buf); err != nil {
+		if f := p.ov.view(PageID(id), epoch); f != nil {
+			copy(buf, f.Data())
+			f.Release()
+		} else if err := p.disk.ReadPage(PageID(id), buf); err != nil {
 			return err
 		}
 		did, err := dst.Alloc()
@@ -526,6 +573,13 @@ type QueryCtx struct {
 	stats    Stats
 	lastPage PageID // last page this query read from disk, for seq detection
 
+	// epoch is the MVCC snapshot this query reads: every page resolves to
+	// the newest overlay version at or below it. pinned records whether this
+	// context holds the pin keeping that epoch's versions alive (forked
+	// worker contexts ride their parent's pin).
+	epoch  uint64
+	pinned bool
+
 	// seen/lru form the accounting-only private pool: the pages this query
 	// would find cached had it run alone against a cold pool of the pager's
 	// capacity. Nil when the pool is disabled (poolSize 0).
@@ -544,9 +598,33 @@ type QueryCtx struct {
 	tb *obs.TraceBuilder
 }
 
-// BeginQuery returns a fresh execution context for one query.
+// BeginQuery returns a fresh execution context for one query, pinned to the
+// pager's current epoch so a concurrently committed update batch cannot
+// change what this query reads.
 func (p *Pager) BeginQuery() *QueryCtx {
-	qc := &QueryCtx{pager: p, lastPage: InvalidPage}
+	for {
+		e := p.epoch.Load()
+		if p.ov.pin(e) {
+			return p.newQueryCtx(e, true)
+		}
+		// The epoch moved below the compaction low-water mark between the
+		// load and the pin — an update batch committed in the window. Re-read
+		// and retry; the loop terminates because commits are finite.
+	}
+}
+
+// BeginQueryAt returns an execution context pinned to an explicit epoch — the
+// snapshot-read entry point. It fails when the epoch has been compacted away
+// (no pin held it when a later update batch committed).
+func (p *Pager) BeginQueryAt(epoch uint64) (*QueryCtx, bool) {
+	if !p.ov.pin(epoch) {
+		return nil, false
+	}
+	return p.newQueryCtx(epoch, true), true
+}
+
+func (p *Pager) newQueryCtx(epoch uint64, pinned bool) *QueryCtx {
+	qc := &QueryCtx{pager: p, lastPage: InvalidPage, epoch: epoch, pinned: pinned}
 	if p.poolSize > 0 {
 		qc.seen = make(map[PageID]*list.Element)
 		qc.lru = list.New()
@@ -565,7 +643,7 @@ func (qc *QueryCtx) Model() DiskModel { return qc.pager.model }
 // random disk read otherwise — goes to this query's private accounting,
 // published to the pager's cumulative totals when Stats is called.
 func (qc *QueryCtx) ReadPage(id PageID, buf []byte) error {
-	if _, err := qc.pager.readThrough(id, buf); err != nil {
+	if _, err := qc.pager.readThrough(id, buf, qc.epoch); err != nil {
 		return err
 	}
 	qc.chargeRead(id)
@@ -576,7 +654,7 @@ func (qc *QueryCtx) ReadPage(id PageID, buf []byte) error {
 // charged to this query's private accounting exactly like ReadPage. The
 // caller must Release the frame.
 func (qc *QueryCtx) ViewPage(id PageID) (*Frame, error) {
-	f, _, err := qc.pager.viewThrough(id)
+	f, _, err := qc.pager.viewThrough(id, qc.epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -588,7 +666,7 @@ func (qc *QueryCtx) ViewPage(id PageID) (*Frame, error) {
 // disk layers, each page is charged through chargeRead in page order, so the
 // per-query accounting is byte-identical to the equivalent ReadPage loop.
 func (qc *QueryCtx) ReadRun(first, last PageID, fn func(id PageID, page []byte) bool) error {
-	return qc.pager.readRunChunks(first, last, func(id PageID, _ bool) {
+	return qc.pager.readRunChunks(first, last, qc.epoch, func(id PageID, _ bool) {
 		qc.chargeRead(id)
 	}, fn)
 }
@@ -662,7 +740,22 @@ func (qc *QueryCtx) Stats() Stats {
 		qc.pager.addStats(d)
 		qc.flushed = qc.stats
 	}
+	qc.Release()
 	return qc.stats
+}
+
+// Epoch returns the MVCC snapshot this context reads.
+func (qc *QueryCtx) Epoch() uint64 { return qc.epoch }
+
+// Release drops this context's epoch pin without publishing its stats — for
+// contexts whose activity is folded elsewhere (a batch's physical context) or
+// abandoned on an error path. Stats releases implicitly; calling both, or
+// Release twice, is harmless.
+func (qc *QueryCtx) Release() {
+	if qc.pinned {
+		qc.pager.ov.unpin(qc.epoch)
+		qc.pinned = false
+	}
 }
 
 // LocalStats returns this query's accumulated activity without publishing it
@@ -692,8 +785,11 @@ func (qc *QueryCtx) EndSpan() {
 }
 
 // Fork returns a child context for one worker of a parallel refinement step:
-// fresh stats and a fresh sequential-read clock over the same pager.
-func (qc *QueryCtx) Fork() *QueryCtx { return qc.pager.BeginQuery() }
+// fresh stats and a fresh sequential-read clock over the same pager, reading
+// at the parent's epoch. The child holds no pin of its own — the parent's
+// pin outlives it, since every worker is merged back before the parent
+// publishes.
+func (qc *QueryCtx) Fork() *QueryCtx { return qc.pager.newQueryCtx(qc.epoch, false) }
 
 // Merge folds a finished child context's activity into this query's stats.
 // Whatever the child already published to the pager totals is remembered as

@@ -176,6 +176,33 @@ func (s *IntervalSidecar) ScanRange(r PageReader, start, end int, fn func(base i
 	return nil
 }
 
+// PageFor returns the page id and the within-page entry index of global
+// position pos — where a value update must patch the interval columns.
+func (s *IntervalSidecar) PageFor(pos int) (PageID, int, error) {
+	if pos < 0 || pos >= s.count {
+		return InvalidPage, 0, fmt.Errorf("storage: sidecar position %d of %d", pos, s.count)
+	}
+	return s.first + PageID(pos/s.perPage), pos % s.perPage, nil
+}
+
+// PatchEntry overwrites entry idx of a sidecar page image with (lo, hi),
+// validating the page header first so a torn or mismatched image fails the
+// update instead of silently corrupting the columns. The image is modified in
+// place; callers stage it as a copy-on-write overlay.
+func (s *IntervalSidecar) PatchEntry(page []byte, pi PageID, idx int, lo, hi float64) error {
+	if [4]byte(page[0:4]) != sidecarMagic {
+		return fmt.Errorf("storage: sidecar page %d: bad magic", pi)
+	}
+	n := int(binary.LittleEndian.Uint32(page[4:8]))
+	pageBase := int(binary.LittleEndian.Uint64(page[8:16]))
+	if pageBase != int(pi-s.first)*s.perPage || idx < 0 || idx >= n {
+		return fmt.Errorf("storage: sidecar page %d: entry %d of %d invalid", pi, idx, n)
+	}
+	binary.LittleEndian.PutUint64(page[sidecarHeaderSize+8*idx:], math.Float64bits(lo))
+	binary.LittleEndian.PutUint64(page[sidecarHeaderSize+8*s.perPage+8*idx:], math.Float64bits(hi))
+	return nil
+}
+
 // decodePage validates one sidecar page and decodes its entries overlapping
 // [start, end) into the column scratch, returning the trimmed columns and
 // the global position of their first entry.

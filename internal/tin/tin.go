@@ -20,6 +20,9 @@ type TIN struct {
 	// Uniform-grid triangle locator for O(1) expected point location.
 	locSide  int
 	locCells [][]int32
+
+	// Vertex→triangle incidence, built lazily by IncidentCells.
+	vertTris [][]int32
 }
 
 // New builds a TIN from points, their sample values, and a triangulation.

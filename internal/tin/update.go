@@ -1,0 +1,84 @@
+package tin
+
+import (
+	"fmt"
+	"math"
+
+	"fielddb/internal/field"
+)
+
+// Live-update support (field.Mutable): TIN sample indices are point indices.
+// The triangulation is immutable; only measured values move, so each
+// triangle's encoded record keeps its length under updates.
+//
+// Mutation entry points are not synchronized: the caller (the core update
+// engine) serializes updaters and publishes changes to readers through MVCC
+// snapshots, never through this in-memory model.
+
+// NumSamples implements field.Mutable.
+func (t *TIN) NumSamples() int { return len(t.points) }
+
+// SampleValue implements field.Mutable.
+func (t *TIN) SampleValue(i int) float64 { return t.values[i] }
+
+// SetSample implements field.Mutable, keeping ValueRange exact: growing the
+// range is O(1); shrinking it (moving a sample off an extreme) rescans the
+// values.
+func (t *TIN) SetSample(i int, v float64) error {
+	if i < 0 || i >= len(t.values) {
+		return fmt.Errorf("tin: sample %d of %d", i, len(t.values))
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("tin: non-finite value %g", v)
+	}
+	old := t.values[i]
+	t.values[i] = v
+	if old <= t.valRange.Lo || old >= t.valRange.Hi {
+		t.rescanRange()
+		return nil
+	}
+	if v < t.valRange.Lo {
+		t.valRange.Lo = v
+	}
+	if v > t.valRange.Hi {
+		t.valRange.Hi = v
+	}
+	return nil
+}
+
+func (t *TIN) rescanRange() {
+	vr := t.valRange
+	vr.Lo, vr.Hi = math.Inf(1), math.Inf(-1)
+	for _, v := range t.values {
+		if v < vr.Lo {
+			vr.Lo = v
+		}
+		if v > vr.Hi {
+			vr.Hi = v
+		}
+	}
+	t.valRange = vr
+}
+
+// IncidentCells implements field.Mutable via a lazily built vertex→triangle
+// incidence index (built once, on the first update that needs it).
+func (t *TIN) IncidentCells(i int, dst []field.CellID) []field.CellID {
+	if i < 0 || i >= len(t.points) {
+		return dst
+	}
+	if t.vertTris == nil {
+		vt := make([][]int32, len(t.points))
+		for ti, tr := range t.tris {
+			for _, v := range tr {
+				vt[v] = append(vt[v], int32(ti))
+			}
+		}
+		t.vertTris = vt
+	}
+	for _, ti := range t.vertTris[i] {
+		dst = append(dst, field.CellID(ti))
+	}
+	return dst
+}
+
+var _ field.Mutable = (*TIN)(nil)
