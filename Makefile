@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race cover bench-parallel bench-smoke bench-compare
+.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke bench-compare
 
-check: build vet fmt race cover bench-smoke bench-compare
+check: build vet fmt race cover bench-smoke tiled-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ bench-parallel:
 # real -benchtime for numbers; see BENCH_BASELINE.json).
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkValueRange -benchtime 1x .
+
+# -short-guarded smoke over the large-terrain tiled suite: exercises the
+# same specs, row naming, and answer cross-check as the gated 1024×1024
+# rows, on a terrain small enough to keep CI wall-clock flat.
+tiled-smoke:
+	$(GO) test -short -run TestTiledMeasureSmoke ./internal/bench
 
 # Regression gate on the simulated-disk metrics: measure the deterministic
 # value-range suite (one 64-query rotation per cell, exactly the

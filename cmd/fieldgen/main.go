@@ -7,17 +7,51 @@
 //	fieldgen -kind fractal  -side 1024 -H 0.9 -o rough.fdb
 //	fieldgen -kind monotonic -side 512 -o mono.fdb
 //	fieldgen -kind noise    -points 4600 -o noise.fdb
+//	fieldgen -kind terrain  -side 1024 -tiles 128 -o big.fdb   # also big.fidx
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"fielddb"
 	"fielddb/internal/field"
 	"fielddb/internal/fio"
 	"fielddb/internal/workload"
 )
+
+// maxSide bounds -side at the fio format's DEM dimension limit; anything
+// larger would generate for minutes and then fail to load.
+const maxSide = 1 << 20
+
+// SideError reports a rejected -side value and why, so scripts can tell a
+// bad invocation apart from a generator failure.
+type SideError struct {
+	Side   int
+	Reason string
+}
+
+func (e *SideError) Error() string {
+	return fmt.Sprintf("invalid -side %d: %s", e.Side, e.Reason)
+}
+
+// validateSide rejects sides the grid generators would either refuse after
+// a long allocation or quietly mangle. Terrain and fractal synthesis run
+// diamond-square, which needs a power-of-two side; every grid kind is bound
+// by the .fdb format limit.
+func validateSide(side int, needPow2 bool) error {
+	switch {
+	case side < 2:
+		return &SideError{side, "must be at least 2"}
+	case side > maxSide:
+		return &SideError{side, fmt.Sprintf("exceeds the format limit %d", maxSide)}
+	case needPow2 && side&(side-1) != 0:
+		return &SideError{side, "must be a power of two for terrain/fractal"}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -27,6 +61,7 @@ func main() {
 		points = flag.Int("points", 4600, "sample points for the noise TIN")
 		seed   = flag.Int64("seed", 42, "generator seed")
 		out    = flag.String("o", "field.fdb", "output path")
+		tiles  = flag.Int("tiles", 0, "tile side hint: also build a tiled index (Options.TileSide) and save it next to the dataset as .fidx")
 	)
 	flag.Parse()
 
@@ -35,25 +70,58 @@ func main() {
 		err error
 	)
 	switch *kind {
-	case "terrain":
-		f, err = workload.Terrain(*side, *seed)
-	case "fractal":
-		f, err = workload.FractalDEM(*side, *h, *seed)
-	case "monotonic":
-		f, err = workload.Monotonic(*side)
+	case "terrain", "fractal", "monotonic":
+		if err = validateSide(*side, *kind != "monotonic"); err != nil {
+			break
+		}
+		switch *kind {
+		case "terrain":
+			f, err = workload.Terrain(*side, *seed)
+		case "fractal":
+			f, err = workload.FractalDEM(*side, *h, *seed)
+		case "monotonic":
+			f, err = workload.Monotonic(*side)
+		}
 	case "noise":
 		f, err = workload.NoiseTIN(*points, *seed)
 	default:
 		err = fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fieldgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := fio.SaveFile(*out, f); err != nil {
-		fmt.Fprintln(os.Stderr, "fieldgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	vr := f.ValueRange()
 	fmt.Printf("wrote %s: %d cells, bounds %v, values %v\n", *out, f.NumCells(), f.Bounds(), vr)
+
+	if *tiles > 0 {
+		if err := saveTiledIndex(f, *out, *tiles); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// saveTiledIndex builds a tiled LinearScan index over f — the -tiles value
+// forwards straight to Options.TileSide — and stores it next to the dataset,
+// so fieldquery -index can answer value queries with tile pruning and no
+// rebuild.
+func saveTiledIndex(f field.Field, out string, tileSide int) error {
+	db, err := fielddb.Open(f, fielddb.Options{Method: fielddb.LinearScan, TileSide: tileSide})
+	if err != nil {
+		return fmt.Errorf("building tiled index: %w", err)
+	}
+	defer db.Close()
+	idxPath := strings.TrimSuffix(out, ".fdb") + ".fidx"
+	if err := db.SaveIndex(idxPath); err != nil {
+		return fmt.Errorf("saving tiled index: %w", err)
+	}
+	fmt.Printf("wrote %s: %s, %d tiles of side %d\n", idxPath, db.Method(), len(db.Tiles()), tileSide)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fieldgen:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateSide(t *testing.T) {
+	cases := []struct {
+		side     int
+		needPow2 bool
+		wantErr  string // substring of the error, "" = valid
+	}{
+		{512, true, ""},
+		{2, true, ""},
+		{100, false, ""}, // monotonic grids take any side
+		{100, true, "power of two"},
+		{1, true, "at least 2"},
+		{0, false, "at least 2"},
+		{-64, true, "at least 2"},
+		{maxSide, true, ""},
+		{maxSide + 1, false, "format limit"},
+	}
+	for _, c := range cases {
+		err := validateSide(c.side, c.needPow2)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateSide(%d, %v) = %v, want nil", c.side, c.needPow2, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateSide(%d, %v) = %v, want error containing %q", c.side, c.needPow2, err, c.wantErr)
+			continue
+		}
+		var se *SideError
+		if !errors.As(err, &se) || se.Side != c.side {
+			t.Errorf("validateSide(%d, %v): error %v is not a *SideError carrying the side", c.side, c.needPow2, err)
+		}
+	}
+}

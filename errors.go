@@ -28,6 +28,10 @@ var (
 	// conjunctive query: no conditions, mismatched slice lengths, or a nil
 	// *DB element.
 	ErrBadConjunction = errors.New("fielddb: invalid conjunctive query")
+	// ErrBadTiling reports an Options combination the tiled planner cannot
+	// build: TileSide with Auto or IAll, TileSide 1, NoIntervalSidecar under
+	// tiling, or an unknown SidecarCodec.
+	ErrBadTiling = errors.New("fielddb: invalid tiling options")
 )
 
 // ErrUpdatesUnsupported reports UpdateSamples on a configuration that cannot

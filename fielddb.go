@@ -155,6 +155,22 @@ type Options struct {
 	// Curve overrides the space-filling curve ("hilbert", "zorder",
 	// "gray"; default "hilbert").
 	Curve string
+	// TileSide, when positive, splits the field into TileSide×TileSide-cell
+	// tiles, each a self-contained partition with its own heap segment,
+	// interval sidecar and index, under a scatter-gather planner that prunes
+	// whole tiles by their (min, max) value summary before reading a single
+	// page. This is the scale-out read path for large terrains: a narrow
+	// value band touches only the tiles whose summary intersects it. Answers
+	// are byte-identical to the untiled build of the same Method. TileSide
+	// must be at least 2; Auto and IAll do not tile (ErrBadTiling). The
+	// default, zero, builds the single-partition index as before.
+	TileSide int
+	// SidecarCodec selects the interval sidecar's page codec: "raw" (FSC1,
+	// fixed 255 entries per 4 KiB page) or "packed" (FSC2, delta-encoded and
+	// bit-packed, typically 3-6× the entries per page and proportionally
+	// fewer filter reads). Empty selects raw, the legacy layout. Answers are
+	// byte-identical under either codec.
+	SidecarCodec string
 	// NoIntervalSidecar disables the columnar interval sidecar that is
 	// otherwise built alongside every value index: packed (min, max) pages
 	// in heap order that let filter passes test cell intervals without
@@ -253,40 +269,71 @@ func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, method)
 	}
+	if opts.SidecarCodec != "" && !storage.ValidSidecarCodec(opts.SidecarCodec) {
+		return nil, fmt.Errorf("%w: unknown sidecar codec %q", ErrBadTiling, opts.SidecarCodec)
+	}
+	if opts.SidecarCodec != "" && opts.NoIntervalSidecar {
+		return nil, fmt.Errorf("%w: SidecarCodec with NoIntervalSidecar", ErrBadTiling)
+	}
 	cost := subfield.CostModel{Epsilon: opts.CostEpsilon}
+	quadMaxSize := func() float64 {
+		frac := opts.QuadMaxSizeFrac
+		if frac <= 0 {
+			frac = 1.0 / 16
+		}
+		return f.ValueRange().Length()*frac + 1
+	}
+	if opts.TileSide != 0 {
+		switch {
+		case opts.TileSide < 2:
+			return nil, fmt.Errorf("%w: tile side %d (need at least 2)", ErrBadTiling, opts.TileSide)
+		case method == Auto || method == IAll:
+			return nil, fmt.Errorf("%w: method %s does not tile", ErrBadTiling, method)
+		case opts.NoIntervalSidecar:
+			return nil, fmt.Errorf("%w: tiling requires the interval sidecar", ErrBadTiling)
+		}
+	}
 	buildValue := func() (core.Index, error) {
+		if opts.TileSide != 0 {
+			topts := core.TiledOptions{
+				Method:   method,
+				TileSide: opts.TileSide,
+				Codec:    opts.SidecarCodec,
+				Workers:  opts.Workers,
+			}
+			if method == IQuad {
+				topts.MaxSize = quadMaxSize()
+			}
+			return core.BuildTiledCtx(ctx, f, pager, topts)
+		}
 		switch method {
 		case Auto:
 			return core.BuildAutoCtx(ctx, f, pager, core.AutoOptions{
 				Hilbert: core.HilbertOptions{
 					Curve: curve, Cost: cost, Workers: opts.Workers,
-					NoSidecar: opts.NoIntervalSidecar,
+					NoSidecar: opts.NoIntervalSidecar, Codec: opts.SidecarCodec,
 				},
 			})
 		case LinearScan:
 			return core.BuildLinearScanWith(ctx, f, pager, core.LinearScanOptions{
-				NoSidecar: opts.NoIntervalSidecar,
+				NoSidecar: opts.NoIntervalSidecar, Codec: opts.SidecarCodec,
 			})
 		case IAll:
 			return core.BuildIAllCtx(ctx, f, pager, core.IAllOptions{
-				NoSidecar: opts.NoIntervalSidecar,
+				NoSidecar: opts.NoIntervalSidecar, Codec: opts.SidecarCodec,
 			})
 		case IHilbert:
 			return core.BuildIHilbertCtx(ctx, f, pager, core.HilbertOptions{
 				Curve: curve, Cost: cost, Workers: opts.Workers,
-				NoSidecar: opts.NoIntervalSidecar,
+				NoSidecar: opts.NoIntervalSidecar, Codec: opts.SidecarCodec,
 			})
 		case IQuad:
-			frac := opts.QuadMaxSizeFrac
-			if frac <= 0 {
-				frac = 1.0 / 16
-			}
-			vr := f.ValueRange()
 			return core.BuildIQuadCtx(ctx, f, pager, core.ThresholdOptions{
-				MaxSize:   vr.Length()*frac + 1,
+				MaxSize:   quadMaxSize(),
 				Cost:      cost,
 				Workers:   opts.Workers,
 				NoSidecar: opts.NoIntervalSidecar,
+				Codec:     opts.SidecarCodec,
 			})
 		default:
 			panic("unreachable: method validated above")
@@ -666,6 +713,19 @@ func (db *DB) Subfields() []Subfield {
 	return out
 }
 
+// TileInfo describes one tile of a tiled value index: its cell count,
+// spatial MBR, and (min, max) value summary — the planner's prune inputs.
+type TileInfo = core.TileInfo
+
+// Tiles returns the tile directory of a tiled value index (Options.TileSide
+// was set), or nil for a single-partition index.
+func (db *DB) Tiles() []TileInfo {
+	if t, ok := db.index.(*core.TiledIndex); ok {
+		return t.Tiles()
+	}
+	return nil
+}
+
 // IOStats returns the cumulative page-access statistics of the value index's
 // store. Across any set of (possibly concurrent) queries, the increase of
 // IOStats equals the sum of those queries' per-query Result.IO.
@@ -778,24 +838,40 @@ func AndContext(ctx context.Context, dbs []*DB, intervals []Interval) (*core.Con
 
 // SaveIndex writes the built value index (cell heap, R*-tree pages and
 // catalog) to a single database file that OpenIndex can query without
-// rebuilding. Only partition-based methods (I-Hilbert, I-Quad, I-Threshold)
-// can be saved.
+// rebuilding. Partition-based methods (I-Hilbert, I-Quad, I-Threshold) and
+// Tiled-LinearScan can be saved; a tiled file carries the full tile
+// directory, so the reopened index prunes exactly like this one.
 func (db *DB) SaveIndex(path string) error {
 	if err := db.checkOpen(); err != nil {
 		return err
 	}
-	p, ok := db.index.(*core.Partitioned)
-	if !ok {
+	switch idx := db.index.(type) {
+	case *core.Partitioned:
+		return idx.SaveFile(path)
+	case *core.TiledIndex:
+		return idx.SaveFile(path)
+	default:
 		return fmt.Errorf("%w: method %s has no on-disk format", ErrNoPartition, db.Method())
 	}
-	return p.SaveFile(path)
+}
+
+// storedCore is what a StoredIndex needs from the index decoded out of a
+// database file. *core.Partitioned and *core.TiledIndex both implement it.
+type storedCore interface {
+	core.Index
+	core.ContextQuerier
+	core.BatchQuerier
+	Close() error
+	SetWorkers(int)
+	SetObserver(obs.Observer)
 }
 
 // StoredIndex is a value index opened from a database file written by
 // SaveIndex: it answers value queries straight from the file's pages,
-// without the original Field.
+// without the original Field. Both file kinds open through it — untiled
+// partitioned indexes and tiled directories alike.
 type StoredIndex struct {
-	index   *core.Partitioned
+	index   storedCore
 	tracer  obs.Tracer
 	metrics *obs.Metrics
 	closed  atomic.Bool
@@ -839,13 +915,17 @@ func OpenIndexWith(path string, opts OpenIndexOptions) (*StoredIndex, error) {
 	if opts.DiskModel != nil {
 		model = *opts.DiskModel
 	}
-	p, err := core.OpenFileWith(path, core.OpenFileOptions{
+	idx, err := core.OpenStoredWith(path, core.OpenFileOptions{
 		Model:      model,
 		PoolPages:  pool,
 		PoolShards: opts.PoolShards,
 	})
 	if err != nil {
 		return nil, err
+	}
+	p, ok := idx.(storedCore)
+	if !ok {
+		return nil, fmt.Errorf("fielddb: %s: unsupported stored index type %T", path, idx)
 	}
 	if opts.Workers > 0 {
 		p.SetWorkers(opts.Workers)
@@ -930,10 +1010,15 @@ func (s *StoredIndex) ValueQueryBatch(ctx context.Context, intervals []Interval)
 	return out, firstErr
 }
 
-// Subfields returns the stored partition.
+// Subfields returns the stored partition, or nil for a tiled file (the tile
+// directory is not a subfield partition).
 func (s *StoredIndex) Subfields() []Subfield {
+	p, ok := s.index.(*core.Partitioned)
+	if !ok {
+		return nil
+	}
 	var out []Subfield
-	s.index.ForEachGroup(func(_ int, iv Interval, cells []CellID) bool {
+	p.ForEachGroup(func(_ int, iv Interval, cells []CellID) bool {
 		cp := make([]CellID, len(cells))
 		copy(cp, cells)
 		out = append(out, Subfield{Interval: iv, Cells: cp})

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"fielddb/internal/storage"
-	"fielddb/internal/workload"
 )
 
 // Row is one benchmark measurement in the BENCH_BASELINE.json schema.
@@ -37,7 +36,7 @@ type Row struct {
 // matters is read off the simulated disk, one rotation reproduces the
 // pages_op and simns_op of any -benchtime that is a multiple of 64x.
 func ValueRangeMeasure() (map[string]Row, error) {
-	f, err := workload.Terrain(256, 4217)
+	f, err := FixtureTerrain(0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +57,7 @@ func ValueRangeMeasure() (map[string]Row, error) {
 				w.SetWorkers(workers)
 			}
 			for _, sel := range Selectivities {
-				queries := workload.Queries(vr, sel, 64, 4217+int64(sel*1e6))
+				queries := FixtureQueries(vr, sel, 64)
 				name := fmt.Sprintf("%s/sel=%.2f", spec.Label, sel)
 				if workers > 1 {
 					name += fmt.Sprintf("/workers=%d", workers)
@@ -88,7 +87,7 @@ func ValueRangeMeasure() (map[string]Row, error) {
 // baselineSections is the precedence order for picking rows out of a
 // multi-section BENCH_BASELINE.json when no section is named: newest
 // recorded state first.
-var baselineSections = []string{"post_mvcc", "post_batch", "post_sidecar", "post_obs", "post", "pre"}
+var baselineSections = []string{"post_tiled", "post_mvcc", "post_batch", "post_sidecar", "post_obs", "post", "pre"}
 
 // LoadRows reads benchmark rows from path. Two layouts are accepted: a flat
 // {name: row} map (what -bench-json writes) and the checked-in

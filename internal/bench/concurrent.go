@@ -6,7 +6,6 @@ import (
 
 	"fielddb/internal/core"
 	"fielddb/internal/storage"
-	"fielddb/internal/workload"
 )
 
 // ConcurrentClients is the batch width of the deterministic concurrent-load
@@ -26,7 +25,7 @@ const ConcurrentClients = 16
 // solo rows of the same baseline section double as the attributed costs
 // these physical numbers are saving against.
 func ConcurrentMeasure() (map[string]Row, error) {
-	f, err := workload.Terrain(256, 4217)
+	f, err := FixtureTerrain(0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +42,7 @@ func ConcurrentMeasure() (map[string]Row, error) {
 			continue
 		}
 		for _, sel := range Selectivities {
-			queries := workload.Queries(vr, sel, 64, 4217+int64(sel*1e6))
+			queries := FixtureQueries(vr, sel, 64)
 			name := fmt.Sprintf("Concurrent/%s/sel=%.2f/clients=%d", spec.Label, sel, ConcurrentClients)
 			var phys storage.Stats
 			start := time.Now()

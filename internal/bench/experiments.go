@@ -48,7 +48,7 @@ func Figure8a(s Scale) Experiment {
 		Name:  "fig8a",
 		Title: "terrain DEM (USGS stand-in), execution time vs Qinterval",
 		Dataset: func() (field.Field, error) {
-			return workload.Terrain(s.side(512), 4217)
+			return FixtureTerrain(s.side(512), 0)
 		},
 		QIntervals: workload.QIntervalsReal,
 		Specs:      SpecsForMethods(core.MethodLinearScan, core.MethodIAll, core.MethodIHilbert),
@@ -125,7 +125,7 @@ func AblationCurves(s Scale) Experiment {
 		Name:  "ablation-curves",
 		Title: "I-Hilbert with Hilbert vs Z-order vs Gray-code linearization",
 		Dataset: func() (field.Field, error) {
-			return workload.Terrain(s.side(512), 4217)
+			return FixtureTerrain(s.side(512), 0)
 		},
 		QIntervals: workload.QIntervalsReal,
 		Specs:      specs,
@@ -155,7 +155,7 @@ func AblationQuadThreshold(s Scale) Experiment {
 		Name:  "ablation-quad",
 		Title: "Interval Quadtree threshold sweep vs I-Hilbert",
 		Dataset: func() (field.Field, error) {
-			return workload.Terrain(s.side(512), 4217)
+			return FixtureTerrain(s.side(512), 0)
 		},
 		QIntervals: workload.QIntervalsReal,
 		Specs:      specs,
@@ -183,7 +183,7 @@ func AblationCostEpsilon(s Scale) Experiment {
 		Name:  "ablation-eps",
 		Title: "cost-model constant sweep (P = L + q)",
 		Dataset: func() (field.Field, error) {
-			return workload.Terrain(s.side(512), 4217)
+			return FixtureTerrain(s.side(512), 0)
 		},
 		QIntervals: workload.QIntervalsReal,
 		Specs:      specs,
@@ -217,7 +217,7 @@ func RelatedIPIndex(s Scale) Experiment {
 		Name:  "related-ipindex",
 		Title: "related work: row-wise IP-index and main-memory interval tree vs I-Hilbert",
 		Dataset: func() (field.Field, error) {
-			return workload.Terrain(s.side(512), 4217)
+			return FixtureTerrain(s.side(512), 0)
 		},
 		QIntervals: workload.QIntervalsReal,
 		Specs:      append(specs, ipSpec),

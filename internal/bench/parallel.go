@@ -43,7 +43,7 @@ func ParallelSpeedup(side int, maxWorkers, queries int, seed int64) (*ParallelRe
 	if queries <= 0 {
 		queries = 32
 	}
-	f, err := workload.Terrain(side, seed)
+	f, err := FixtureTerrain(side, seed)
 	if err != nil {
 		return nil, fmt.Errorf("bench parallel: terrain: %w", err)
 	}

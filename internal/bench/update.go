@@ -10,7 +10,6 @@ import (
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
 	"fielddb/internal/storage"
-	"fielddb/internal/workload"
 )
 
 // Update-load suite parameters. Like the query rotations, these are fixed so
@@ -64,7 +63,7 @@ func UpdateLoadMeasure() (map[string]Row, error) {
 	for _, spec := range ValueRangeSpecs() {
 		// Pure update-cost rows. A fresh terrain per cell: batches mutate
 		// the field, and each row must start from the same state.
-		f, err := workload.Terrain(256, 4217)
+		f, err := FixtureTerrain(0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +77,7 @@ func UpdateLoadMeasure() (map[string]Row, error) {
 			continue
 		}
 		vr := f.ValueRange()
-		rng := rand.New(rand.NewSource(4217))
+		rng := rand.New(rand.NewSource(FixtureSeed))
 		name := fmt.Sprintf("UpdateLoad/%s/batch=%d", spec.Label, UpdateBatchSize)
 		var pages float64
 		var sim time.Duration
@@ -104,7 +103,7 @@ func UpdateLoadMeasure() (map[string]Row, error) {
 
 		// Reader-under-update rows: the rotation interleaved with batches.
 		for _, sel := range Selectivities {
-			f, err := workload.Terrain(256, 4217)
+			f, err := FixtureTerrain(0, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -115,8 +114,8 @@ func UpdateLoadMeasure() (map[string]Row, error) {
 			}
 			up := idx.(core.Updater)
 			vr := f.ValueRange()
-			rng := rand.New(rand.NewSource(4217 + int64(sel*1e6)))
-			queries := workload.Queries(vr, sel, 64, 4217+int64(sel*1e6))
+			rng := rand.New(rand.NewSource(FixtureSeed + int64(sel*1e6)))
+			queries := FixtureQueries(vr, sel, 64)
 			name := fmt.Sprintf("UpdateLoad/%s/read/sel=%.2f", spec.Label, sel)
 			var pages float64
 			var sim time.Duration

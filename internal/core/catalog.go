@@ -48,15 +48,35 @@ import (
 //	    index was built with, so update batches re-derive group boundaries
 //	    with the same §3 cost bound)
 //
-// Older files still open: decodeCatalog accepts all three versions. A
+// version ≥ 4 inserts a tile-count u32 immediately after the version word
+// (0 for an untiled file, in which case the version-3 body follows
+// unchanged) and appends the sidecar codec:
+//
+//	codec name: u16 length + bytes (empty without a sidecar)
+//	and, for the packed codec, its page directory:
+//	    first-position count u64, then that many u32 (the sidecar
+//	    position of each packed page's first entry — variable-rate
+//	    pages cannot derive it from arithmetic the way FSC1 does)
+//
+// A tile count > 0 selects the tiled directory layout instead (see
+// catalog_tiled.go): per-tile MBR and value summaries followed by each
+// tile's embedded geometry.
+//
+// Older files still open: decodeCatalog accepts every prior version. A
 // version-1 index has no sidecar (every query takes the heap-file fallback
 // path); version-1 and version-2 indexes open at epoch 0 with the default
-// cost model.
+// cost model; pre-version-4 files always carry raw-codec sidecars.
 const (
-	catalogVersion       = 3
+	catalogVersion       = 4
+	catalogVersionV3     = 3
 	catalogVersionV2     = 2
 	legacyCatalogVersion = 1
 )
+
+// validCatalogVersion reports whether v names a readable catalog layout.
+func validCatalogVersion(v uint32) bool {
+	return v >= legacyCatalogVersion && v <= catalogVersion
+}
 
 var (
 	catalogMagic    = [4]byte{'F', 'C', 'A', 'T'}
@@ -131,6 +151,9 @@ func (p *Partitioned) encodeCatalog(version uint32) []byte {
 	var b bytes.Buffer
 	b.Write(catalogMagic[:])
 	writeU32(&b, version)
+	if version >= 4 {
+		writeU32(&b, 0) // tile count: a Partitioned save is always untiled
+	}
 	method := []byte(p.method)
 	writeU16(&b, uint16(len(method)))
 	b.Write(method)
@@ -187,7 +210,55 @@ func (p *Partitioned) encodeCatalog(version uint32) []byte {
 		writeF64(&b, p.cost.Epsilon)
 		writeF64(&b, p.maxSize)
 	}
+	if version >= 4 {
+		codec := ""
+		if p.sidecar != nil && p.rids != nil && p.sidecar.NumPages() > 0 {
+			codec = p.sidecar.Codec()
+		}
+		writeCodecTail(&b, codec, p.sidecar)
+	}
 	return b.Bytes()
+}
+
+// writeCodecTail appends the version-4 sidecar-codec section: the codec name
+// and, for packed sidecars, the page directory OpenIntervalSidecarPacked
+// needs to reopen them.
+func writeCodecTail(b *bytes.Buffer, codec string, sc *storage.IntervalSidecar) {
+	writeU16(b, uint16(len(codec)))
+	b.WriteString(codec)
+	if codec == storage.SidecarCodecPacked {
+		fp := sc.PageFirstPositions()
+		writeU64(b, uint64(len(fp)))
+		for _, v := range fp {
+			writeU32(b, v)
+		}
+	}
+}
+
+// readCodecTail decodes writeCodecTail's section, validating the directory
+// against the declared page count.
+func readCodecTail(r *byteReader, sidecarPages int) (codec string, firstPos []uint32, err error) {
+	codecLen := int(r.u16())
+	if r.err != nil || codecLen > 64 {
+		return "", nil, fmt.Errorf("corrupt sidecar codec")
+	}
+	name := make([]byte, codecLen)
+	r.bytes(name)
+	codec = string(name)
+	if codec != "" && !storage.ValidSidecarCodec(codec) {
+		return "", nil, fmt.Errorf("unknown sidecar codec %q", codec)
+	}
+	if codec == storage.SidecarCodecPacked {
+		n := int(r.u64())
+		if r.err != nil || n != sidecarPages {
+			return "", nil, fmt.Errorf("corrupt packed sidecar directory")
+		}
+		firstPos = make([]uint32, n)
+		for i := range firstPos {
+			firstPos[i] = r.u32()
+		}
+	}
+	return codec, firstPos, nil
 }
 
 // OpenFileOptions tunes OpenFileWith; the zero value reproduces OpenFile's
@@ -219,28 +290,31 @@ func OpenFileWith(path string, opts OpenFileOptions) (*Partitioned, error) {
 	return openFilePageSize(path, storage.DefaultPageSize, opts)
 }
 
-func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partitioned, error) {
+// readCatalogBlob opens a database file, validates its superblock, and
+// returns the open disk plus the catalog blob. The caller owns closing the
+// disk (directly or through the pager built over it).
+func readCatalogBlob(path string, pageSize int) (*storage.FileDisk, []byte, error) {
 	disk, err := storage.OpenFileDisk(path, pageSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := disk.NumPages()
 	if n < 2 {
 		disk.Close()
-		return nil, fmt.Errorf("core: %s: too small to be a database file", path)
+		return nil, nil, fmt.Errorf("core: %s: too small to be a database file", path)
 	}
 	buf := make([]byte, pageSize)
 	if err := disk.ReadPage(storage.PageID(n-1), buf); err != nil {
 		disk.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if !bytes.Equal(buf[0:4], superblockMagic[:]) {
 		disk.Close()
-		return nil, fmt.Errorf("core: %s: bad superblock magic", path)
+		return nil, nil, fmt.Errorf("core: %s: bad superblock magic", path)
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != catalogVersion && v != catalogVersionV2 && v != legacyCatalogVersion {
+	if v := binary.LittleEndian.Uint32(buf[4:8]); !validCatalogVersion(v) {
 		disk.Close()
-		return nil, fmt.Errorf("core: %s: unsupported catalog version %d", path, v)
+		return nil, nil, fmt.Errorf("core: %s: unsupported catalog version %d", path, v)
 	}
 	catalogStart := int(binary.LittleEndian.Uint32(buf[8:12]))
 	catalogPages := int(binary.LittleEndian.Uint32(buf[12:16]))
@@ -248,18 +322,41 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 	if catalogStart < 0 || catalogPages <= 0 || catalogStart+catalogPages != n-1 ||
 		blobLen <= 0 || blobLen > catalogPages*pageSize {
 		disk.Close()
-		return nil, fmt.Errorf("core: %s: corrupt superblock", path)
+		return nil, nil, fmt.Errorf("core: %s: corrupt superblock", path)
 	}
 	blob := make([]byte, 0, catalogPages*pageSize)
 	for i := 0; i < catalogPages; i++ {
 		if err := disk.ReadPage(storage.PageID(catalogStart+i), buf); err != nil {
 			disk.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		blob = append(blob, buf...)
 	}
-	blob = blob[:blobLen]
+	return disk, blob[:blobLen], nil
+}
 
+// catalogTileCount peeks a catalog blob's tile-count discriminator: 0 for
+// every untiled layout (and every pre-version-4 file), the tile count for a
+// tiled directory.
+func catalogTileCount(blob []byte) int {
+	if len(blob) < 12 || !bytes.Equal(blob[0:4], catalogMagic[:]) {
+		return 0
+	}
+	if binary.LittleEndian.Uint32(blob[4:8]) < 4 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(blob[8:12]))
+}
+
+func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partitioned, error) {
+	disk, blob, err := readCatalogBlob(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	if tc := catalogTileCount(blob); tc > 0 {
+		disk.Close()
+		return nil, fmt.Errorf("core: %s: tiled database file (%d tiles); open it with OpenTiledFile", path, tc)
+	}
 	dec, err := decodeCatalog(blob)
 	if err != nil {
 		disk.Close()
@@ -296,7 +393,7 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 	}
 	dec.p.snap.Store(&partState{epoch: dec.epoch, tree: tree, groups: dec.groups})
 	if dec.sidecarPages > 0 {
-		sc, err := storage.OpenIntervalSidecar(pager, dec.sidecarFirst, dec.sidecarPages, dec.sidecarCount)
+		sc, err := openSidecarAs(pager, dec.codec, dec.sidecarFirst, dec.sidecarPages, dec.sidecarCount, dec.sidecarFirstPos)
 		if err != nil {
 			disk.Close()
 			return nil, fmt.Errorf("core: %s: %w", path, err)
@@ -319,22 +416,33 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 	return dec.p, nil
 }
 
+// openSidecarAs reopens a persisted sidecar segment under its saved codec;
+// an empty codec (every pre-version-4 file) means the raw FSC1 layout.
+func openSidecarAs(pager *storage.Pager, codec string, first storage.PageID, pages, count int, firstPos []uint32) (*storage.IntervalSidecar, error) {
+	if codec == storage.SidecarCodecPacked {
+		return storage.OpenIntervalSidecarPacked(pager, first, count, firstPos)
+	}
+	return storage.OpenIntervalSidecar(pager, first, pages, count)
+}
+
 // decodedCatalog carries the intermediate decode state.
 type decodedCatalog struct {
-	p            *Partitioned
-	cells        int
-	heapPages    []storage.PageID
-	treeRoot     storage.PageID
-	treeNodes    int
-	treeHeight   int
-	groups       []groupMeta
-	sidecarFirst storage.PageID
-	sidecarPages int
-	sidecarCount int
-	pageFirstPos []int
-	epoch        uint64
-	epsilon      float64
-	maxSize      float64
+	p               *Partitioned
+	cells           int
+	heapPages       []storage.PageID
+	treeRoot        storage.PageID
+	treeNodes       int
+	treeHeight      int
+	groups          []groupMeta
+	sidecarFirst    storage.PageID
+	sidecarPages    int
+	sidecarCount    int
+	pageFirstPos    []int
+	epoch           uint64
+	epsilon         float64
+	maxSize         float64
+	codec           string
+	sidecarFirstPos []uint32
 }
 
 func decodeCatalog(blob []byte) (*decodedCatalog, error) {
@@ -345,8 +453,13 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 		return nil, fmt.Errorf("bad catalog magic")
 	}
 	version := r.u32()
-	if version != catalogVersion && version != catalogVersionV2 && version != legacyCatalogVersion {
+	if !validCatalogVersion(version) {
 		return nil, fmt.Errorf("unsupported catalog version %d", version)
+	}
+	if version >= 4 {
+		if tiles := r.u32(); tiles != 0 {
+			return nil, fmt.Errorf("tiled catalog (%d tiles) has no untiled decoding", tiles)
+		}
 	}
 	methodLen := int(r.u16())
 	method := make([]byte, methodLen)
@@ -430,6 +543,15 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 			return nil, fmt.Errorf("corrupt update state")
 		}
 	}
+	var codec string
+	var sidecarFirstPos []uint32
+	if version >= 4 {
+		var cerr error
+		codec, sidecarFirstPos, cerr = readCodecTail(r, sidecarPages)
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog truncated")
 	}
@@ -453,6 +575,9 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 		epoch:        epoch,
 		epsilon:      epsilon,
 		maxSize:      maxSize,
+		codec:        codec,
+
+		sidecarFirstPos: sidecarFirstPos,
 	}, nil
 }
 

@@ -159,14 +159,15 @@ const writeCellsStride = 512
 
 // writeCells appends the cells of f to a fresh heap file on pager in the
 // order given by ids, returning the heap file and the RID of every cell in
-// write order. When sidecar is true it also builds the columnar interval
-// sidecar: each cell's (min, max) — taken by partial decode from the very
-// record bytes just appended, so the sidecar is byte-identical to
-// CellIntervalFromRecord on the stored records — is buffered and written to
-// contiguous packed pages right after the heap flush. ctx is polled every
+// write order. A non-empty codec name also builds the columnar interval
+// sidecar with that codec: each cell's (min, max) — taken by partial decode
+// from the very record bytes just appended, so the sidecar is byte-identical
+// to CellIntervalFromRecord on the stored records — is buffered and written
+// to contiguous packed pages right after the heap flush. ctx is polled every
 // writeCellsStride cells so a canceled build stops without writing the rest
 // of the field.
-func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID, sidecar bool) (*storage.HeapFile, []storage.RID, *storage.IntervalSidecar, error) {
+func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID, codec string) (*storage.HeapFile, []storage.RID, *storage.IntervalSidecar, error) {
+	sidecar := codec != ""
 	heap := storage.NewHeapFile(pager)
 	rids := make([]storage.RID, len(ids))
 	var lo, hi []float64
@@ -206,12 +207,26 @@ func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []
 	var sc *storage.IntervalSidecar
 	if sidecar {
 		var err error
-		sc, err = storage.BuildIntervalSidecar(pager, lo, hi)
+		sc, err = storage.BuildIntervalSidecarWith(pager, lo, hi, codec)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	return heap, rids, sc, nil
+}
+
+// resolveSidecarCodec maps build-option fields to writeCells' codec
+// parameter: disabled becomes the empty string, an unset codec falls back to
+// the raw legacy layout (keeping existing builds byte-identical), and an
+// unknown name is surfaced as a build error by writeCells.
+func resolveSidecarCodec(noSidecar bool, codec string) string {
+	if noSidecar {
+		return ""
+	}
+	if codec == "" {
+		return storage.SidecarCodecRaw
+	}
+	return codec
 }
 
 // identityOrder returns the cell ids of f in natural order.

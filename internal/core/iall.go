@@ -68,6 +68,8 @@ type IAllOptions struct {
 	// every cell's exact interval — so the sidecar is kept only for storage
 	// parity with the other methods.
 	NoSidecar bool
+	// Codec selects the sidecar page codec; empty means raw.
+	Codec string
 }
 
 // BuildIAll stores the field's cells in a heap file and indexes every cell
@@ -82,7 +84,7 @@ func BuildIAllCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts
 	if opts.Params.PageSize == 0 {
 		opts.Params.PageSize = pager.PageSize()
 	}
-	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), !opts.NoSidecar)
+	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), resolveSidecarCodec(opts.NoSidecar, opts.Codec))
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,9 @@ type LinearScanOptions struct {
 	// NoSidecar disables the columnar interval sidecar; queries then scan
 	// the full cell heap the way the paper's §2.2.2 baseline does.
 	NoSidecar bool
+	// Codec selects the sidecar page codec (storage.SidecarCodecRaw or
+	// storage.SidecarCodecPacked); empty selects the raw legacy layout.
+	Codec string
 }
 
 // BuildLinearScan stores the field's cells in a heap file (in natural cell
@@ -50,7 +53,7 @@ func BuildLinearScanCtx(ctx context.Context, f field.Field, pager *storage.Pager
 
 // BuildLinearScanWith is BuildLinearScanCtx with the full option set.
 func BuildLinearScanWith(ctx context.Context, f field.Field, pager *storage.Pager, opts LinearScanOptions) (*LinearScan, error) {
-	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), !opts.NoSidecar)
+	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), resolveSidecarCodec(opts.NoSidecar, opts.Codec))
 	if err != nil {
 		return nil, err
 	}

@@ -151,6 +151,9 @@ type HilbertOptions struct {
 	// NoSidecar skips building the columnar interval sidecar (and with it
 	// the SetSidecarRefine mode and the sidecar catalog fields).
 	NoSidecar bool
+	// Codec selects the sidecar page codec (storage.SidecarCodecRaw or
+	// storage.SidecarCodecPacked); empty selects the raw legacy layout.
+	Codec string
 }
 
 // BuildIHilbert builds the paper's proposed index: Hilbert linearization,
@@ -179,7 +182,7 @@ func BuildIHilbertCtx(ctx context.Context, f field.Field, pager *storage.Pager, 
 		return nil, err
 	}
 	groups := subfield.BuildGreedy(refs, cost)
-	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar, cost, 0)
+	return buildPartitioned(ctx, MethodIHilbert, f, pager, refs, groups, opts.Params, opts.Workers, resolveSidecarCodec(opts.NoSidecar, opts.Codec), cost, 0)
 }
 
 // ThresholdOptions tunes BuildIThreshold and BuildIQuad.
@@ -200,6 +203,8 @@ type ThresholdOptions struct {
 	Workers int
 	// NoSidecar skips the interval sidecar, as in HilbertOptions.
 	NoSidecar bool
+	// Codec selects the sidecar page codec, as in HilbertOptions.
+	Codec string
 }
 
 // BuildIThreshold is the fixed-threshold ablation: Hilbert linearization
@@ -230,7 +235,7 @@ func BuildIThresholdCtx(ctx context.Context, f field.Field, pager *storage.Pager
 		return nil, err
 	}
 	groups := subfield.BuildThreshold(refs, cost, opts.MaxSize)
-	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers, !opts.NoSidecar, cost, opts.MaxSize)
+	p, err := buildPartitioned(ctx, MethodIThresh, f, pager, refs, groups, opts.Params, opts.Workers, resolveSidecarCodec(opts.NoSidecar, opts.Codec), cost, opts.MaxSize)
 	return p, err
 }
 
@@ -262,14 +267,14 @@ func BuildIQuadCtx(ctx context.Context, f field.Field, pager *storage.Pager, opt
 		return nil, err
 	}
 	ordered, groups := subfield.BuildQuad(refs, f.Bounds(), cost, opts.MaxSize, opts.MaxDepth)
-	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers, !opts.NoSidecar, cost, opts.MaxSize)
+	return buildPartitioned(ctx, MethodIQuad, f, pager, ordered, groups, opts.Params, opts.Workers, resolveSidecarCodec(opts.NoSidecar, opts.Codec), cost, opts.MaxSize)
 }
 
 // buildPartitioned stores cells in partition order and indexes the group
 // intervals. ctx cancels construction between cell-write batches and between
 // per-subfield metadata work units.
 func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *storage.Pager,
-	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int, sidecar bool,
+	refs []subfield.CellRef, groups []subfield.Group, params rstar.Params, workers int, codec string,
 	cost subfield.CostModel, maxSize float64) (*Partitioned, error) {
 	if err := subfield.Validate(refs, groups); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -282,7 +287,7 @@ func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *
 	for i, r := range refs {
 		ids[i] = r.ID
 	}
-	heap, rids, sc, err := writeCells(ctx, f, pager, ids, sidecar)
+	heap, rids, sc, err := writeCells(ctx, f, pager, ids, codec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,935 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/obs"
+	"fielddb/internal/rstar"
+	"fielddb/internal/storage"
+)
+
+// This file implements the scale-out read path for large terrains: the field
+// is split into fixed-size tiles, each tile a self-contained partition with
+// its own heap segment, interval sidecar and per-tile index (all on one
+// shared pager), and a scatter-gather planner executes value queries tile by
+// tile:
+//
+//   - Prune: each tile carries a (min, max) value summary covering every cell
+//     interval inside it. Tiles whose summary misses the query are pruned
+//     without touching a single page — the prune step is pure in-memory
+//     comparison, traced as a PhaseTilePrune span with zero page reads.
+//   - Scatter: the residual tiles are scanned through the tile's own index
+//     (sidecar filter for LinearScan tiles, subfield tree + run scan for the
+//     partitioned families), optionally in parallel on the sharded worker
+//     pool. Each tile scan collects its surviving cell records — raw bytes —
+//     into an arena keyed by the parent field's natural cell id.
+//   - Gather: survivors from all tiles are folded in ascending parent cell id
+//     order. That is exactly the order an untiled LinearScan visits matching
+//     cells, and the matching set itself is method-independent, so every
+//     tiled configuration answers byte-identically to the untiled scan —
+//     Regions, Isolines, Area and CellsMatched — while reading only the
+//     residual tiles' pages.
+//
+// Updates route each affected cell to its owning tile and commit every
+// tile's page overlays as ONE storage epoch, so concurrent readers never see
+// a torn cross-tile state. Tile value summaries only ever widen under
+// updates (vr ∪ new interval): a widened summary stays a superset of every
+// member interval, which keeps pruning safe without re-scanning the tile;
+// the summary re-tightens on the next rebuild.
+
+// TiledOptions tunes BuildTiled.
+type TiledOptions struct {
+	// Method selects the per-tile index: MethodLinearScan (default),
+	// MethodIHilbert, MethodIQuad or MethodIThreshold. MethodIAll is not
+	// supported (a per-cell tree per tile has no pruning story the planner
+	// could use).
+	Method Method
+	// TileSide is the tile edge length in cells (e.g. 256 for 256×256-cell
+	// tiles on a grid field). Must be at least 2.
+	TileSide int
+	// Codec selects the sidecar page codec for every tile
+	// (storage.SidecarCodecRaw or storage.SidecarCodecPacked); empty selects
+	// the raw legacy layout.
+	Codec string
+	// Workers bounds construction parallelism and is inherited as the
+	// query-time scatter parallelism. 0 or 1 means single-threaded.
+	Workers int
+	// MaxSize is the subfield interval-size threshold for I-Quad and
+	// I-Threshold tiles (ignored by the other methods).
+	MaxSize float64
+}
+
+// gridSized is implemented by grid-shaped fields (the DEM); the tiler uses
+// it to cut exact row-major tile blocks. Other models fall back to spatial
+// binning by cell center.
+type gridSized interface {
+	Size() (nx, ny int)
+}
+
+// tileField presents one tile of a parent field as a self-contained Field
+// with local cell ids 0..len(ids)-1, so the per-tile indexes build and patch
+// records exactly as they would over a standalone field. Local ids map to
+// parent ids through the ascending ids slice.
+type tileField struct {
+	parent field.Field
+	ids    []field.CellID
+	bounds geom.Rect
+	vr     geom.Interval
+}
+
+func (t *tileField) NumCells() int { return len(t.ids) }
+
+func (t *tileField) Cell(id field.CellID, dst *field.Cell) *field.Cell {
+	c := t.parent.Cell(t.ids[id], dst)
+	c.ID = id
+	return c
+}
+
+func (t *tileField) Bounds() geom.Rect         { return t.bounds }
+func (t *tileField) ValueRange() geom.Interval { return t.vr }
+
+func (t *tileField) Locate(p geom.Point) (field.CellID, bool) {
+	pid, ok := t.parent.Locate(p)
+	if !ok {
+		return 0, false
+	}
+	i := sort.Search(len(t.ids), func(i int) bool { return t.ids[i] >= pid })
+	if i < len(t.ids) && t.ids[i] == pid {
+		return field.CellID(i), true
+	}
+	return 0, false
+}
+
+// tile is one partition of the tiled index: the parent ids it owns (always
+// ascending), its spatial MBR, its field view, and its self-contained index.
+type tile struct {
+	ids  []field.CellID
+	mbr  geom.Rect
+	view *tileField
+	idx  Index // *LinearScan or *Partitioned, never observed directly
+}
+
+// tiledState is one epoch's immutable view of the tiled planner: the
+// per-tile value summaries the prune step tests and, for partitioned tiles,
+// the per-tile index states valid at that epoch. A state is never mutated
+// after snap.Store publishes it.
+type tiledState struct {
+	epoch uint64
+	vr    []geom.Interval
+	parts []*partState // nil entries for LinearScan tiles
+}
+
+// TiledIndex is the scatter-gather planner over a tiled field.
+type TiledIndex struct {
+	inner    Method
+	label    string
+	pager    *storage.Pager
+	tiles    []*tile
+	tileOf   []int32 // parent cell id -> owning tile
+	cells    int
+	tileSide int
+	snap     atomic.Pointer[tiledState]
+	workers  int
+	// updMu serializes updaters; readers never take it.
+	updMu sync.Mutex
+	observed
+}
+
+// TileInfo describes one tile of a TiledIndex.
+type TileInfo struct {
+	Cells      int
+	MBR        geom.Rect
+	ValueRange geom.Interval
+}
+
+// tiledMethod is the Method string a tiled configuration reports: the inner
+// per-tile method with a "Tiled-" prefix, so traces and benchmark rows never
+// collide with the untiled build of the same method.
+func tiledMethod(inner Method) Method { return Method("Tiled-" + string(inner)) }
+
+// BuildTiled cuts f into TileSide-sized tiles and builds a self-contained
+// per-tile index for each on the shared pager.
+func BuildTiled(f field.Field, pager *storage.Pager, opts TiledOptions) (*TiledIndex, error) {
+	return BuildTiledCtx(context.Background(), f, pager, opts)
+}
+
+// BuildTiledCtx is BuildTiled with construction cancellation, polled between
+// per-tile builds and between cell-write batches inside each.
+func BuildTiledCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts TiledOptions) (*TiledIndex, error) {
+	if opts.TileSide < 2 {
+		return nil, fmt.Errorf("core: tile side %d: need at least 2", opts.TileSide)
+	}
+	inner := opts.Method
+	if inner == "" {
+		inner = MethodLinearScan
+	}
+	switch inner {
+	case MethodLinearScan, MethodIHilbert, MethodIQuad, MethodIThresh:
+	default:
+		return nil, fmt.Errorf("core: method %s cannot be tiled", inner)
+	}
+	specs := tileLayout(f, opts.TileSide)
+	t := &TiledIndex{
+		inner:    inner,
+		label:    string(tiledMethod(inner)),
+		pager:    pager,
+		tiles:    make([]*tile, 0, len(specs)),
+		tileOf:   make([]int32, f.NumCells()),
+		cells:    f.NumCells(),
+		tileSide: opts.TileSide,
+		workers:  clampWorkers(opts.Workers),
+	}
+	vr := make([]geom.Interval, 0, len(specs))
+	parts := make([]*partState, len(specs))
+	var c field.Cell
+	for ti, ids := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Per-tile MBR and exact value summary, from the very cells the tile
+		// build will store.
+		mbr := geom.EmptyRect()
+		iv := geom.EmptyInterval()
+		for _, id := range ids {
+			f.Cell(id, &c)
+			mbr = mbr.Union(c.Bounds())
+			iv = iv.Union(c.Interval())
+			t.tileOf[id] = int32(ti)
+		}
+		view := &tileField{parent: f, ids: ids, bounds: mbr, vr: iv}
+		var idx Index
+		var err error
+		switch inner {
+		case MethodLinearScan:
+			idx, err = BuildLinearScanWith(ctx, view, pager, LinearScanOptions{Codec: opts.Codec})
+		case MethodIHilbert:
+			idx, err = BuildIHilbertCtx(ctx, view, pager, HilbertOptions{Workers: opts.Workers, Codec: opts.Codec})
+		case MethodIQuad:
+			idx, err = BuildIQuadCtx(ctx, view, pager, ThresholdOptions{MaxSize: opts.MaxSize, Workers: opts.Workers, Codec: opts.Codec})
+		case MethodIThresh:
+			idx, err = BuildIThresholdCtx(ctx, view, pager, ThresholdOptions{MaxSize: opts.MaxSize, Workers: opts.Workers, Codec: opts.Codec})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: tile %d: %w", ti, err)
+		}
+		if p, ok := idx.(*Partitioned); ok {
+			parts[ti] = p.snap.Load()
+		}
+		t.tiles = append(t.tiles, &tile{ids: ids, mbr: mbr, view: view, idx: idx})
+		vr = append(vr, iv)
+	}
+	t.snap.Store(&tiledState{epoch: pager.CurrentEpoch(), vr: vr, parts: parts})
+	return t, nil
+}
+
+// tileLayout assigns every cell of f to a tile. Grid fields cut exact
+// row-major TileSide×TileSide blocks; other models bin cells by center into
+// a near-square grid of bins sized to hold TileSide² cells each. Every
+// returned id slice is ascending and the slices partition 0..NumCells-1.
+func tileLayout(f field.Field, side int) [][]field.CellID {
+	if g, ok := f.(gridSized); ok {
+		nx, ny := g.Size()
+		tx := (nx + side - 1) / side
+		ty := (ny + side - 1) / side
+		out := make([][]field.CellID, 0, tx*ty)
+		for tr := 0; tr < ty; tr++ {
+			for tc := 0; tc < tx; tc++ {
+				r1 := (tr + 1) * side
+				if r1 > ny {
+					r1 = ny
+				}
+				c1 := (tc + 1) * side
+				if c1 > nx {
+					c1 = nx
+				}
+				ids := make([]field.CellID, 0, (r1-tr*side)*(c1-tc*side))
+				for r := tr * side; r < r1; r++ {
+					for c := tc * side; c < c1; c++ {
+						ids = append(ids, field.CellID(r*nx+c))
+					}
+				}
+				out = append(out, ids)
+			}
+		}
+		return out
+	}
+	// Spatial binning fallback (TINs): a near-square bin grid over the field
+	// bounds, each bin targeting side² cells. Empty bins are dropped.
+	n := f.NumCells()
+	bins := (n + side*side - 1) / (side * side)
+	if bins < 1 {
+		bins = 1
+	}
+	gcols := 1
+	for gcols*gcols < bins {
+		gcols++
+	}
+	grows := (bins + gcols - 1) / gcols
+	b := f.Bounds()
+	bw, bh := b.Width(), b.Height()
+	buckets := make([][]field.CellID, gcols*grows)
+	var c field.Cell
+	for id := 0; id < n; id++ {
+		f.Cell(field.CellID(id), &c)
+		p := c.Center()
+		cx := 0
+		if bw > 0 {
+			cx = int(float64(gcols) * (p.X - b.Min.X) / bw)
+		}
+		cy := 0
+		if bh > 0 {
+			cy = int(float64(grows) * (p.Y - b.Min.Y) / bh)
+		}
+		if cx >= gcols {
+			cx = gcols - 1
+		}
+		if cy >= grows {
+			cy = grows - 1
+		}
+		bi := cy*gcols + cx
+		buckets[bi] = append(buckets[bi], field.CellID(id))
+	}
+	out := buckets[:0]
+	for _, ids := range buckets {
+		if len(ids) > 0 {
+			out = append(out, ids) // ids ascend: cells were visited in order
+		}
+	}
+	return out
+}
+
+// pinState loads the current state and pins its epoch, retrying across the
+// commit/publish window exactly like Partitioned.pinState.
+func (t *TiledIndex) pinState() (*tiledState, func()) {
+	for {
+		s := t.snap.Load()
+		if t.pager.PinEpoch(s.epoch) {
+			return s, func() { t.pager.UnpinEpoch(s.epoch) }
+		}
+		runtime.Gosched()
+	}
+}
+
+// SetObserver installs the trace/metrics sinks. Call before issuing queries.
+func (t *TiledIndex) SetObserver(ob obs.Observer) { t.setObs(ob, t.label) }
+
+// SetWorkers bounds the worker pool that scatters residual tile scans. Call
+// before issuing queries; it is not synchronized with queries in flight.
+func (t *TiledIndex) SetWorkers(n int) { t.workers = clampWorkers(n) }
+
+// Close releases the index's underlying store.
+func (t *TiledIndex) Close() error { return t.pager.Close() }
+
+// Method implements Index; a tiled configuration reports "Tiled-<inner>".
+func (t *TiledIndex) Method() Method { return Method(t.label) }
+
+// NumTiles returns the number of tiles.
+func (t *TiledIndex) NumTiles() int { return len(t.tiles) }
+
+// TileSide returns the configured tile edge length in cells.
+func (t *TiledIndex) TileSide() int { return t.tileSide }
+
+// Tiles describes every tile with its current value summary.
+func (t *TiledIndex) Tiles() []TileInfo {
+	s := t.snap.Load()
+	out := make([]TileInfo, len(t.tiles))
+	for i, tl := range t.tiles {
+		out[i] = TileInfo{Cells: len(tl.ids), MBR: tl.mbr, ValueRange: s.vr[i]}
+	}
+	return out
+}
+
+// Stats implements Index by aggregating the per-tile indexes.
+func (t *TiledIndex) Stats() IndexStats {
+	s := IndexStats{Method: Method(t.label), Cells: t.cells}
+	for _, tl := range t.tiles {
+		ts := tl.idx.Stats()
+		s.CellPages += ts.CellPages
+		s.IndexPages += ts.IndexPages
+		s.SidecarPages += ts.SidecarPages
+		s.Groups += ts.Groups
+		if ts.TreeHeight > s.TreeHeight {
+			s.TreeHeight = ts.TreeHeight
+		}
+	}
+	return s
+}
+
+// survivorRef locates one surviving record inside a tileArena, keyed by the
+// parent field's natural cell id — the gather step's sort key.
+type survivorRef struct {
+	parent   field.CellID
+	off, end int32
+}
+
+// tileArena accumulates one scan's surviving cell records as raw bytes. The
+// records are copied (the scan callbacks reuse their buffers), so the arena
+// outlives the scan and the gather step can fold survivors from every tile
+// in one globally sorted pass.
+type tileArena struct {
+	buf  []byte
+	refs []survivorRef
+}
+
+func (a *tileArena) add(parent field.CellID, rec []byte) {
+	off := len(a.buf)
+	a.buf = append(a.buf, rec...)
+	a.refs = append(a.refs, survivorRef{parent: parent, off: int32(off), end: int32(len(a.buf))})
+}
+
+func (a *tileArena) rec(i int) []byte { return a.buf[a.refs[i].off:a.refs[i].end] }
+
+// gatherArenas folds the survivors of every arena into res in ascending
+// parent cell id order — the untiled LinearScan's fold order. Cells belong
+// to exactly one tile, so parent ids never tie across arenas. A non-nil rect
+// additionally drops cells whose bounds miss it (the spatial-conjunction
+// path); survivors were selected by value only, so the rect test runs here
+// on the decoded geometry.
+func gatherArenas(res *Result, arenas []tileArena, q geom.Interval, rect *geom.Rect) error {
+	type slot struct {
+		parent field.CellID
+		ai     int32
+		ri     int32
+	}
+	n := 0
+	for i := range arenas {
+		n += len(arenas[i].refs)
+	}
+	slots := make([]slot, 0, n)
+	for ai := range arenas {
+		for ri, ref := range arenas[ai].refs {
+			slots = append(slots, slot{parent: ref.parent, ai: int32(ai), ri: int32(ri)})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].parent < slots[j].parent })
+	var c field.Cell
+	for _, sl := range slots {
+		if err := field.DecodeCell(arenas[sl.ai].rec(int(sl.ri)), &c); err != nil {
+			return err
+		}
+		if rect != nil && !c.Bounds().Intersects(*rect) {
+			continue
+		}
+		estimateMatched(res, &c, q)
+	}
+	return nil
+}
+
+// Query implements Index.
+func (t *TiledIndex) Query(q geom.Interval) (*Result, error) {
+	return t.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextQuerier: ctx is polled inside every tile
+// scan, so a canceled query stops mid-scatter.
+func (t *TiledIndex) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	tb, start := t.startQuery(t.label, obs.KindValue, q.Lo, q.Hi)
+	res, err := t.valueQuery(ctx, tb, q, nil)
+	t.endQuery(tb, start, err)
+	return res, err
+}
+
+// QueryRect answers the conjunction of a value query and a spatial window:
+// the value-query answer restricted to cells whose bounds intersect r. Tiles
+// are pruned by value summary AND tile MBR, so a window covering few tiles
+// scans few tiles no matter how common the value range is. Regions are the
+// matching cells' full band polygons (not clipped to r).
+func (t *TiledIndex) QueryRect(ctx context.Context, q geom.Interval, r geom.Rect) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	if r.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query window")
+	}
+	tb, start := t.startQuery(t.label, obs.KindValue, q.Lo, q.Hi)
+	res, err := t.valueQuery(ctx, tb, q, &r)
+	t.endQuery(tb, start, err)
+	return res, err
+}
+
+func (t *TiledIndex) valueQuery(ctx context.Context, tb *obs.TraceBuilder, q geom.Interval, rect *geom.Rect) (*Result, error) {
+	s, release := t.pinState()
+	defer release()
+	return t.valueQueryAt(s, ctx, tb, q, rect)
+}
+
+// valueQueryAt runs the scatter-gather pipeline against one pinned state.
+// The caller must hold a pin at s.epoch for the duration of the call.
+func (t *TiledIndex) valueQueryAt(s *tiledState, ctx context.Context, tb *obs.TraceBuilder, q geom.Interval, rect *geom.Rect) (*Result, error) {
+	qc := beginQueryAt(t.pager, s.epoch)
+	defer qc.Release()
+	qc.AttachTrace(tb)
+	res := &Result{Query: q}
+	// Prune: pure in-memory summary tests — the span's page counts stay zero,
+	// which is exactly the property the tiled acceptance tests assert.
+	qc.BeginSpan(obs.PhaseTilePrune)
+	residual := make([]int, 0, len(t.tiles))
+	for ti := range t.tiles {
+		if !s.vr[ti].Intersects(q) {
+			continue
+		}
+		if rect != nil && !t.tiles[ti].mbr.Intersects(*rect) {
+			continue
+		}
+		residual = append(residual, ti)
+	}
+	qc.EndSpan()
+	pruned := len(t.tiles) - len(residual)
+	t.ob.Metrics.RecordTiles(pruned, len(residual))
+	res.CandidateGroups = len(residual)
+	// CellsFetched keeps untiled LinearScan semantics: every cell's interval
+	// is accounted as tested — residual tiles test theirs on the sidecar (or
+	// records), pruned tiles' cells are covered wholesale by the summary test.
+	res.CellsFetched = t.cells
+	if len(residual) == 0 {
+		res.IO = qc.Stats()
+		t.recordIO(storage.Stats{}, 0, res.IO)
+		return res, nil
+	}
+
+	arenas := make([]tileArena, len(residual))
+	filterReads, sidecarReads := 0, 0
+	workers := clampWorkers(t.workers)
+	if workers <= 1 || len(residual) < 2 {
+		// Sequential scatter: one PhaseTileScan span per residual tile, so a
+		// trace shows each tile's page activity individually.
+		for i, ti := range residual {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			qc.BeginSpan(obs.PhaseTileScan)
+			fr, sr, err := t.scanTile(ctx, qc, s, ti, q, &arenas[i])
+			if err != nil {
+				return nil, err
+			}
+			qc.EndSpan()
+			filterReads += fr
+			sidecarReads += sr
+		}
+	} else {
+		// Parallel scatter on the worker pool: each worker scans whole tiles
+		// with its own forked context, merged back in tile order under one
+		// combined span. Arena collection makes the fold order independent of
+		// completion order, so the answer is identical to the sequential path.
+		timed := t.ob.Metrics != nil
+		var wallStart time.Time
+		var busy atomic.Int64
+		if timed {
+			wallStart = time.Now()
+		}
+		qc.BeginSpan(obs.PhaseTileScan)
+		ctxs := make([]*storage.QueryCtx, len(residual))
+		frs := make([]int, len(residual))
+		srs := make([]int, len(residual))
+		err := parallelDoCtx(ctx, workers, len(residual), func(i int) error {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			child := qc.Fork()
+			fr, sr, err := t.scanTile(ctx, child, s, residual[i], q, &arenas[i])
+			if err != nil {
+				return err
+			}
+			ctxs[i] = child
+			frs[i], srs[i] = fr, sr
+			if timed {
+				busy.Add(int64(time.Since(t0)))
+			}
+			return nil
+		})
+		if timed {
+			t.ob.Metrics.RecordWorkers(len(residual), time.Duration(busy.Load()), time.Since(wallStart))
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range residual {
+			qc.Merge(ctxs[i])
+			filterReads += frs[i]
+			sidecarReads += srs[i]
+		}
+		qc.EndSpan()
+	}
+
+	if err := gatherArenas(res, arenas, q, rect); err != nil {
+		return nil, err
+	}
+	res.IO = qc.Stats()
+	t.recordIO(storage.Stats{Reads: filterReads}, sidecarReads, res.IO)
+	return res, nil
+}
+
+// scanTile scans one residual tile through qc, collecting surviving records
+// into ar keyed by parent cell id. It returns the tile's filter-step
+// (subfield tree) and sidecar page-read counts for metric attribution.
+func (t *TiledIndex) scanTile(ctx context.Context, qc *storage.QueryCtx, s *tiledState, ti int, q geom.Interval, ar *tileArena) (filterReads, sidecarReads int, err error) {
+	tl := t.tiles[ti]
+	switch idx := tl.idx.(type) {
+	case *LinearScan:
+		if idx.sidecar != nil {
+			sidecarReads, err = t.scanTileSidecar(ctx, qc, tl, idx, q, ar)
+			return 0, sidecarReads, err
+		}
+		err = t.scanTileHeap(ctx, qc, tl, idx, q, ar)
+		return 0, 0, err
+	case *Partitioned:
+		filterReads, err = t.scanTilePartitioned(ctx, qc, s.parts[ti], tl, idx, q, ar)
+		return filterReads, 0, err
+	}
+	return 0, 0, fmt.Errorf("core: tile %d has unsupported index %T", ti, tl.idx)
+}
+
+// scanTileSidecar is the LinearScan-tile scatter step: one sequential pass
+// over the tile's sidecar selects surviving local positions, then only the
+// heap pages holding survivors are read (fetchPositions' run batching) and
+// each surviving record is copied into the arena under its parent id.
+func (t *TiledIndex) scanTileSidecar(ctx context.Context, qc *storage.QueryCtx, tl *tile, ls *LinearScan, q geom.Interval, ar *tileArena) (int, error) {
+	pb := getPosBuf()
+	defer putPosBuf(pb)
+	before := qc.LocalStats().Reads
+	var scanErr error
+	err := ls.sidecar.ScanRange(qc, 0, ls.cells, func(base int, lo, hi []float64) bool {
+		pb.pos = field.FilterIntervals(pb.pos, int32(base), lo, hi, q.Lo, q.Hi)
+		scanErr = ctx.Err()
+		return scanErr == nil
+	})
+	sidecarReads := qc.LocalStats().Reads - before
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return sidecarReads, err
+	}
+	// LinearScan tiles store cells in local natural order: position == local
+	// id, and fetchPositions visits pb.pos in order, one callback per entry.
+	i := 0
+	err = fetchPositions(ctx, qc, ls.rids, pb.pos, func(rec []byte) error {
+		ar.add(tl.ids[pb.pos[i]], rec)
+		i++
+		return nil
+	})
+	return sidecarReads, err
+}
+
+// scanTileHeap is the sidecar-less fallback: scan the tile's whole heap
+// segment and test every record.
+func (t *TiledIndex) scanTileHeap(ctx context.Context, qc *storage.QueryCtx, tl *tile, ls *LinearScan, q geom.Interval, ar *tileArena) error {
+	n := ls.heap.NumPages()
+	if n == 0 {
+		return nil
+	}
+	pos := 0
+	var cellErr error
+	err := ls.heap.ScanPagesCtx(qc, 0, n-1, func(_ storage.RID, rec []byte) bool {
+		iv, e := field.CellIntervalFromRecord(rec)
+		if e != nil {
+			cellErr = e
+			return false
+		}
+		if iv.Intersects(q) {
+			ar.add(tl.ids[pos], rec)
+		}
+		pos++
+		if pos%scanCancelStride == 0 {
+			cellErr = ctx.Err()
+		}
+		return cellErr == nil
+	})
+	if err != nil {
+		return err
+	}
+	return cellErr
+}
+
+// scanTilePartitioned is the partitioned-tile scatter step: the tile's
+// subfield tree selects candidate groups, their merged page runs are
+// scanned, and each record surviving the interval test is copied into the
+// arena — the record's stored (local) id maps it back to its parent id.
+func (t *TiledIndex) scanTilePartitioned(ctx context.Context, qc *storage.QueryCtx, ps *partState, tl *tile, p *Partitioned, q geom.Interval, ar *tileArena) (int, error) {
+	before := qc.LocalStats().Reads
+	var selected []int
+	err := ps.tree.PagedSearchCtx(qc, rstar.Interval1D(q.Lo, q.Hi), func(e rstar.Entry) bool {
+		selected = append(selected, int(e.Data))
+		return true
+	})
+	filterReads := qc.LocalStats().Reads - before
+	if err != nil {
+		return filterReads, err
+	}
+	if len(selected) == 0 {
+		return filterReads, nil
+	}
+	merged := mergeGroupRuns(ps.groups, selected)
+	nrec := 0
+	for _, r := range merged {
+		if err := ctx.Err(); err != nil {
+			return filterReads, err
+		}
+		var cellErr error
+		err := p.heap.ScanPagesCtx(qc, r.first, r.last, func(_ storage.RID, rec []byte) bool {
+			iv, e := field.CellIntervalFromRecord(rec)
+			if e != nil {
+				cellErr = e
+				return false
+			}
+			if iv.Intersects(q) {
+				local, e := field.CellIDFromRecord(rec)
+				if e != nil {
+					cellErr = e
+					return false
+				}
+				ar.add(tl.ids[local], rec)
+			}
+			nrec++
+			if nrec%scanCancelStride == 0 {
+				cellErr = ctx.Err()
+			}
+			return cellErr == nil
+		})
+		if err != nil {
+			return filterReads, err
+		}
+		if cellErr != nil {
+			return filterReads, cellErr
+		}
+	}
+	return filterReads, nil
+}
+
+// tiledSnapshot is a TiledIndex snapshot: the pinned epoch plus the tiled
+// state published with it.
+type tiledSnapshot struct {
+	t    *TiledIndex
+	st   *tiledState
+	once sync.Once
+}
+
+// AcquireSnapshot implements SnapshotQuerier.
+func (t *TiledIndex) AcquireSnapshot() Snapshot {
+	st, _ := t.pinState()
+	return &tiledSnapshot{t: t, st: st}
+}
+
+func (s *tiledSnapshot) QueryContext(ctx context.Context, q geom.Interval) (*Result, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	tb, start := s.t.startQuery(s.t.label, obs.KindValue, q.Lo, q.Hi)
+	res, err := s.t.valueQueryAt(s.st, ctx, tb, q, nil)
+	s.t.endQuery(tb, start, err)
+	return res, err
+}
+
+func (s *tiledSnapshot) Epoch() uint64 { return s.st.epoch }
+
+func (s *tiledSnapshot) Close() error {
+	s.once.Do(func() { s.t.pager.UnpinEpoch(s.st.epoch) })
+	return nil
+}
+
+// localOf maps a parent cell id to its local id within tile ti.
+func (t *TiledIndex) localOf(ti int, parent field.CellID) (field.CellID, error) {
+	ids := t.tiles[ti].ids
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= parent })
+	if i >= len(ids) || ids[i] != parent {
+		return 0, fmt.Errorf("core: cell %d not in tile %d", parent, ti)
+	}
+	return field.CellID(i), nil
+}
+
+// ApplyUpdates implements Updater: each affected cell is patched in its
+// owning tile's heap segment and sidecar, partitioned tiles re-derive their
+// subfield cut, and every tile's page overlays commit as ONE storage epoch —
+// readers never observe some tiles updated and others not. Tile value
+// summaries widen to cover the new intervals (never shrink), which keeps the
+// prune step safe without rescanning untouched cells.
+func (t *TiledIndex) ApplyUpdates(ctx context.Context, f field.Mutable, updates []SampleUpdate) (*UpdateResult, error) {
+	t.updMu.Lock()
+	defer t.updMu.Unlock()
+	cells := affectedCells(f, updates)
+	tb := obs.Begin(t.ob.Tracer, t.label, obs.KindUpdate, float64(len(updates)), float64(len(cells)))
+	res, err := t.applyUpdates(ctx, f, updates, cells, tb)
+	tb.Finish(err)
+	if err == nil {
+		t.recordUpdate(res)
+	}
+	return res, err
+}
+
+func (t *TiledIndex) applyUpdates(ctx context.Context, f field.Mutable, updates []SampleUpdate, cells []field.CellID, tb *obs.TraceBuilder) (*UpdateResult, error) {
+	if t.inner == MethodIQuad {
+		return nil, fmt.Errorf("core: %s regrouping is spatial: %w", t.label, ErrUpdatesUnsupported)
+	}
+	cur := t.snap.Load()
+	if len(updates) == 0 {
+		return &UpdateResult{Epoch: cur.epoch}, nil
+	}
+	qc := t.pager.BeginQuery()
+	defer qc.Release()
+	qc.AttachTrace(tb)
+	// Distinct tiles the batch touches, in ascending tile order.
+	involved := make([]int, 0, 4)
+	for _, id := range cells {
+		ti := int(t.tileOf[id])
+		if len(involved) == 0 || involved[len(involved)-1] != ti {
+			found := false
+			for _, v := range involved {
+				if v == ti {
+					found = true
+					break
+				}
+			}
+			if !found {
+				involved = append(involved, ti)
+			}
+		}
+	}
+	sort.Ints(involved)
+	// Hydrate partitioned tiles' update state (position map, interval column)
+	// before mutating anything.
+	if t.inner != MethodLinearScan {
+		for _, ti := range involved {
+			p := t.tiles[ti].idx.(*Partitioned)
+			if err := p.ensureUpdateState(qc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	undo, err := applySamples(f, updates)
+	if err != nil {
+		return nil, err
+	}
+	type ivRestore struct {
+		p   *Partitioned
+		pos int
+		iv  geom.Interval
+	}
+	var ivUndo []ivRestore
+	fail := func(err error) (*UpdateResult, error) {
+		for i := len(ivUndo) - 1; i >= 0; i-- {
+			ivUndo[i].p.ivs[ivUndo[i].pos] = ivUndo[i].iv
+		}
+		undoSamples(f, undo)
+		return nil, err
+	}
+	st := newOverlayStage(qc)
+	vr := append([]geom.Interval(nil), cur.vr...)
+	changed := make(map[int]bool, len(involved))
+	var scratch field.Cell
+	var enc []byte
+	qc.BeginSpan(obs.PhasePatch)
+	for _, id := range cells {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		ti := int(t.tileOf[id])
+		tl := t.tiles[ti]
+		if tl.view == nil {
+			// Opened from a file: reattach the caller's live field as this
+			// tile's view (updMu serializes us against other updaters, and
+			// readers never touch views).
+			tl.view = &tileField{parent: f, ids: tl.ids, bounds: tl.mbr, vr: vr[ti]}
+		}
+		local, err := t.localOf(ti, id)
+		if err != nil {
+			return fail(err)
+		}
+		var oldIv, newIv geom.Interval
+		switch idx := tl.idx.(type) {
+		case *LinearScan:
+			// LinearScan tiles store cells in local natural order:
+			// position == local id.
+			oldIv, newIv, enc, err = st.patchCell(tl.view, local, int(local), idx.rids, idx.sidecar, &scratch, enc)
+			if err != nil {
+				return fail(err)
+			}
+		case *Partitioned:
+			pos, ok := idx.posOf[local]
+			if !ok {
+				return fail(fmt.Errorf("core: cell %d not in tile %d partition order", local, ti))
+			}
+			oldIv, newIv, enc, err = st.patchCell(tl.view, local, pos, idx.rids, idx.sidecar, &scratch, enc)
+			if err != nil {
+				return fail(err)
+			}
+			ivUndo = append(ivUndo, ivRestore{p: idx, pos: pos, iv: idx.ivs[pos]})
+			idx.ivs[pos] = newIv
+		default:
+			return fail(fmt.Errorf("core: tile %d has unsupported index %T", ti, tl.idx))
+		}
+		if oldIv != newIv {
+			changed[ti] = true
+		}
+		vr[ti] = vr[ti].Union(newIv)
+	}
+	qc.EndSpan()
+	// Maintain partitioned tiles' trees against the updated interval columns.
+	type pendingPart struct {
+		ti     int
+		p      *Partitioned
+		tree   *rstar.Tree
+		groups []groupMeta
+	}
+	var pending []pendingPart
+	indexPages := 0
+	regrouped := false
+	if t.inner != MethodLinearScan {
+		for _, ti := range involved {
+			p := t.tiles[ti].idx.(*Partitioned)
+			curPS := p.snap.Load()
+			tree, groups, ipgs, rg, err := p.maintainPartition(qc, curPS, changed[ti])
+			if err != nil {
+				return fail(err)
+			}
+			indexPages += ipgs
+			regrouped = regrouped || rg
+			pending = append(pending, pendingPart{ti: ti, p: p, tree: tree, groups: groups})
+		}
+	}
+	res := &UpdateResult{
+		SamplesApplied:    len(updates),
+		CellsTouched:      len(cells),
+		PagesWritten:      len(st.pages),
+		IndexPagesWritten: indexPages,
+		Regrouped:         regrouped,
+		IO:                qc.Stats(),
+	}
+	// Tree persistence wrote one counted page per node outside the query
+	// context; fold them in so pager totals stay Σ published stats.
+	res.IO.Writes += indexPages
+	epoch, retired, err := t.pager.CommitOverlays(st.pages)
+	if err != nil {
+		return fail(err)
+	}
+	res.Epoch, res.EpochsRetired = epoch, retired
+	// Publish: per-tile states first, then the tiled state that points at
+	// them. Readers pin through the tiled state, so the order only matters
+	// for direct per-tile consumers (there are none outside this file).
+	parts := append([]*partState(nil), cur.parts...)
+	for _, pp := range pending {
+		ps := &partState{epoch: epoch, tree: pp.tree, groups: pp.groups}
+		pp.p.snap.Store(ps)
+		parts[pp.ti] = ps
+	}
+	t.snap.Store(&tiledState{epoch: epoch, vr: vr, parts: parts})
+	return res, nil
+}
+
+var (
+	_ Index           = (*TiledIndex)(nil)
+	_ ContextQuerier  = (*TiledIndex)(nil)
+	_ SnapshotQuerier = (*TiledIndex)(nil)
+	_ Updater         = (*TiledIndex)(nil)
+)

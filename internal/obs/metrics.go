@@ -137,6 +137,11 @@ type Metrics struct {
 	updatePagesWritten atomic.Int64
 	epochsRetired      atomic.Int64
 	regroupEvents      atomic.Int64
+
+	// Tiled-planner accounting: tiles eliminated by summary pruning (zero
+	// pages read) and tiles actually scanned.
+	tilesPruned  atomic.Int64
+	tilesScanned atomic.Int64
 }
 
 // batchSizeBuckets is the batch-size histogram resolution: bucket i counts
@@ -266,6 +271,17 @@ func (m *Metrics) RecordUpdate(samples, cells int, pagesWritten, retired int64, 
 	}
 }
 
+// RecordTiles folds one tiled query's planning outcome into the tile
+// accounting: how many tiles the summary prune eliminated and how many were
+// scanned (pruned + scanned = the field's tile count).
+func (m *Metrics) RecordTiles(pruned, scanned int) {
+	if m == nil {
+		return
+	}
+	m.tilesPruned.Add(int64(pruned))
+	m.tilesScanned.Add(int64(scanned))
+}
+
 // RecordContour counts one isoline assembly and its duration.
 func (m *Metrics) RecordContour(d time.Duration) {
 	if m == nil {
@@ -328,6 +344,11 @@ type Snapshot struct {
 	UpdatePagesWritten int64
 	EpochsRetired      int64
 	RegroupEvents      int64
+	// Tiled planner: TilesPruned tiles were eliminated by (min, max) / MBR
+	// summaries without reading a page; TilesScanned ran their per-tile
+	// pipeline.
+	TilesPruned  int64
+	TilesScanned int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting: counters are read
@@ -362,6 +383,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		UpdatePagesWritten:  m.updatePagesWritten.Load(),
 		EpochsRetired:       m.epochsRetired.Load(),
 		RegroupEvents:       m.regroupEvents.Load(),
+		TilesPruned:         m.tilesPruned.Load(),
+		TilesScanned:        m.tilesScanned.Load(),
 	}
 	for i := 0; i < batchSizeBuckets; i++ {
 		if c := m.batchSizes[i].Load(); c > 0 {
@@ -447,6 +470,9 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "updates: batches=%d samples=%d cells=%d written=%d retired=%d regroups=%d\n",
 			s.UpdateBatches, s.UpdatesApplied, s.UpdateCellsTouched,
 			s.UpdatePagesWritten, s.EpochsRetired, s.RegroupEvents)
+	}
+	if s.TilesPruned+s.TilesScanned > 0 {
+		fmt.Fprintf(&b, "tiles: pruned=%d scanned=%d\n", s.TilesPruned, s.TilesScanned)
 	}
 	if len(s.Latency) > 0 {
 		b.WriteString("latency histogram:\n")

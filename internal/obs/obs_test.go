@@ -307,3 +307,49 @@ func TestBatchSizeBucketOf(t *testing.T) {
 		}
 	}
 }
+
+func TestMetricsRecordUpdate(t *testing.T) {
+	var nilM *Metrics
+	nilM.RecordUpdate(1, 2, 3, 4, true) // nil receiver stays inert
+
+	m := NewMetrics()
+	m.RecordUpdate(16, 24, 62, 1, false)
+	m.RecordUpdate(8, 10, 40, 0, true)
+
+	s := m.Snapshot()
+	if s.UpdateBatches != 2 || s.UpdatesApplied != 24 || s.UpdateCellsTouched != 34 {
+		t.Fatalf("update counters: %+v", s)
+	}
+	if s.UpdatePagesWritten != 102 || s.EpochsRetired != 1 || s.RegroupEvents != 1 {
+		t.Fatalf("update totals: written=%d retired=%d regroups=%d",
+			s.UpdatePagesWritten, s.EpochsRetired, s.RegroupEvents)
+	}
+	if out := s.String(); !strings.Contains(out, "updates: batches=2") {
+		t.Fatalf("String lacks updates block: %s", out)
+	}
+	// An update-free snapshot omits the block.
+	if out := NewMetrics().Snapshot().String(); strings.Contains(out, "updates:") {
+		t.Fatalf("update-free String shows updates block: %s", out)
+	}
+}
+
+func TestMetricsRecordTiles(t *testing.T) {
+	var nilM *Metrics
+	nilM.RecordTiles(3, 1) // nil receiver stays inert
+
+	m := NewMetrics()
+	m.RecordTiles(63, 1)
+	m.RecordTiles(0, 64)
+
+	s := m.Snapshot()
+	if s.TilesPruned != 63 || s.TilesScanned != 65 {
+		t.Fatalf("tile counters: pruned=%d scanned=%d", s.TilesPruned, s.TilesScanned)
+	}
+	if out := s.String(); !strings.Contains(out, "tiles: pruned=63 scanned=65") {
+		t.Fatalf("String lacks tiles block: %s", out)
+	}
+	// An untiled snapshot omits the block.
+	if out := NewMetrics().Snapshot().String(); strings.Contains(out, "tiles:") {
+		t.Fatalf("untiled String shows tiles block: %s", out)
+	}
+}

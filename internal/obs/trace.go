@@ -65,13 +65,22 @@ const (
 	// hydrating the value R*-tree and recomputing subfield metadata. Page
 	// counts are the tree-node reads of the hydration.
 	PhaseMaintain
+	// PhaseTilePrune is the tiled planner's prune step: testing every tile's
+	// (min, max) value summary (and MBR, for spatial queries) against the
+	// query. It reads no pages — pruned tiles cost zero I/O, which the span's
+	// zero page counts assert.
+	PhaseTilePrune
+	// PhaseTileScan is the scatter step over one residual tile: the tile's
+	// own filter + refinement pipeline. A tiled query emits one span per
+	// scanned tile (or one combined span when tiles scan in parallel).
+	PhaseTileScan
 	numPhases
 )
 
 // NumPhases is the number of defined phases, for sizing per-phase tables.
 const NumPhases = int(numPhases)
 
-var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch", "patch", "index-maintain"}
+var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch", "patch", "index-maintain", "tile-prune", "tile-scan"}
 
 // String implements fmt.Stringer.
 func (p Phase) String() string {
