@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke bench-compare
+.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke serve-smoke bench-compare
 
-check: build vet fmt race cover bench-smoke tiled-smoke bench-compare
+check: build vet fmt race cover bench-smoke tiled-smoke serve-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,13 @@ bench-smoke:
 # rows, on a terrain small enough to keep CI wall-clock flat.
 tiled-smoke:
 	$(GO) test -short -run TestTiledMeasureSmoke ./internal/bench
+
+# End-to-end smoke over the HTTP serving tier: a real server on a loopback
+# listener driven by the deterministic load generator, asserting zero failed
+# requests (the full suite, including drain and coalescing tests, runs under
+# `make race`).
+serve-smoke:
+	$(GO) test -short -run TestServeSmoke ./internal/serve
 
 # Regression gate on the simulated-disk metrics: measure the deterministic
 # value-range suite (one 64-query rotation per cell, exactly the

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"fielddb/internal/bench"
+	"fielddb/internal/serve"
 )
 
 func main() {
@@ -215,6 +216,14 @@ func runBenchJSON(path string) {
 		os.Exit(1)
 	}
 	for name, row := range tiled {
+		rows[name] = row
+	}
+	served, err := serve.ServeLoadMeasure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for name, row := range served {
 		rows[name] = row
 	}
 	b, err := bench.MarshalIndent(rows)

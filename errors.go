@@ -32,6 +32,15 @@ var (
 	// build: TileSide with Auto or IAll, TileSide 1, NoIntervalSidecar under
 	// tiling, or an unknown SidecarCodec.
 	ErrBadTiling = errors.New("fielddb: invalid tiling options")
+	// ErrNonFiniteBound reports a NaN or ±Inf query value — an interval end,
+	// an open bound (ValueAbove/ValueBelow), a contour level, or a point
+	// coordinate. Every Querier surface rejects non-finite inputs before
+	// touching an index; the serving tier maps this error to HTTP 400.
+	ErrNonFiniteBound = errors.New("fielddb: non-finite query value")
+	// ErrNoSpatialIndex reports a conventional (point) query against a
+	// surface without a spatial index — a StoredIndex, whose database file
+	// carries only the value index.
+	ErrNoSpatialIndex = errors.New("fielddb: no spatial index")
 )
 
 // ErrUpdatesUnsupported reports UpdateSamples on a configuration that cannot

@@ -440,16 +440,9 @@ func (db *DB) Method() Method { return db.index.Method() }
 // Stats describes the built value index.
 func (db *DB) Stats() IndexStats { return db.index.Stats() }
 
-// checkInterval is the single validation point for user-supplied value
-// intervals; every facade query path calls it before touching an index.
-func checkInterval(lo, hi float64) error {
-	if hi < lo {
-		// Wrapping keeps the message byte-compatible with the pre-sentinel
-		// facade while letting callers branch with errors.Is.
-		return fmt.Errorf("%w [%g, %g]", ErrInvertedInterval, lo, hi)
-	}
-	return nil
-}
+// ValueRange returns the field's value-domain coverage, kept current across
+// update batches (conservatively wide while a batch is mid-flight).
+func (db *DB) ValueRange() Interval { return db.valueRange() }
 
 // SetWorkers rebounds the refinement worker pool for subsequent value
 // queries. It is safe only between queries, not while queries run.
@@ -503,21 +496,27 @@ func (db *DB) ValueQueryContext(ctx context.Context, lo, hi float64) (*Result, e
 // Method Auto, queries execute sequentially (the planner picks an access
 // path per query, so there is no shared scan to coalesce).
 func (db *DB) ValueQueryBatch(ctx context.Context, intervals []Interval) ([]*Result, error) {
+	out, _, err := db.ValueQueryBatchStats(ctx, intervals)
+	return out, err
+}
+
+// ValueQueryBatchStats is ValueQueryBatch plus the batch-level execution
+// summary the per-member results cannot carry: the physical (deduplicated)
+// I/O the shared scan performed and the attributed reads the coalescing
+// saved. With Method Auto (no shared scan) the stats are synthesized from
+// the sequential members, with zero savings.
+func (db *DB) ValueQueryBatchStats(ctx context.Context, intervals []Interval) ([]*Result, BatchStats, error) {
 	if err := db.checkOpen(); err != nil {
-		return nil, err
+		return nil, BatchStats{}, err
 	}
-	if len(intervals) == 0 {
-		return nil, fmt.Errorf("%w: empty batch", ErrBadConjunction)
-	}
-	for i, iv := range intervals {
-		if err := checkInterval(iv.Lo, iv.Hi); err != nil {
-			return nil, fmt.Errorf("%w (query %d)", err, i)
-		}
+	if err := checkBatch(intervals); err != nil {
+		return nil, BatchStats{}, err
 	}
 	bq, ok := db.index.(core.BatchQuerier)
 	if !ok {
 		// Auto has no shared scan; answer sequentially through the planner.
 		out := make([]*Result, len(intervals))
+		st := BatchStats{Size: len(intervals)}
 		var firstErr error
 		for i, iv := range intervals {
 			res, err := db.ValueQueryContext(ctx, iv.Lo, iv.Hi)
@@ -528,26 +527,18 @@ func (db *DB) ValueQueryBatch(ctx context.Context, intervals []Interval) ([]*Res
 				continue
 			}
 			out[i] = res
+			st.Physical = st.Physical.Add(res.IO)
+			st.AttributedReads += res.IO.Reads
 		}
-		return out, firstErr
+		return out, st, firstErr
 	}
 	members := make([]core.BatchQuery, len(intervals))
 	for i, iv := range intervals {
 		members[i] = core.BatchQuery{Ctx: ctx, Query: iv}
 	}
-	results, _ := bq.QueryBatch(members)
-	out := make([]*Result, len(intervals))
-	var firstErr error
-	for i, r := range results {
-		if r.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("query %d: %w", i, r.Err)
-			}
-			continue
-		}
-		out[i] = r.Res
-	}
-	return out, firstErr
+	results, st := bq.QueryBatch(members)
+	out, err := collectBatch(results)
+	return out, st, err
 }
 
 // ValueAbove answers "where is the value at least lo" (the urban noise
@@ -563,6 +554,9 @@ func (db *DB) ValueAboveContext(ctx context.Context, lo float64) (*Result, error
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
+	if err := checkValue(lo); err != nil {
+		return nil, err
+	}
 	return db.ValueQueryContext(ctx, lo, db.valueRange().Hi)
 }
 
@@ -575,6 +569,9 @@ func (db *DB) ValueBelow(hi float64) (*Result, error) {
 // it reads the open end of the interval from the cached value range.
 func (db *DB) ValueBelowContext(ctx context.Context, hi float64) (*Result, error) {
 	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := checkValue(hi); err != nil {
 		return nil, err
 	}
 	return db.ValueQueryContext(ctx, db.valueRange().Lo, hi)
@@ -638,29 +635,20 @@ func (db *DB) ContourMapContext(ctx context.Context, level float64) (*ContourRes
 	if err != nil {
 		return nil, err
 	}
-	var start time.Time
-	if db.metrics != nil {
-		start = time.Now()
-	}
-	tb := obs.Begin(db.tracer, string(db.Method()), obs.KindContour, level, level)
-	tb.BeginSpan(obs.PhaseContour, obs.PageCounts{})
-	polylines := contour.Assemble(res.Isolines, 1e-9)
-	tb.EndSpan(obs.PageCounts{})
-	tb.Finish(nil)
-	if db.metrics != nil {
-		db.metrics.RecordContour(time.Since(start))
-	}
-	return &ContourResult{
-		Polylines: polylines,
-		IO:        res.IO,
-	}, nil
+	return assembleContours(db.tracer, db.metrics, db.Method(), level, res), nil
 }
 
 // Contours answers the exact value query F⁻¹(w = level) and assembles the
 // per-cell isoline segments into connected polylines — an isoline map
 // extracted through the value index instead of an exhaustive scan.
 func (db *DB) Contours(level float64) ([]Polyline, error) {
-	cr, err := db.ContourMap(level)
+	return db.ContoursContext(context.Background(), level)
+}
+
+// ContoursContext is Contours with cancellation of the underlying value
+// query: ContourMapContext reduced to the polylines.
+func (db *DB) ContoursContext(ctx context.Context, level float64) ([]Polyline, error) {
+	cr, err := db.ContourMapContext(ctx, level)
 	if err != nil {
 		return nil, err
 	}
@@ -690,6 +678,9 @@ func (db *DB) PointQueryStats(p Point) (float64, storage.Stats, error) {
 // PointQueryStatsContext is PointQueryStats with cancellation.
 func (db *DB) PointQueryStatsContext(ctx context.Context, p Point) (float64, storage.Stats, error) {
 	if err := db.checkOpen(); err != nil {
+		return 0, storage.Stats{}, err
+	}
+	if err := checkPoint(p); err != nil {
 		return 0, storage.Stats{}, err
 	}
 	return db.spatial.PointQueryContext(ctx, p)
@@ -788,6 +779,11 @@ func (m EngineMetrics) String() string {
 	return b.String()
 }
 
+// QueryMetrics returns the engine-level metrics registry snapshot alone —
+// the Querier-interface view of Metrics, shared with StoredIndex and
+// Snapshot, whose surfaces have no per-store breakdown.
+func (db *DB) QueryMetrics() MetricsSnapshot { return db.metrics.Snapshot() }
+
 // Metrics returns a point-in-time snapshot of the DB's observability state:
 // engine-level query metrics plus per-store I/O and buffer-pool statistics.
 // It is safe to call concurrently with queries.
@@ -861,6 +857,7 @@ type storedCore interface {
 	core.Index
 	core.ContextQuerier
 	core.BatchQuerier
+	ValueRange() geom.Interval
 	Close() error
 	SetWorkers(int)
 	SetObserver(obs.Observer)
@@ -874,7 +871,11 @@ type StoredIndex struct {
 	index   storedCore
 	tracer  obs.Tracer
 	metrics *obs.Metrics
+	batcher *core.Batcher // nil unless OpenIndexOptions.BatchWindow armed it
 	closed  atomic.Bool
+	// vrange is the stored partition's value-domain coverage, cached at open
+	// for ValueAbove/ValueBelow (a stored file has no Field to ask).
+	vrange Interval
 }
 
 // OpenIndexOptions configures OpenIndexWith. The zero value matches
@@ -895,6 +896,10 @@ type OpenIndexOptions struct {
 	Workers int
 	// Tracer, when set, receives one QueryTrace per finished query.
 	Tracer Tracer
+	// BatchWindow, when positive, arms the same admission-window group commit
+	// Options.BatchWindow gives a live DB: concurrent value queries arriving
+	// within the window coalesce onto one shared scan of the stored pages.
+	BatchWindow time.Duration
 }
 
 // OpenIndex opens a database file written by SaveIndex with default options.
@@ -930,7 +935,13 @@ func OpenIndexWith(path string, opts OpenIndexOptions) (*StoredIndex, error) {
 	if opts.Workers > 0 {
 		p.SetWorkers(opts.Workers)
 	}
-	s := &StoredIndex{index: p, tracer: opts.Tracer, metrics: obs.NewMetrics()}
+	s := &StoredIndex{
+		index: p, tracer: opts.Tracer, metrics: obs.NewMetrics(),
+		vrange: p.ValueRange(),
+	}
+	if opts.BatchWindow > 0 {
+		s.batcher = core.NewBatcher(p, opts.BatchWindow)
+	}
 	p.SetObserver(obs.Observer{Tracer: s.tracer, Metrics: s.metrics})
 	return s, nil
 }
@@ -950,12 +961,27 @@ func (s *StoredIndex) Method() Method { return s.index.Method() }
 // Stats describes the stored index.
 func (s *StoredIndex) Stats() IndexStats { return s.index.Stats() }
 
+// ValueRange returns the stored partition's value-domain coverage, cached at
+// open.
+func (s *StoredIndex) ValueRange() Interval { return s.vrange }
+
 // SetWorkers rebounds the refinement worker pool for subsequent value
 // queries. It is safe only between queries, not while queries run.
 func (s *StoredIndex) SetWorkers(n int) { s.index.SetWorkers(n) }
 
 // Metrics returns a snapshot of the stored index's cumulative engine metrics.
 func (s *StoredIndex) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// QueryMetrics is Metrics under its Querier-interface name, shared with DB
+// and Snapshot.
+func (s *StoredIndex) QueryMetrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// SetTracer installs (or, with nil, removes) the per-query tracer. Like
+// SetWorkers it is safe only between queries, not while queries run.
+func (s *StoredIndex) SetTracer(t Tracer) {
+	s.tracer = t
+	s.index.SetObserver(obs.Observer{Tracer: s.tracer, Metrics: s.metrics})
+}
 
 // ValueQuery answers F⁻¹(lo ≤ w ≤ hi) from the stored pages. Safe for
 // concurrent use.
@@ -972,7 +998,46 @@ func (s *StoredIndex) ValueQueryContext(ctx context.Context, lo, hi float64) (*R
 	if err := checkInterval(lo, hi); err != nil {
 		return nil, err
 	}
-	return s.index.QueryContext(ctx, geom.Interval{Lo: lo, Hi: hi})
+	q := geom.Interval{Lo: lo, Hi: hi}
+	if s.batcher != nil {
+		return s.batcher.QueryContext(ctx, q)
+	}
+	return s.index.QueryContext(ctx, q)
+}
+
+// ValueAbove answers "where is the value at least lo" against the stored
+// partition's value range.
+func (s *StoredIndex) ValueAbove(lo float64) (*Result, error) {
+	return s.ValueAboveContext(context.Background(), lo)
+}
+
+// ValueAboveContext is ValueAbove with cancellation. The open end of the
+// interval is the stored partition's value-domain coverage, cached at open.
+func (s *StoredIndex) ValueAboveContext(ctx context.Context, lo float64) (*Result, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := checkValue(lo); err != nil {
+		return nil, err
+	}
+	return s.ValueQueryContext(ctx, lo, s.vrange.Hi)
+}
+
+// ValueBelow answers "where is the value at most hi".
+func (s *StoredIndex) ValueBelow(hi float64) (*Result, error) {
+	return s.ValueBelowContext(context.Background(), hi)
+}
+
+// ValueBelowContext is ValueBelow with cancellation; like ValueAboveContext
+// it reads the open end of the interval from the cached value range.
+func (s *StoredIndex) ValueBelowContext(ctx context.Context, hi float64) (*Result, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := checkValue(hi); err != nil {
+		return nil, err
+	}
+	return s.ValueQueryContext(ctx, s.vrange.Lo, hi)
 }
 
 // ValueQueryBatch answers several value queries from the stored pages as one
@@ -980,34 +1045,76 @@ func (s *StoredIndex) ValueQueryContext(ctx context.Context, lo, hi float64) (*R
 // aligned results, each byte-identical to a solo ValueQuery, first failure
 // wrapped with its position.
 func (s *StoredIndex) ValueQueryBatch(ctx context.Context, intervals []Interval) ([]*Result, error) {
+	out, _, err := s.ValueQueryBatchStats(ctx, intervals)
+	return out, err
+}
+
+// ValueQueryBatchStats is ValueQueryBatch plus the batch-level execution
+// summary, as for DB.ValueQueryBatchStats.
+func (s *StoredIndex) ValueQueryBatchStats(ctx context.Context, intervals []Interval) ([]*Result, BatchStats, error) {
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return nil, BatchStats{}, ErrClosed
 	}
-	if len(intervals) == 0 {
-		return nil, fmt.Errorf("%w: empty batch", ErrBadConjunction)
-	}
-	for i, iv := range intervals {
-		if err := checkInterval(iv.Lo, iv.Hi); err != nil {
-			return nil, fmt.Errorf("%w (query %d)", err, i)
-		}
+	if err := checkBatch(intervals); err != nil {
+		return nil, BatchStats{}, err
 	}
 	members := make([]core.BatchQuery, len(intervals))
 	for i, iv := range intervals {
 		members[i] = core.BatchQuery{Ctx: ctx, Query: iv}
 	}
-	results, _ := s.index.QueryBatch(members)
-	out := make([]*Result, len(intervals))
-	var firstErr error
-	for i, r := range results {
-		if r.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("query %d: %w", i, r.Err)
-			}
-			continue
-		}
-		out[i] = r.Res
+	results, st := s.index.QueryBatch(members)
+	out, err := collectBatch(results)
+	return out, st, err
+}
+
+// PointQuery answers the conventional query F(v') — but a stored index file
+// carries only the value index, so it always fails with ErrNoSpatialIndex.
+// The method exists so a StoredIndex satisfies the full Querier surface with
+// a typed capability error rather than a missing method.
+func (s *StoredIndex) PointQuery(p Point) (float64, error) {
+	return s.PointQueryContext(context.Background(), p)
+}
+
+// PointQueryContext is PointQuery with cancellation; it fails with
+// ErrNoSpatialIndex after the usual open and finiteness checks.
+func (s *StoredIndex) PointQueryContext(ctx context.Context, p Point) (float64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
 	}
-	return out, firstErr
+	if err := checkPoint(p); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("%w: stored index files carry no spatial index", ErrNoSpatialIndex)
+}
+
+// ContourMap answers F⁻¹(w = level) from the stored pages and assembles the
+// isoline map, as DB.ContourMap does.
+func (s *StoredIndex) ContourMap(level float64) (*ContourResult, error) {
+	return s.ContourMapContext(context.Background(), level)
+}
+
+// ContourMapContext is ContourMap with cancellation of the underlying value
+// query.
+func (s *StoredIndex) ContourMapContext(ctx context.Context, level float64) (*ContourResult, error) {
+	res, err := s.ValueQueryContext(ctx, level, level)
+	if err != nil {
+		return nil, err
+	}
+	return assembleContours(s.tracer, s.metrics, s.Method(), level, res), nil
+}
+
+// Contours answers F⁻¹(w = level) reduced to the polylines.
+func (s *StoredIndex) Contours(level float64) ([]Polyline, error) {
+	return s.ContoursContext(context.Background(), level)
+}
+
+// ContoursContext is Contours with cancellation.
+func (s *StoredIndex) ContoursContext(ctx context.Context, level float64) ([]Polyline, error) {
+	cr, err := s.ContourMapContext(ctx, level)
+	if err != nil {
+		return nil, err
+	}
+	return cr.Polylines, nil
 }
 
 // Subfields returns the stored partition, or nil for a tiled file (the tile

@@ -27,6 +27,14 @@ type Row struct {
 	// coalescing the shared scan achieved. Unlike the cost metrics it is
 	// higher-is-better, and the gate fails when it drops.
 	QPSSim float64 `json:"qps_sim,omitempty"`
+	// QPS and the latency quantiles are the wall-clock outputs of the
+	// serving-tier load rows (ServeLoad/...): end-to-end HTTP throughput and
+	// per-request latency. Like NsOp they measure the host and are recorded
+	// for trend reading only — the regression gate never compares them.
+	QPS   float64 `json:"qps,omitempty"`
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // ValueRangeMeasure runs the deterministic value-range suite — the exact
@@ -87,7 +95,7 @@ func ValueRangeMeasure() (map[string]Row, error) {
 // baselineSections is the precedence order for picking rows out of a
 // multi-section BENCH_BASELINE.json when no section is named: newest
 // recorded state first.
-var baselineSections = []string{"post_tiled", "post_mvcc", "post_batch", "post_sidecar", "post_obs", "post", "pre"}
+var baselineSections = []string{"post_serve", "post_tiled", "post_mvcc", "post_batch", "post_sidecar", "post_obs", "post", "pre"}
 
 // LoadRows reads benchmark rows from path. Two layouts are accepted: a flat
 // {name: row} map (what -bench-json writes) and the checked-in

@@ -390,6 +390,18 @@ func (p *Partitioned) GroupIntervals() []geom.Interval {
 	return out
 }
 
+// ValueRange returns the union of the subfield intervals — the field's full
+// value range, since every cell belongs to exactly one subfield whose
+// interval covers it. It lets a stored index serve open-ended value queries
+// (ValueAbove/ValueBelow) without the original field.
+func (p *Partitioned) ValueRange() geom.Interval {
+	vr := geom.EmptyInterval()
+	for _, g := range p.snap.Load().groups {
+		vr = vr.Union(g.interval)
+	}
+	return vr
+}
+
 // ApproxResult is the outcome of an approximate value query answered purely
 // from subfield metadata, without fetching a single cell page.
 type ApproxResult struct {

@@ -109,13 +109,12 @@ func (s *SpatialIndex) PointQuery(pt geom.Point) (float64, storage.Stats, error)
 // reported per-query stats.
 func (s *SpatialIndex) PointQueryContext(ctx context.Context, pt geom.Point) (float64, storage.Stats, error) {
 	tb, start := s.startQuery(spatialMethod, obs.KindPoint, pt.X, pt.Y)
-	w, st, err := s.pointQuery(ctx, tb, pt)
+	w, st, err := s.pointQuery(ctx, tb, s.pager.BeginQuery(), pt)
 	s.endQuery(tb, start, err)
 	return w, st, err
 }
 
-func (s *SpatialIndex) pointQuery(ctx context.Context, tb *obs.TraceBuilder, pt geom.Point) (float64, storage.Stats, error) {
-	qc := s.pager.BeginQuery()
+func (s *SpatialIndex) pointQuery(ctx context.Context, tb *obs.TraceBuilder, qc *storage.QueryCtx, pt geom.Point) (float64, storage.Stats, error) {
 	qc.AttachTrace(tb)
 	query := rstar.Rect2D(pt.X, pt.X, pt.Y, pt.Y)
 	ps, _ := s.scratch.Get().(*pointScratch)
@@ -185,4 +184,48 @@ func (s *SpatialIndex) Stats() IndexStats {
 		IndexPages: s.tree.PersistedNodes(),
 		TreeHeight: s.tree.Height(),
 	}
+}
+
+// SpatialSnapshot is a pinned point-in-time view of a SpatialIndex: every
+// point query through the handle reads the storage epoch that was current at
+// acquisition, so a snapshot's conventional queries stay byte-identical —
+// I/O statistics included — no matter how many update batches commit on the
+// spatial store afterwards. Holding the snapshot keeps its epoch's page
+// versions alive; Close releases the pin (idempotently).
+type SpatialSnapshot struct {
+	s     *SpatialIndex
+	epoch uint64
+	unpin func()
+	once  sync.Once
+}
+
+// AcquireSnapshot pins the spatial store's current epoch and returns a
+// point-in-time handle over it. The R*-tree structure itself is immutable
+// under live updates (sample updates change values, never geometry), so
+// pinning the heap pages is all a consistent spatial view needs.
+func (s *SpatialIndex) AcquireSnapshot() *SpatialSnapshot {
+	epoch, unpin := pinCurrentEpoch(s.pager)
+	return &SpatialSnapshot{s: s, epoch: epoch, unpin: unpin}
+}
+
+// Epoch returns the storage epoch the snapshot reads.
+func (ss *SpatialSnapshot) Epoch() uint64 { return ss.epoch }
+
+// PointQueryContext answers F(v') at the snapshot's epoch, tracing and
+// metering exactly like a live point query.
+func (ss *SpatialSnapshot) PointQueryContext(ctx context.Context, pt geom.Point) (float64, storage.Stats, error) {
+	qc, ok := ss.s.pager.BeginQueryAt(ss.epoch)
+	if !ok {
+		return 0, storage.Stats{}, fmt.Errorf("core: spatial snapshot epoch %d no longer available", ss.epoch)
+	}
+	tb, start := ss.s.startQuery(spatialMethod, obs.KindPoint, pt.X, pt.Y)
+	w, st, err := ss.s.pointQuery(ctx, tb, qc, pt)
+	ss.s.endQuery(tb, start, err)
+	return w, st, err
+}
+
+// Close releases the snapshot's epoch pin. Safe to call more than once.
+func (ss *SpatialSnapshot) Close() error {
+	ss.once.Do(ss.unpin)
+	return nil
 }

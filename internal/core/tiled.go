@@ -347,6 +347,17 @@ func (t *TiledIndex) Tiles() []TileInfo {
 	return out
 }
 
+// ValueRange returns the union of the per-tile value summaries — the field's
+// full value range, maintained across live updates.
+func (t *TiledIndex) ValueRange() geom.Interval {
+	s := t.snap.Load()
+	vr := geom.EmptyInterval()
+	for i := range t.tiles {
+		vr = vr.Union(s.vr[i])
+	}
+	return vr
+}
+
 // Stats implements Index by aggregating the per-tile indexes.
 func (t *TiledIndex) Stats() IndexStats {
 	s := IndexStats{Method: Method(t.label), Cells: t.cells}

@@ -1,0 +1,417 @@
+package serve
+
+// The load-generation half of the serving tier: a deterministic HTTP query
+// driver (RunLoad, the engine of cmd/fieldload) and the bench-pipeline entry
+// (ServeLoadMeasure) that folds end-to-end serving costs into the
+// BENCH_BASELINE.json regression gate as the post_serve section.
+//
+// Two kinds of rows come out, matching the two accounting planes the rest of
+// the pipeline already distinguishes. The Serve/... rows are gated: explicit
+// /batch requests of ConcurrentClients intervals execute as one shared scan
+// each, so their physical page and simulated-disk costs are exactly
+// reproducible, wall clock be damned. The ServeLoad/... row is ungated: a
+// wall-clock throughput measurement of concurrent connections whose queries
+// coalesce through the admission window — real QPS and latency quantiles,
+// which vary by host and therefore never gate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fielddb"
+	"fielddb/internal/bench"
+)
+
+// LoadOptions configures one RunLoad drive.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Field is the field name every query targets.
+	Field string
+	// Connections is the number of concurrent client connections (default
+	// 16).
+	Connections int
+	// Requests is the total request count across connections (default 512).
+	Requests int
+	// Seed makes the request sequence reproducible (default 1).
+	Seed int64
+	// Intervals bounds the distinct query intervals the zipf mix draws from
+	// (default 32): a small pool models hot queries and gives the admission
+	// window overlapping work to coalesce.
+	Intervals int
+	// PointEvery mixes one point query per this many requests (0 means the
+	// default 8; negative disables the point mix).
+	PointEvery int
+}
+
+// LoadReport is the outcome of one RunLoad drive.
+type LoadReport struct {
+	Requests int           // requests issued
+	Errors   int           // non-2xx responses and transport failures
+	Elapsed  time.Duration // wall time of the whole drive
+	QPS      float64       // Requests / Elapsed
+	P50      time.Duration // per-request latency quantiles
+	P95      time.Duration
+	P99      time.Duration
+	// StatusCounts maps HTTP status to response count (0 for transport
+	// errors).
+	StatusCounts map[int]int
+}
+
+// String renders the report as the one-line summary cmd/fieldload prints.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("requests=%d errors=%d elapsed=%v qps=%.1f p50=%v p95=%v p99=%v",
+		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), r.QPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// loadRequest is one pre-generated request of the drive.
+type loadRequest struct {
+	method string
+	url    string
+}
+
+// buildRequests pre-generates the whole request sequence from the seed, so
+// the drive issues an identical mix regardless of connection scheduling. The
+// value-range mix is zipf over a small interval pool spanning the
+// selectivity bands of the bench suite; every PointEvery-th request is a
+// point query at a deterministic position.
+func buildRequests(opts LoadOptions, vr fielddb.Interval) []loadRequest {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(opts.Intervals-1))
+	pool := make([]fielddb.Interval, opts.Intervals)
+	sels := bench.Selectivities
+	for i := range pool {
+		sel := sels[i%len(sels)]
+		width := sel * vr.Length()
+		lo := vr.Lo + rng.Float64()*(vr.Length()-width)
+		pool[i] = fielddb.Interval{Lo: lo, Hi: lo + width}
+	}
+	reqs := make([]loadRequest, opts.Requests)
+	for i := range reqs {
+		if opts.PointEvery > 0 && i%opts.PointEvery == opts.PointEvery-1 {
+			// The point mix assumes the cell-coordinate domain of the
+			// shipped fields (the fixture terrain spans [0, side]²); drive
+			// fields with another extent with PointEvery < 0.
+			x := 1 + rng.Float64()*99
+			y := 1 + rng.Float64()*99
+			reqs[i] = loadRequest{
+				method: http.MethodGet,
+				url: fmt.Sprintf("%s/v1/fields/%s/point?x=%g&y=%g",
+					opts.BaseURL, opts.Field, x, y),
+			}
+			continue
+		}
+		iv := pool[zipf.Uint64()]
+		reqs[i] = loadRequest{
+			method: http.MethodGet,
+			url: fmt.Sprintf("%s/v1/fields/%s/range?lo=%g&hi=%g",
+				opts.BaseURL, opts.Field, iv.Lo, iv.Hi),
+		}
+	}
+	return reqs
+}
+
+// RunLoad drives the server at BaseURL with Connections concurrent clients
+// issuing a deterministic zipf query mix, and reports wall-clock QPS and
+// latency quantiles. The request sequence is fixed by Seed; only the timing
+// varies between runs.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.BaseURL == "" || opts.Field == "" {
+		return nil, fmt.Errorf("serve: RunLoad needs BaseURL and Field")
+	}
+	if opts.Connections <= 0 {
+		opts.Connections = 16
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 512
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Intervals <= 0 {
+		opts.Intervals = 32
+	}
+	if opts.PointEvery == 0 {
+		opts.PointEvery = 8
+	}
+
+	// The interval pool spans the field's value range, read once up front.
+	vr, err := fetchValueRange(opts.BaseURL, opts.Field)
+	if err != nil {
+		return nil, err
+	}
+	reqs := buildRequests(opts, vr)
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: opts.Connections,
+	}}
+	latencies := make([]time.Duration, len(reqs))
+	statuses := make([]int, len(reqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Connections; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				t0 := time.Now()
+				req, err := http.NewRequest(reqs[i].method, reqs[i].url, nil)
+				if err != nil {
+					latencies[i] = time.Since(t0)
+					continue
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					latencies[i] = time.Since(t0)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				statuses[i] = resp.StatusCode
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:     len(reqs),
+		Elapsed:      elapsed,
+		StatusCounts: map[int]int{},
+	}
+	for _, st := range statuses {
+		rep.StatusCounts[st]++
+		if st < 200 || st > 299 {
+			rep.Errors++
+		}
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rep.P50 = quantileDuration(sorted, 0.50)
+	rep.P95 = quantileDuration(sorted, 0.95)
+	rep.P99 = quantileDuration(sorted, 0.99)
+	return rep, nil
+}
+
+// quantileDuration reads the q-quantile of an ascending latency slice.
+func quantileDuration(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// fetchValueRange reads the field's value-domain coverage off the describe
+// endpoint (the server surfaces Querier.ValueRange as value_lo/value_hi) —
+// the span the driver cuts its query intervals from.
+func fetchValueRange(baseURL, field string) (fielddb.Interval, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/fields/%s", baseURL, field))
+	if err != nil {
+		return fielddb.Interval{}, fmt.Errorf("serve: probing %s: %w", field, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fielddb.Interval{}, fmt.Errorf("serve: probing %s: %s: %s", field, resp.Status, bytes.TrimSpace(body))
+	}
+	var info struct {
+		ValueLo *float64 `json:"value_lo"`
+		ValueHi *float64 `json:"value_hi"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fielddb.Interval{}, fmt.Errorf("serve: probing %s: %w", field, err)
+	}
+	if info.ValueLo == nil || info.ValueHi == nil || *info.ValueHi < *info.ValueLo {
+		return fielddb.Interval{}, fmt.Errorf("serve: field %s reports no value range", field)
+	}
+	return fielddb.Interval{Lo: *info.ValueLo, Hi: *info.ValueHi}, nil
+}
+
+// startLocalServer opens srv on a loopback listener and returns its base URL
+// and a zero-drop stop function (drain, then close).
+func startLocalServer(s *Server) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		s.Drain()
+		_ = hs.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// ServeClients is the member count of the gated /batch rows — the same 16
+// coalescing clients the Concurrent suite models.
+const ServeClients = bench.ConcurrentClients
+
+// ServeLoadMeasure runs the serving-tier benchmark suite on the bench
+// fixture terrain and returns its rows for the post_serve baseline section.
+//
+// Gated rows (Serve/<method>/sel=S/clients=16): the 64-query rotation of
+// each (method, selectivity) cell crosses HTTP as explicit /batch requests
+// of ServeClients intervals; pages_op and simns_op are the batch's physical
+// (deduplicated) costs read back from the response's batch stats, exactly
+// reproducible run to run, and qps_sim is throughput on the simulated clock.
+//
+// The ungated row (ServeLoad/mixed/conns=16) drives a BatchWindow-armed
+// server with 16 concurrent connections over a deterministic zipf mix and
+// records wall-clock QPS and latency quantiles (fields the regression gate
+// ignores). The run fails if the admission window coalesced nothing —
+// CoalescedPagesSaved must move — or if the drain dropped a response, so the
+// pipeline asserts the serving tier's two promises on every run.
+func ServeLoadMeasure() (map[string]bench.Row, error) {
+	f, err := bench.FixtureTerrain(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	vr := f.ValueRange()
+	rows := map[string]bench.Row{}
+
+	for _, method := range []fielddb.Method{fielddb.LinearScan, fielddb.IHilbert} {
+		db, err := fielddb.Open(f, fielddb.Options{Method: method})
+		if err != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", method, err)
+		}
+		srv := New(map[string]*Field{"terrain": {Querier: db, DB: db}}, Config{})
+		base, stop, err := startLocalServer(srv)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		for _, sel := range bench.Selectivities {
+			queries := bench.FixtureQueries(vr, sel, 64)
+			name := fmt.Sprintf("Serve/%s/sel=%.2f/clients=%d", method, sel, ServeClients)
+			var physReads int
+			var physSimNs int64
+			start := time.Now()
+			for off := 0; off < len(queries); off += ServeClients {
+				end := off + ServeClients
+				if end > len(queries) {
+					end = len(queries)
+				}
+				bv, err := postBatch(base, "terrain", queries[off:end])
+				if err != nil {
+					stop()
+					db.Close()
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				physReads += bv.PhysicalReads
+				physSimNs += bv.PhysicalSimNs
+			}
+			n := float64(len(queries))
+			row := bench.Row{
+				NsOp:    float64(time.Since(start).Nanoseconds()) / n,
+				PagesOp: float64(physReads) / n,
+				SimNsOp: float64(physSimNs) / n,
+			}
+			if physSimNs > 0 {
+				row.QPSSim = n / (float64(physSimNs) / 1e9)
+			}
+			rows[name] = row
+		}
+		stop()
+		db.Close()
+	}
+
+	// The mixed wall-clock drive: window-armed server, concurrent
+	// connections, zipf mix.
+	db, err := fielddb.Open(f, fielddb.Options{
+		Method:      fielddb.IHilbert,
+		BatchWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	srv := New(map[string]*Field{"terrain": {Querier: db, DB: db}}, Config{MaxInFlight: 256})
+	base, stop, err := startLocalServer(srv)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := RunLoad(LoadOptions{
+		BaseURL:     base,
+		Field:       "terrain",
+		Connections: 16,
+		Requests:    512,
+		Seed:        bench.FixtureSeed,
+	})
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("serve: mixed load drive: %d of %d requests failed (statuses %v)",
+			rep.Errors, rep.Requests, rep.StatusCounts)
+	}
+	if saved := db.QueryMetrics().CoalescedPagesSaved; saved == 0 {
+		return nil, fmt.Errorf("serve: mixed load drive coalesced nothing (CoalescedPagesSaved == 0)")
+	}
+	rows[fmt.Sprintf("ServeLoad/mixed/conns=%d", 16)] = bench.Row{
+		QPS:   rep.QPS,
+		P50Ns: float64(rep.P50),
+		P95Ns: float64(rep.P95),
+		P99Ns: float64(rep.P99),
+	}
+	return rows, nil
+}
+
+// postBatch issues one /batch request and returns its batch stats.
+func postBatch(baseURL, field string, intervals []fielddb.Interval) (*batchView, error) {
+	var req batchRequest
+	req.Intervals = make([][2]float64, len(intervals))
+	for i, iv := range intervals {
+		req.Intervals[i] = [2]float64{iv.Lo, iv.Hi}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/fields/%s/batch", baseURL, field),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var out struct {
+		Batch *batchView `json:"batch"`
+		Error string     `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("batch: %s", out.Error)
+	}
+	if out.Batch == nil {
+		return nil, fmt.Errorf("batch: response carries no batch stats")
+	}
+	return out.Batch, nil
+}

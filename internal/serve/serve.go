@@ -1,0 +1,752 @@
+// Package serve is the HTTP/JSON serving tier over the fielddb facade: a
+// front door (cmd/fieldserve) that exposes named query surfaces — live
+// databases, stored index files, pinned snapshots, anything implementing
+// fielddb.Querier — to remote clients, with the admission machinery the
+// engine already has. Concurrent value queries coalesce onto the shared-scan
+// batch executor through Options.BatchWindow group commit; per-request
+// deadlines ride the context facade; an in-flight cap sheds load with 429 +
+// Retry-After; and a drain mode refuses new work with 503 while in-flight
+// requests finish, so a shutdown never drops a response.
+//
+// The package binds to the Querier interface alone for every read endpoint —
+// the serving tier is the consumer the interface was cut for — and needs a
+// concrete *fielddb.DB only where the interface cannot help: the write
+// endpoint (UpdateSamples is a live-DB capability, not a query).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fielddb"
+	"fielddb/internal/obs"
+)
+
+// Field is one named query surface the server exposes.
+type Field struct {
+	// Querier answers every read endpoint.
+	Querier fielddb.Querier
+	// DB, when non-nil, enables the update endpoint for this field (a live
+	// database; stored indexes and snapshots are read-only).
+	DB *fielddb.DB
+	// Traces, when non-nil, is the ring of recent query traces /traces
+	// serves for this field. The caller installs it as the surface's tracer
+	// (SetTracer / Options.Tracer); the server only reads it.
+	Traces *fielddb.TraceCollector
+}
+
+// Config tunes the server's admission control.
+type Config struct {
+	// MaxInFlight caps concurrently admitted requests; excess load is shed
+	// with 429 + Retry-After. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// DefaultTimeout is the per-request deadline when the client sends no
+	// timeout_ms parameter; 0 means DefaultRequestTimeout. A request that
+	// outlives its deadline answers 504.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// RetryAfter is the Retry-After hint (rounded up to whole seconds) on
+	// 429 and 503 responses; 0 means one second.
+	RetryAfter time.Duration
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxInFlight    = 64
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxTimeout     = 30 * time.Second
+)
+
+// Server routes HTTP/JSON queries to named Queriers. Create with New, mount
+// via Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	fields   map[string]*Field
+	names    []string // sorted, for deterministic listings
+	mux      *http.ServeMux
+	sem      chan struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New returns a Server exposing the given fields.
+func New(fields map[string]*Field, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		fields: make(map[string]*Field, len(fields)),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+	}
+	for name, f := range fields {
+		s.fields[name] = f
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/fields", s.admit(s.handleList))
+	s.mux.HandleFunc("GET /v1/fields/{name}", s.admit(s.handleDescribe))
+	s.mux.HandleFunc("GET /v1/fields/{name}/range", s.admit(s.handleRange))
+	s.mux.HandleFunc("GET /v1/fields/{name}/above", s.admit(s.handleAbove))
+	s.mux.HandleFunc("GET /v1/fields/{name}/below", s.admit(s.handleBelow))
+	s.mux.HandleFunc("GET /v1/fields/{name}/point", s.admit(s.handlePoint))
+	s.mux.HandleFunc("GET /v1/fields/{name}/contour", s.admit(s.handleContour))
+	s.mux.HandleFunc("POST /v1/fields/{name}/batch", s.admit(s.handleBatch))
+	s.mux.HandleFunc("POST /v1/fields/{name}/update", s.admit(s.handleUpdate))
+	s.mux.HandleFunc("POST /v1/and", s.admit(s.handleAnd))
+	s.mux.HandleFunc("GET /metrics", s.admit(s.handleMetrics))
+	s.mux.HandleFunc("GET /traces", s.admit(s.handleTraces))
+	return s
+}
+
+// Handler returns the server's routing handler, ready for http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server in drain mode: every subsequent request is refused
+// with 503 + Retry-After, and Drain blocks until the requests admitted before
+// the switch have finished writing their responses. Pair it with
+// http.Server.Shutdown for a zero-drop stop.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.wg.Wait()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error struct {
+		Status  int    `json:"status"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeJSON writes one JSON response; encode errors past the header cannot
+// be reported to the client, so they are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the error envelope for status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	var b errorBody
+	b.Error.Status = status
+	b.Error.Message = msg
+	writeJSON(w, status, b)
+}
+
+// retryAfterSeconds renders the Retry-After hint (whole seconds, minimum 1).
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admit wraps a handler with the admission path: drain refusal (503),
+// in-flight cap (429), the per-request deadline, and the drain group's
+// accounting. The deadline context is what flows into every facade call, so
+// a slow query is abandoned by the engine's own cancellation polling.
+func (s *Server) admit(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, http.StatusTooManyRequests, "too many in-flight requests")
+			return
+		}
+		s.wg.Add(1)
+		defer func() {
+			<-s.sem
+			s.wg.Done()
+		}()
+
+		timeout := s.cfg.DefaultTimeout
+		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+			ms, err := strconv.Atoi(raw)
+			if err != nil || ms <= 0 {
+				writeError(w, http.StatusBadRequest, "timeout_ms must be a positive integer")
+				return
+			}
+			timeout = time.Duration(ms) * time.Millisecond
+			if timeout > s.cfg.MaxTimeout {
+				timeout = s.cfg.MaxTimeout
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// mapError translates facade errors to HTTP statuses: validation failures to
+// 400, capability gaps to 501, deadline misses to 504, closed or draining
+// surfaces to 503, everything else to 500.
+func mapError(err error) int {
+	switch {
+	case errors.Is(err, fielddb.ErrInvertedInterval),
+		errors.Is(err, fielddb.ErrNonFiniteBound),
+		errors.Is(err, fielddb.ErrBadConjunction):
+		return http.StatusBadRequest
+	case errors.Is(err, fielddb.ErrNoSpatialIndex),
+		errors.Is(err, fielddb.ErrNoPartition),
+		errors.Is(err, fielddb.ErrUpdatesUnsupported):
+		return http.StatusNotImplemented
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line only.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, fielddb.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// fail writes err through mapError.
+func fail(w http.ResponseWriter, err error) {
+	writeError(w, mapError(err), err.Error())
+}
+
+// field resolves {name}, answering 404 itself when unknown.
+func (s *Server) field(w http.ResponseWriter, r *http.Request) (*Field, string, bool) {
+	name := r.PathValue("name")
+	f, ok := s.fields[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown field %q", name))
+		return nil, name, false
+	}
+	return f, name, true
+}
+
+// queryFloat parses one required float query parameter.
+func queryFloat(r *http.Request, key string) (float64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
+// ioView is the deterministic I/O accounting attached to query responses:
+// page counts and the simulated disk clock, never wall time (wall time would
+// make responses nondeterministic and belongs in /metrics).
+type ioView struct {
+	Reads        int   `json:"reads"`
+	SeqReads     int   `json:"seq_reads"`
+	RandReads    int   `json:"rand_reads"`
+	CacheHits    int   `json:"cache_hits"`
+	SimElapsedNs int64 `json:"sim_elapsed_ns"`
+}
+
+// resultView is the wire form of one value-query result. Geometry is opt-in
+// (?geometry=1) — the counts, area and I/O answer most monitoring and load
+// generation needs at a fraction of the payload.
+type resultView struct {
+	Lo              float64        `json:"lo"`
+	Hi              float64        `json:"hi"`
+	CandidateGroups int            `json:"candidate_groups"`
+	CellsFetched    int            `json:"cells_fetched"`
+	CellsMatched    int            `json:"cells_matched"`
+	Regions         int            `json:"regions"`
+	Isolines        int            `json:"isolines"`
+	Area            float64        `json:"area"`
+	IO              ioView         `json:"io"`
+	Geometry        [][][2]float64 `json:"geometry,omitempty"`
+}
+
+func viewIO(st fielddb.Result) ioView {
+	return ioView{
+		Reads:        st.IO.Reads,
+		SeqReads:     st.IO.SeqReads,
+		RandReads:    st.IO.RandReads,
+		CacheHits:    st.IO.CacheHits,
+		SimElapsedNs: int64(st.IO.SimElapsed),
+	}
+}
+
+func viewResult(res *fielddb.Result, geometry bool) resultView {
+	v := resultView{
+		Lo:              res.Query.Lo,
+		Hi:              res.Query.Hi,
+		CandidateGroups: res.CandidateGroups,
+		CellsFetched:    res.CellsFetched,
+		CellsMatched:    res.CellsMatched,
+		Regions:         len(res.Regions),
+		Isolines:        len(res.Isolines),
+		Area:            res.Area,
+		IO:              viewIO(*res),
+	}
+	if geometry {
+		v.Geometry = make([][][2]float64, len(res.Regions))
+		for i, poly := range res.Regions {
+			ring := make([][2]float64, len(poly))
+			for j, p := range poly {
+				ring[j] = [2]float64{p.X, p.Y}
+			}
+			v.Geometry[i] = ring
+		}
+	}
+	return v
+}
+
+func wantGeometry(r *http.Request) bool {
+	return r.URL.Query().Get("geometry") == "1"
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+// fieldInfo is one entry of the field listing.
+type fieldInfo struct {
+	Name         string  `json:"name"`
+	Method       string  `json:"method"`
+	Cells        int     `json:"cells"`
+	CellPages    int     `json:"cell_pages"`
+	IndexPages   int     `json:"index_pages"`
+	SidecarPages int     `json:"sidecar_pages"`
+	Groups       int     `json:"groups"`
+	TreeHeight   int     `json:"tree_height"`
+	ValueLo      float64 `json:"value_lo"`
+	ValueHi      float64 `json:"value_hi"`
+	Writable     bool    `json:"writable"`
+}
+
+func (s *Server) fieldInfo(name string) fieldInfo {
+	f := s.fields[name]
+	st := f.Querier.Stats()
+	vr := f.Querier.ValueRange()
+	return fieldInfo{
+		Name:         name,
+		Method:       string(f.Querier.Method()),
+		Cells:        st.Cells,
+		CellPages:    st.CellPages,
+		IndexPages:   st.IndexPages,
+		SidecarPages: st.SidecarPages,
+		Groups:       st.Groups,
+		TreeHeight:   st.TreeHeight,
+		ValueLo:      vr.Lo,
+		ValueHi:      vr.Hi,
+		Writable:     f.DB != nil,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	out := make([]fieldInfo, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, s.fieldInfo(name))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fields": out})
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	_, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fieldInfo(name))
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	lo, err := queryFloat(r, "lo")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hi, err := queryFloat(r, "hi")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := f.Querier.ValueQueryContext(r.Context(), lo, hi)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"field":  name,
+		"result": viewResult(res, wantGeometry(r)),
+	})
+}
+
+func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	lo, err := queryFloat(r, "lo")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := f.Querier.ValueAboveContext(r.Context(), lo)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"field":  name,
+		"result": viewResult(res, wantGeometry(r)),
+	})
+}
+
+func (s *Server) handleBelow(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	hi, err := queryFloat(r, "hi")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := f.Querier.ValueBelowContext(r.Context(), hi)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"field":  name,
+		"result": viewResult(res, wantGeometry(r)),
+	})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	x, err := queryFloat(r, "x")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	y, err := queryFloat(r, "y")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := f.Querier.PointQueryContext(r.Context(), fielddb.Point{X: x, Y: y})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"field": name,
+		"x":     x,
+		"y":     y,
+		"value": v,
+	})
+}
+
+func (s *Server) handleContour(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	level, err := queryFloat(r, "level")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cr, err := f.Querier.ContourMapContext(r.Context(), level)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	out := map[string]any{
+		"field":     name,
+		"level":     level,
+		"polylines": len(cr.Polylines),
+		"io": ioView{
+			Reads:        cr.IO.Reads,
+			SeqReads:     cr.IO.SeqReads,
+			RandReads:    cr.IO.RandReads,
+			CacheHits:    cr.IO.CacheHits,
+			SimElapsedNs: int64(cr.IO.SimElapsed),
+		},
+	}
+	if wantGeometry(r) {
+		geom := make([][][2]float64, len(cr.Polylines))
+		for i, pl := range cr.Polylines {
+			line := make([][2]float64, len(pl))
+			for j, p := range pl {
+				line[j] = [2]float64{p.X, p.Y}
+			}
+			geom[i] = line
+		}
+		out["geometry"] = geom
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// batchRequest is the POST body of /batch.
+type batchRequest struct {
+	Intervals [][2]float64 `json:"intervals"`
+}
+
+// batchStatser is the optional surface capability behind the /batch
+// response's batch-level stats: DB and StoredIndex execute explicit batches
+// as one shared scan and can report its physical (deduplicated) cost.
+type batchStatser interface {
+	ValueQueryBatchStats(ctx context.Context, intervals []fielddb.Interval) ([]*fielddb.Result, fielddb.BatchStats, error)
+}
+
+// batchView is the wire form of one batch's shared-execution summary.
+type batchView struct {
+	Size            int   `json:"size"`
+	PhysicalReads   int   `json:"physical_reads"`
+	PhysicalSimNs   int64 `json:"physical_sim_ns"`
+	AttributedReads int   `json:"attributed_reads"`
+	PagesSaved      int   `json:"pages_saved"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed batch body: "+err.Error())
+		return
+	}
+	intervals := make([]fielddb.Interval, len(req.Intervals))
+	for i, iv := range req.Intervals {
+		intervals[i] = fielddb.Interval{Lo: iv[0], Hi: iv[1]}
+	}
+	var (
+		results []*fielddb.Result
+		st      *fielddb.BatchStats
+		err     error
+	)
+	if bs, ok := f.Querier.(batchStatser); ok {
+		var bst fielddb.BatchStats
+		results, bst, err = bs.ValueQueryBatchStats(r.Context(), intervals)
+		if err == nil || results != nil {
+			st = &bst
+		}
+	} else {
+		results, err = f.Querier.ValueQueryBatch(r.Context(), intervals)
+	}
+	if err != nil && results == nil {
+		fail(w, err)
+		return
+	}
+	geometry := wantGeometry(r)
+	views := make([]*resultView, len(results))
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		v := viewResult(res, geometry)
+		views[i] = &v
+	}
+	out := map[string]any{"field": name, "results": views}
+	if st != nil {
+		out["batch"] = batchView{
+			Size:            st.Size,
+			PhysicalReads:   st.Physical.Reads,
+			PhysicalSimNs:   int64(st.Physical.SimElapsed),
+			AttributedReads: st.AttributedReads,
+			PagesSaved:      st.PagesSaved,
+		}
+	}
+	if err != nil {
+		// Partial failure: successful members keep their slots, the first
+		// failure is reported alongside (HTTP 200 — the batch ran).
+		out["error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// updateRequest is the POST body of /update.
+type updateRequest struct {
+	Updates []struct {
+		Sample int     `json:"sample"`
+		Value  float64 `json:"value"`
+	} `json:"updates"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	f, name, ok := s.field(w, r)
+	if !ok {
+		return
+	}
+	if f.DB == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("field %q is read-only (not a live database)", name))
+		return
+	}
+	var req updateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed update body: "+err.Error())
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	updates := make([]fielddb.SampleUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		updates[i] = fielddb.SampleUpdate{Sample: u.Sample, Value: u.Value}
+	}
+	st, err := f.DB.UpdateSamples(r.Context(), updates)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"field":           name,
+		"epoch":           st.Epoch,
+		"spatial_epoch":   st.SpatialEpoch,
+		"samples_applied": st.SamplesApplied,
+		"cells_touched":   st.CellsTouched,
+		"pages_written":   st.PagesWritten,
+		"regrouped":       st.Regrouped,
+	})
+}
+
+// andRequest is the POST body of /v1/and: one (field, interval) condition per
+// entry, evaluated conjunctively across surfaces sharing a spatial domain.
+type andRequest struct {
+	Conditions []struct {
+		Field string  `json:"field"`
+		Lo    float64 `json:"lo"`
+		Hi    float64 `json:"hi"`
+	} `json:"conditions"`
+}
+
+func (s *Server) handleAnd(w http.ResponseWriter, r *http.Request) {
+	var req andRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed and body: "+err.Error())
+		return
+	}
+	qs := make([]fielddb.Querier, len(req.Conditions))
+	intervals := make([]fielddb.Interval, len(req.Conditions))
+	for i, c := range req.Conditions {
+		f, ok := s.fields[c.Field]
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown field %q (condition %d)", c.Field, i))
+			return
+		}
+		qs[i] = f.Querier
+		intervals[i] = fielddb.Interval{Lo: c.Lo, Hi: c.Hi}
+	}
+	res, err := fielddb.AndQueriers(r.Context(), qs, intervals)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	perField := make([]resultView, len(res.PerField))
+	for i, pr := range res.PerField {
+		perField[i] = viewResult(pr, false)
+	}
+	out := map[string]any{
+		"regions":   len(res.Regions),
+		"area":      res.Area,
+		"per_field": perField,
+	}
+	if wantGeometry(r) {
+		geom := make([][][2]float64, len(res.Regions))
+		for i, poly := range res.Regions {
+			ring := make([][2]float64, len(poly))
+			for j, p := range poly {
+				ring[j] = [2]float64{p.X, p.Y}
+			}
+			geom[i] = ring
+		}
+		out["geometry"] = geom
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]obs.SnapshotView, len(s.names))
+	for _, name := range s.names {
+		out[name] = s.fields[name].Querier.QueryMetrics().View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fields": out})
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	want := r.URL.Query().Get("field")
+	out := make(map[string]any)
+	for _, name := range s.names {
+		if want != "" && name != want {
+			continue
+		}
+		f := s.fields[name]
+		if f.Traces == nil {
+			continue
+		}
+		traces := f.Traces.Traces()
+		views := make([]obs.TraceView, len(traces))
+		for i, t := range traces {
+			views[i] = t.View()
+		}
+		out[name] = map[string]any{
+			"total":  f.Traces.Total(),
+			"traces": views,
+		}
+	}
+	if want != "" {
+		if _, ok := s.fields[want]; !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown field %q", want))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fields": out})
+}

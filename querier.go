@@ -1,0 +1,245 @@
+package fielddb
+
+// The unified query surface. Three handle types answer queries — a live *DB,
+// a *StoredIndex reopened from a database file, and a pinned *Snapshot — and
+// before this interface existed their method sets drifted: context-free and
+// context-taking variants were duplicated inconsistently, open-ended value
+// queries existed only on DB, and point queries only on DB. Querier is the
+// contract that keeps them in lockstep: the serving tier (internal/serve,
+// cmd/fieldserve) binds only to it, compile-time assertions below hold all
+// three implementations to it, and a shared conformance test table
+// (querier_conformance_test.go) asserts the implementations agree on both
+// answers and error behavior.
+//
+// Context-taking methods are the canonical surface; the context-free names
+// (ValueQuery, ValueAbove, Contours, ...) are one-line conveniences wrapping
+// them with context.Background().
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"fielddb/internal/contour"
+	"fielddb/internal/core"
+	"fielddb/internal/obs"
+)
+
+// Querier is the query surface shared by *DB, *StoredIndex and *Snapshot:
+// everything a read-side client — the HTTP serving tier above all — needs
+// from an opened continuous-field database.
+//
+// All methods are safe for concurrent use. Value intervals and bounds are
+// validated before any I/O: a hi < lo interval fails with
+// ErrInvertedInterval, a NaN or ±Inf value with ErrNonFiniteBound, and both
+// wrap the offending values so callers can branch with errors.Is. A closed
+// surface fails every query with ErrClosed.
+//
+// Not every implementation supports every operation natively: a StoredIndex
+// has no spatial index (PointQueryContext returns ErrNoSpatialIndex), and a
+// Snapshot executes batches as sequential pinned-epoch queries rather than
+// one shared scan. Capability gaps surface as typed errors, never as missing
+// methods.
+type Querier interface {
+	// Method returns the value-index strategy serving this surface.
+	Method() Method
+	// Stats describes the built value index.
+	Stats() IndexStats
+	// ValueRange returns the surface's value-domain coverage — the open ends
+	// ValueAboveContext and ValueBelowContext complete their intervals with.
+	ValueRange() Interval
+	// ValueQueryContext answers the field value query F⁻¹(lo ≤ w ≤ hi):
+	// the exact regions where the value lies in [lo, hi]. Cancellation is
+	// polled between subfield cell runs and refinement work units.
+	ValueQueryContext(ctx context.Context, lo, hi float64) (*Result, error)
+	// ValueAboveContext answers "where is the value at least lo", reading
+	// the open end of the interval from the surface's value range.
+	ValueAboveContext(ctx context.Context, lo float64) (*Result, error)
+	// ValueBelowContext answers "where is the value at most hi".
+	ValueBelowContext(ctx context.Context, hi float64) (*Result, error)
+	// ValueQueryBatch answers several value queries, coalescing them into
+	// one shared scan where the index supports it. Results are positionally
+	// aligned with intervals and each is byte-identical to the solo query;
+	// the first failing member determines the returned error (wrapped with
+	// its position) while successful members keep their slots.
+	ValueQueryBatch(ctx context.Context, intervals []Interval) ([]*Result, error)
+	// PointQueryContext answers the conventional query F(v'): the
+	// interpolated value at point p.
+	PointQueryContext(ctx context.Context, p Point) (float64, error)
+	// ContourMapContext answers F⁻¹(w = level) and assembles the per-cell
+	// isoline segments into connected polylines.
+	ContourMapContext(ctx context.Context, level float64) (*ContourResult, error)
+	// ContoursContext is ContourMapContext reduced to the polylines.
+	ContoursContext(ctx context.Context, level float64) ([]Polyline, error)
+	// QueryMetrics returns a point-in-time snapshot of the engine metrics
+	// registry the surface's queries record into.
+	QueryMetrics() MetricsSnapshot
+}
+
+// The three query surfaces implement Querier; these assertions break the
+// build — not a runtime path — the moment one drifts.
+var (
+	_ Querier = (*DB)(nil)
+	_ Querier = (*StoredIndex)(nil)
+	_ Querier = (*Snapshot)(nil)
+)
+
+// BatchStats summarizes the shared execution of one query batch: member
+// count, the physical (deduplicated) I/O the batch performed, the attributed
+// page reads of its members, and how many reads the coalescing saved.
+type BatchStats = core.BatchStats
+
+// ConjunctiveResult is the outcome of a conjunctive (And) query.
+type ConjunctiveResult = core.ConjunctiveResult
+
+// checkValue rejects NaN and ±Inf query values with ErrNonFiniteBound. It is
+// the finiteness half of the validation every Querier surface applies before
+// touching an index.
+func checkValue(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w %g", ErrNonFiniteBound, v)
+	}
+	return nil
+}
+
+// checkInterval is the single validation point for user-supplied value
+// intervals; every query path — solo, open-ended, batch, and conjunctive —
+// calls it before touching an index.
+func checkInterval(lo, hi float64) error {
+	if err := checkValue(lo); err != nil {
+		return err
+	}
+	if err := checkValue(hi); err != nil {
+		return err
+	}
+	if hi < lo {
+		// Wrapping keeps the message byte-compatible with the pre-sentinel
+		// facade while letting callers branch with errors.Is.
+		return fmt.Errorf("%w [%g, %g]", ErrInvertedInterval, lo, hi)
+	}
+	return nil
+}
+
+// checkPoint validates a conventional query's coordinates the way
+// checkInterval validates value bounds.
+func checkPoint(p Point) error {
+	if err := checkValue(p.X); err != nil {
+		return err
+	}
+	return checkValue(p.Y)
+}
+
+// checkBatch validates a batch's shape and every member interval, wrapping
+// per-member failures with their position.
+func checkBatch(intervals []Interval) error {
+	if len(intervals) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrBadConjunction)
+	}
+	for i, iv := range intervals {
+		if err := checkInterval(iv.Lo, iv.Hi); err != nil {
+			return fmt.Errorf("%w (query %d)", err, i)
+		}
+	}
+	return nil
+}
+
+// collectBatch folds core batch results into the facade contract:
+// positionally aligned results with nil at failed slots, first failure
+// wrapped with its position.
+func collectBatch(results []core.BatchResult) ([]*Result, error) {
+	out := make([]*Result, len(results))
+	var firstErr error
+	for i, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("query %d: %w", i, r.Err)
+			}
+			continue
+		}
+		out[i] = r.Res
+	}
+	return out, firstErr
+}
+
+// assembleContours is the shared post-processing stage behind every
+// ContourMapContext: isoline assembly over a finished zero-width query,
+// emitting its own trace (kind "contour", one contour-assemble span reading
+// no pages) and metering the assembly.
+func assembleContours(tracer Tracer, metrics *obs.Metrics, method Method, level float64, res *Result) *ContourResult {
+	var start time.Time
+	if metrics != nil {
+		start = time.Now()
+	}
+	tb := obs.Begin(tracer, string(method), obs.KindContour, level, level)
+	tb.BeginSpan(obs.PhaseContour, obs.PageCounts{})
+	polylines := contour.Assemble(res.Isolines, 1e-9)
+	tb.EndSpan(obs.PageCounts{})
+	tb.Finish(nil)
+	if metrics != nil {
+		metrics.RecordContour(time.Since(start))
+	}
+	return &ContourResult{Polylines: polylines, IO: res.IO}
+}
+
+// conjoinable is the unexported capability behind AndQueriers: a surface
+// that can contribute its core value index to a conjunctive query. *DB and
+// *StoredIndex implement it; a *Snapshot does not (its pinned state is not a
+// standalone index), so snapshots cannot join conjunctions.
+type conjoinable interface {
+	conjunctionIndex() (core.Index, error)
+}
+
+func (db *DB) conjunctionIndex() (core.Index, error) {
+	if db == nil {
+		return nil, fmt.Errorf("%w: nil database", ErrBadConjunction)
+	}
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	return db.index, nil
+}
+
+func (s *StoredIndex) conjunctionIndex() (core.Index, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil stored index", ErrBadConjunction)
+	}
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.index, nil
+}
+
+// AndQueriers runs a conjunctive value query across query surfaces sharing
+// the same spatial domain: the region where every surface's value lies in
+// its interval. It is AndContext generalized over the Querier interface, so
+// live databases and stored indexes mix freely in one conjunction. Surfaces
+// that cannot contribute an index to a shared conjunction — snapshots, or
+// third-party Querier implementations — fail with ErrBadConjunction naming
+// the condition.
+func AndQueriers(ctx context.Context, qs []Querier, intervals []Interval) (*ConjunctiveResult, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("%w: no conditions", ErrBadConjunction)
+	}
+	if len(qs) != len(intervals) {
+		return nil, fmt.Errorf("%w: %d queriers but %d intervals",
+			ErrBadConjunction, len(qs), len(intervals))
+	}
+	idxs := make([]core.Index, len(qs))
+	for i, q := range qs {
+		c, ok := q.(conjoinable)
+		if !ok {
+			return nil, fmt.Errorf("%w: surface %T cannot join a conjunction (condition %d)",
+				ErrBadConjunction, q, i)
+		}
+		idx, err := c.conjunctionIndex()
+		if err != nil {
+			return nil, fmt.Errorf("%w (condition %d)", err, i)
+		}
+		if err := checkInterval(intervals[i].Lo, intervals[i].Hi); err != nil {
+			return nil, fmt.Errorf("%w (condition %d)", err, i)
+		}
+		idxs[i] = idx
+	}
+	return core.ConjunctiveQueryContext(ctx, idxs, intervals)
+}

@@ -1,0 +1,337 @@
+package fielddb
+
+// The shared conformance suite of the Querier interface: one table of
+// surfaces — live DB, stored index file, pinned snapshot — driven through the
+// whole contract, asserting the implementations agree on answers and fail the
+// same way on bad input. Divergence between surfaces was exactly the drift
+// the interface was introduced to stop, so every behavioral clause of the
+// Querier doc comment is pinned here.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// conformanceSurface is one Querier implementation under test.
+type conformanceSurface struct {
+	name string
+	q    Querier
+	// spatial marks surfaces that carry a spatial index; the rest must fail
+	// point queries with ErrNoSpatialIndex.
+	spatial bool
+	// conjoins marks surfaces AndQueriers accepts.
+	conjoins bool
+}
+
+// conformanceSurfaces builds the three surfaces over one 64×64 terrain. The
+// cleanup of every surface is registered on t.
+func conformanceSurfaces(t *testing.T) (Interval, []conformanceSurface) {
+	t.Helper()
+	dem, err := TerrainDEM(64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{Method: IHilbert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	idxPath := filepath.Join(t.TempDir(), "conformance.fidx")
+	if err := db.SaveIndex(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	si, err := OpenIndex(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { si.Close() })
+
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { snap.Close() })
+
+	return dem.ValueRange(), []conformanceSurface{
+		{name: "DB", q: db, spatial: true, conjoins: true},
+		{name: "StoredIndex", q: si, spatial: false, conjoins: true},
+		{name: "Snapshot", q: snap, spatial: true, conjoins: false},
+	}
+}
+
+// sameResult asserts two results answer the same query identically — counts,
+// area, and attributed I/O alike.
+func sameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil result (want %v, got %v)", label, want, got)
+	}
+	if got.CellsMatched != want.CellsMatched || got.CellsFetched != want.CellsFetched {
+		t.Fatalf("%s: cells diverge: want %d/%d, got %d/%d",
+			label, want.CellsFetched, want.CellsMatched, got.CellsFetched, got.CellsMatched)
+	}
+	if math.Abs(got.Area-want.Area) > 1e-9*(1+math.Abs(want.Area)) {
+		t.Fatalf("%s: area diverges: want %g, got %g", label, want.Area, got.Area)
+	}
+	if got.IO.Reads != want.IO.Reads {
+		t.Fatalf("%s: attributed reads diverge: want %d, got %d", label, want.IO.Reads, got.IO.Reads)
+	}
+}
+
+func TestQuerierConformanceAnswers(t *testing.T) {
+	vr, surfaces := conformanceSurfaces(t)
+	lo, hi := vr.Lo+vr.Length()*0.35, vr.Lo+vr.Length()*0.55
+	ctx := context.Background()
+
+	// The DB is the reference implementation; the others must match it.
+	ref := surfaces[0].q
+	refRange, err := ref.ValueQueryContext(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAbove, err := ref.ValueAboveContext(ctx, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBelow, err := ref.ValueBelowContext(ctx, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refContours, err := ref.ContoursContext(ctx, (lo+hi)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range surfaces {
+		t.Run(s.name, func(t *testing.T) {
+			if s.q.Method() != IHilbert {
+				t.Fatalf("Method() = %s", s.q.Method())
+			}
+			if s.q.Stats().Cells == 0 {
+				t.Fatal("Stats() reports no cells")
+			}
+			if got := s.q.ValueRange(); got != vr {
+				t.Fatalf("ValueRange() = %v, want %v", got, vr)
+			}
+
+			res, err := s.q.ValueQueryContext(ctx, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "range", refRange, res)
+
+			above, err := s.q.ValueAboveContext(ctx, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "above", refAbove, above)
+
+			below, err := s.q.ValueBelowContext(ctx, lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "below", refBelow, below)
+
+			// Batch answers must be positionally aligned and byte-identical
+			// to solo execution.
+			intervals := []Interval{
+				{Lo: lo, Hi: hi},
+				{Lo: vr.Lo, Hi: vr.Lo + vr.Length()*0.1},
+				{Lo: hi, Hi: vr.Hi},
+			}
+			batch, err := s.q.ValueQueryBatch(ctx, intervals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(intervals) {
+				t.Fatalf("batch returned %d results for %d intervals", len(batch), len(intervals))
+			}
+			for i, iv := range intervals {
+				solo, err := s.q.ValueQueryContext(ctx, iv.Lo, iv.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "batch member", solo, batch[i])
+			}
+
+			// Contour assembly must agree across surfaces.
+			lines, err := s.q.ContoursContext(ctx, (lo+hi)/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lines) != len(refContours) {
+				t.Fatalf("contours: %d polylines, want %d", len(lines), len(refContours))
+			}
+			cm, err := s.q.ContourMapContext(ctx, (lo+hi)/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cm.Polylines) != len(lines) {
+				t.Fatalf("ContourMap/Contours disagree: %d vs %d", len(cm.Polylines), len(lines))
+			}
+
+			// Point queries: spatial surfaces agree with the DB, the rest
+			// fail with the typed capability gap.
+			p := Point{X: 10.5, Y: 20.25}
+			if s.spatial {
+				want, err := ref.PointQueryContext(ctx, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.q.PointQueryContext(ctx, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("point: %g, want %g", got, want)
+				}
+			} else {
+				if _, err := s.q.PointQueryContext(ctx, p); !errors.Is(err, ErrNoSpatialIndex) {
+					t.Fatalf("point on non-spatial surface: %v, want ErrNoSpatialIndex", err)
+				}
+			}
+
+			// Every surface meters its queries.
+			if s.q.QueryMetrics().Queries == 0 {
+				t.Fatal("QueryMetrics() recorded no queries")
+			}
+		})
+	}
+}
+
+func TestQuerierConformanceValidation(t *testing.T) {
+	_, surfaces := conformanceSurfaces(t)
+	ctx := context.Background()
+	for _, s := range surfaces {
+		t.Run(s.name, func(t *testing.T) {
+			if _, err := s.q.ValueQueryContext(ctx, 5, 1); !errors.Is(err, ErrInvertedInterval) {
+				t.Fatalf("inverted interval: %v", err)
+			}
+			if _, err := s.q.ValueQueryContext(ctx, math.NaN(), 1); !errors.Is(err, ErrNonFiniteBound) {
+				t.Fatalf("NaN lo: %v", err)
+			}
+			if _, err := s.q.ValueQueryContext(ctx, 0, math.Inf(1)); !errors.Is(err, ErrNonFiniteBound) {
+				t.Fatalf("+Inf hi: %v", err)
+			}
+			if _, err := s.q.ValueAboveContext(ctx, math.NaN()); !errors.Is(err, ErrNonFiniteBound) {
+				t.Fatalf("NaN above: %v", err)
+			}
+			if _, err := s.q.ValueBelowContext(ctx, math.Inf(-1)); !errors.Is(err, ErrNonFiniteBound) {
+				t.Fatalf("-Inf below: %v", err)
+			}
+			if _, err := s.q.ValueQueryBatch(ctx, nil); !errors.Is(err, ErrBadConjunction) {
+				t.Fatalf("empty batch: %v", err)
+			}
+			// A bad member is rejected with its position, before any I/O.
+			_, err := s.q.ValueQueryBatch(ctx, []Interval{{Lo: 0, Hi: 1}, {Lo: 3, Hi: 2}})
+			if !errors.Is(err, ErrInvertedInterval) || !strings.Contains(err.Error(), "query 1") {
+				t.Fatalf("bad batch member: %v", err)
+			}
+			if s.spatial {
+				if _, err := s.q.PointQueryContext(ctx, Point{X: math.NaN(), Y: 1}); !errors.Is(err, ErrNonFiniteBound) {
+					t.Fatalf("NaN point: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestQuerierConformanceClosed(t *testing.T) {
+	dem, err := TerrainDEM(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(t.TempDir(), "closed.fidx")
+	if err := db.SaveIndex(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	si, err := OpenIndex(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	si.Close()
+
+	ctx := context.Background()
+	for _, s := range []conformanceSurface{
+		{name: "DB", q: db, spatial: true},
+		{name: "StoredIndex", q: si},
+	} {
+		t.Run(s.name, func(t *testing.T) {
+			if _, err := s.q.ValueQueryContext(ctx, 0, 1); !errors.Is(err, ErrClosed) {
+				t.Fatalf("range after close: %v", err)
+			}
+			if _, err := s.q.ValueAboveContext(ctx, 0); !errors.Is(err, ErrClosed) {
+				t.Fatalf("above after close: %v", err)
+			}
+			if _, err := s.q.ValueQueryBatch(ctx, []Interval{{Lo: 0, Hi: 1}}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("batch after close: %v", err)
+			}
+			if _, err := s.q.PointQueryContext(ctx, Point{X: 1, Y: 1}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("point after close: %v", err)
+			}
+			if _, err := s.q.ContourMapContext(ctx, 0.5); !errors.Is(err, ErrClosed) {
+				t.Fatalf("contour after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestAndQueriersAcrossSurfaces(t *testing.T) {
+	vr, surfaces := conformanceSurfaces(t)
+	ctx := context.Background()
+	lo, hi := vr.Lo+vr.Length()*0.3, vr.Lo+vr.Length()*0.7
+
+	// DB ∧ StoredIndex of the same field: the conjunction is the narrower
+	// band, and both conditions contribute per-field results.
+	db, si := surfaces[0].q, surfaces[1].q
+	res, err := AndQueriers(ctx,
+		[]Querier{db, si},
+		[]Interval{{Lo: lo, Hi: vr.Hi}, {Lo: vr.Lo, Hi: hi}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerField) != 2 {
+		t.Fatalf("PerField = %d", len(res.PerField))
+	}
+	want, err := db.ValueQueryContext(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Area-want.Area) > 1e-6*(1+want.Area) {
+		t.Fatalf("conjunction area %g, want band area %g", res.Area, want.Area)
+	}
+
+	// Surfaces marked non-conjoining — snapshots, whose pinned state is not a
+	// standalone index — are rejected with the typed error.
+	for _, s := range surfaces {
+		_, err := AndQueriers(ctx, []Querier{db, s.q},
+			[]Interval{{Lo: lo, Hi: hi}, {Lo: lo, Hi: hi}})
+		if s.conjoins && err != nil {
+			t.Fatalf("%s conjunction: %v", s.name, err)
+		}
+		if !s.conjoins && !errors.Is(err, ErrBadConjunction) {
+			t.Fatalf("%s conjunction: %v, want ErrBadConjunction", s.name, err)
+		}
+	}
+
+	// Shape validation.
+	if _, err := AndQueriers(ctx, nil, nil); !errors.Is(err, ErrBadConjunction) {
+		t.Fatalf("empty conjunction: %v", err)
+	}
+	if _, err := AndQueriers(ctx, []Querier{db}, []Interval{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}); !errors.Is(err, ErrBadConjunction) {
+		t.Fatalf("mismatched lengths: %v", err)
+	}
+	if _, err := AndQueriers(ctx, []Querier{db}, []Interval{{Lo: 2, Hi: 1}}); !errors.Is(err, ErrInvertedInterval) {
+		t.Fatalf("inverted condition: %v", err)
+	}
+}
