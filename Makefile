@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke serve-smoke bench-compare
+.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke serve-smoke serve-bench-smoke bench-compare
 
-check: build vet fmt race cover bench-smoke tiled-smoke serve-smoke bench-compare
+check: build vet fmt race cover bench-smoke tiled-smoke serve-smoke serve-bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,13 @@ tiled-smoke:
 # `make race`).
 serve-smoke:
 	$(GO) test -short -run TestServeSmoke ./internal/serve
+
+# Short 256-connection wall-clock drive over both wire formats, failing on
+# any dropped response or zero admission-window coalescing — the serving
+# tier's promises at real concurrency, in seconds instead of the full
+# post_wire measurement's minutes.
+serve-bench-smoke:
+	$(GO) test -run TestServeBenchSmoke ./internal/serve
 
 # Regression gate on the simulated-disk metrics: measure the deterministic
 # value-range suite (one 64-query rotation per cell, exactly the

@@ -11,6 +11,7 @@
 //	fieldserve terrain=t.fdb                     # one live field
 //	fieldserve live=t.fdb frozen=t.fidx          # live + read-only stored index
 //	fieldserve -addr :9090 -batch-window 2ms -max-inflight 128 terrain=t.fdb
+//	fieldserve -max-inflight 2048 -budget 256 -overflow 512 a=a.fdb b=b.fdb
 //
 // Each positional argument is name=path; .fidx paths open as read-only stored
 // indexes, anything else loads as a dataset and builds a live database with
@@ -38,12 +39,52 @@ import (
 	"fielddb/internal/serve"
 )
 
+// FlagError reports a rejected admission-control flag value and why, so
+// scripts can tell a bad invocation apart from a serving failure (the same
+// contract fieldgen's SideError gives -side).
+type FlagError struct {
+	Flag   string
+	Value  int
+	Reason string
+}
+
+func (e *FlagError) Error() string {
+	return fmt.Sprintf("invalid -%s %d: %s", e.Flag, e.Value, e.Reason)
+}
+
+// validateAdmission rejects flag combinations serve.New would otherwise
+// silently clamp or misconfigure: negative counts, and per-field budgets or
+// overflow pools larger than the in-flight cap they partition.
+func validateAdmission(maxInFlight, budget, overflow int) error {
+	switch {
+	case maxInFlight < 0:
+		return &FlagError{"max-inflight", maxInFlight, "must be >= 0 (0 means the default cap)"}
+	case budget < 0:
+		return &FlagError{"budget", budget, "must be >= 0 (0 derives per-field budgets from -max-inflight)"}
+	case overflow < 0:
+		return &FlagError{"overflow", overflow, "must be >= 0 (0 derives the shared pool from -max-inflight)"}
+	}
+	cap := maxInFlight
+	if cap == 0 {
+		cap = serve.DefaultMaxInFlight
+	}
+	switch {
+	case budget > cap:
+		return &FlagError{"budget", budget, fmt.Sprintf("exceeds the in-flight cap %d", cap)}
+	case overflow > cap:
+		return &FlagError{"overflow", overflow, fmt.Sprintf("exceeds the in-flight cap %d", cap)}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
 		method      = flag.String("method", "I-Hilbert", "index method for .fdb fields: LinearScan | I-All | I-Hilbert | I-Quad | Auto")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "admission window: concurrent value queries within it share one scan (0 disables)")
 		maxInFlight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "in-flight request cap; excess load is shed with 429")
+		budget      = flag.Int("budget", 0, "per-field admission budget in requests (0 derives max-inflight/(2*fields))")
+		overflow    = flag.Int("overflow", 0, "shared overflow pool fields may borrow from (0 derives the remainder of -max-inflight)")
 		timeout     = flag.Duration("timeout", serve.DefaultRequestTimeout, "default per-request deadline (clients may lower it with timeout_ms)")
 		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on client-requested deadlines")
 		traceRing   = flag.Int("traces", 128, "per-field ring of recent query traces served at /traces (0 disables tracing)")
@@ -51,6 +92,10 @@ func main() {
 		demoSeed    = flag.Int64("demo-seed", bench.FixtureSeed, "seed of the demo terrain (no-argument mode)")
 	)
 	flag.Parse()
+
+	if err := validateAdmission(*maxInFlight, *budget, *overflow); err != nil {
+		fatal(err)
+	}
 
 	fields := map[string]*serve.Field{}
 	var closers []func() error
@@ -114,6 +159,8 @@ func main() {
 
 	srv := serve.New(fields, serve.Config{
 		MaxInFlight:    *maxInFlight,
+		FieldBudget:    *budget,
+		Overflow:       *overflow,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fielddb/internal/serve"
+)
+
+func TestValidateAdmission(t *testing.T) {
+	cases := []struct {
+		maxInFlight, budget, overflow int
+		wantFlag                      string // flag named by the error, "" = valid
+		wantErr                       string // substring of the error message
+	}{
+		{0, 0, 0, "", ""},                        // all derived
+		{128, 0, 0, "", ""},                      // cap only
+		{2048, 256, 512, "", ""},                 // explicit partition
+		{128, 128, 0, "", ""},                    // budget may equal the cap
+		{0, serve.DefaultMaxInFlight, 0, "", ""}, // cap 0 means the default
+		{-1, 0, 0, "max-inflight", "must be >= 0"},
+		{128, -2, 0, "budget", "must be >= 0"},
+		{128, 0, -5, "overflow", "must be >= 0"},
+		{128, 129, 0, "budget", "exceeds the in-flight cap 128"},
+		{128, 0, 129, "overflow", "exceeds the in-flight cap 128"},
+		{0, serve.DefaultMaxInFlight + 1, 0, "budget", "exceeds the in-flight cap"},
+	}
+	for _, c := range cases {
+		err := validateAdmission(c.maxInFlight, c.budget, c.overflow)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateAdmission(%d, %d, %d) = %v, want nil", c.maxInFlight, c.budget, c.overflow, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateAdmission(%d, %d, %d) = %v, want error containing %q",
+				c.maxInFlight, c.budget, c.overflow, err, c.wantErr)
+			continue
+		}
+		var fe *FlagError
+		if !errors.As(err, &fe) || fe.Flag != c.wantFlag {
+			t.Errorf("validateAdmission(%d, %d, %d): error %v is not a *FlagError naming -%s",
+				c.maxInFlight, c.budget, c.overflow, err, c.wantFlag)
+		}
+	}
+}

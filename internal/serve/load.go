@@ -3,14 +3,14 @@ package serve
 // The load-generation half of the serving tier: a deterministic HTTP query
 // driver (RunLoad, the engine of cmd/fieldload) and the bench-pipeline entry
 // (ServeLoadMeasure) that folds end-to-end serving costs into the
-// BENCH_BASELINE.json regression gate as the post_serve section.
+// BENCH_BASELINE.json regression gate as the post_serve/post_wire sections.
 //
 // Two kinds of rows come out, matching the two accounting planes the rest of
 // the pipeline already distinguishes. The Serve/... rows are gated: explicit
 // /batch requests of ConcurrentClients intervals execute as one shared scan
 // each, so their physical page and simulated-disk costs are exactly
-// reproducible, wall clock be damned. The ServeLoad/... row is ungated: a
-// wall-clock throughput measurement of concurrent connections whose queries
+// reproducible, wall clock be damned. The ServeLoad/... rows are ungated:
+// wall-clock throughput measurements of concurrent connections whose queries
 // coalesce through the admission window — real QPS and latency quantiles,
 // which vary by host and therefore never gate.
 
@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,12 @@ import (
 
 	"fielddb"
 	"fielddb/internal/bench"
+)
+
+// Wire format names accepted by LoadOptions.Wire and the -wire flags.
+const (
+	WireJSON = "json"
+	WireBin  = "bin"
 )
 
 // LoadOptions configures one RunLoad drive.
@@ -51,6 +58,22 @@ type LoadOptions struct {
 	// PointEvery mixes one point query per this many requests (0 means the
 	// default 8; negative disables the point mix).
 	PointEvery int
+	// Wire selects the response encoding: WireJSON (the default) keeps the
+	// server's JSON envelopes, WireBin negotiates the compact binary frame
+	// format via Accept: application/x-fielddb-bin. The first binary
+	// response each worker receives is decoded with DecodeFrame as a sanity
+	// check; subsequent bodies are drained without decoding so the client
+	// does not bill its own parse cost to the server's throughput.
+	Wire string
+	// Geometry asks the value-range queries in the mix to return region
+	// geometry (?geometry=1) — the payloads where serialization dominates
+	// and the two wire formats separate.
+	Geometry bool
+	// Transports shards the connection pool across this many independent
+	// http.Transports (default 1). At thousands of connections a single
+	// transport serializes all dialing and idle-pool bookkeeping behind one
+	// mutex; sharding spreads that contention.
+	Transports int
 }
 
 // LoadReport is the outcome of one RunLoad drive.
@@ -74,18 +97,15 @@ func (r *LoadReport) String() string {
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 }
 
-// loadRequest is one pre-generated request of the drive.
-type loadRequest struct {
-	method string
-	url    string
-}
-
 // buildRequests pre-generates the whole request sequence from the seed, so
-// the drive issues an identical mix regardless of connection scheduling. The
-// value-range mix is zipf over a small interval pool spanning the
-// selectivity bands of the bench suite; every PointEvery-th request is a
-// point query at a deterministic position.
-func buildRequests(opts LoadOptions, vr fielddb.Interval) []loadRequest {
+// the drive issues an identical mix regardless of connection scheduling, and
+// pre-parses every URL into an *http.Request up front — request construction
+// (URL parsing, header maps) stays out of the timed loop. Each request is
+// issued exactly once by exactly one worker, so sharing the pre-built values
+// is race-free. The value-range mix is zipf over a small interval pool
+// spanning the selectivity bands of the bench suite; every PointEvery-th
+// request is a point query at a deterministic position.
+func buildRequests(opts LoadOptions, vr fielddb.Interval) ([]*http.Request, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	zipf := rand.NewZipf(rng, 1.3, 1, uint64(opts.Intervals-1))
 	pool := make([]fielddb.Interval, opts.Intervals)
@@ -96,29 +116,46 @@ func buildRequests(opts LoadOptions, vr fielddb.Interval) []loadRequest {
 		lo := vr.Lo + rng.Float64()*(vr.Length()-width)
 		pool[i] = fielddb.Interval{Lo: lo, Hi: lo + width}
 	}
-	reqs := make([]loadRequest, opts.Requests)
+	geom := ""
+	if opts.Geometry {
+		geom = "&geometry=1"
+	}
+	reqs := make([]*http.Request, opts.Requests)
 	for i := range reqs {
+		var url string
 		if opts.PointEvery > 0 && i%opts.PointEvery == opts.PointEvery-1 {
 			// The point mix assumes the cell-coordinate domain of the
 			// shipped fields (the fixture terrain spans [0, side]²); drive
 			// fields with another extent with PointEvery < 0.
 			x := 1 + rng.Float64()*99
 			y := 1 + rng.Float64()*99
-			reqs[i] = loadRequest{
-				method: http.MethodGet,
-				url: fmt.Sprintf("%s/v1/fields/%s/point?x=%g&y=%g",
-					opts.BaseURL, opts.Field, x, y),
-			}
-			continue
+			url = fmt.Sprintf("%s/v1/fields/%s/point?x=%g&y=%g",
+				opts.BaseURL, opts.Field, x, y)
+		} else {
+			iv := pool[zipf.Uint64()]
+			url = fmt.Sprintf("%s/v1/fields/%s/range?lo=%g&hi=%g%s",
+				opts.BaseURL, opts.Field, iv.Lo, iv.Hi, geom)
 		}
-		iv := pool[zipf.Uint64()]
-		reqs[i] = loadRequest{
-			method: http.MethodGet,
-			url: fmt.Sprintf("%s/v1/fields/%s/range?lo=%g&hi=%g",
-				opts.BaseURL, opts.Field, iv.Lo, iv.Hi),
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
 		}
+		if opts.Wire == WireBin {
+			req.Header.Set("Accept", WireMIME)
+		}
+		reqs[i] = req
 	}
-	return reqs
+	return reqs, nil
+}
+
+// loadShard is one worker's private measurement state. Each shard is heap-
+// allocated on its own so concurrent appends never false-share a cache line
+// with a neighbouring worker's slice header — at 2048 workers a shared
+// per-request array indexed by request number keeps every worker writing
+// into the same few cache lines.
+type loadShard struct {
+	lat      []time.Duration
+	statuses map[int]int
 }
 
 // RunLoad drives the server at BaseURL with Connections concurrent clients
@@ -128,6 +165,11 @@ func buildRequests(opts LoadOptions, vr fielddb.Interval) []loadRequest {
 func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if opts.BaseURL == "" || opts.Field == "" {
 		return nil, fmt.Errorf("serve: RunLoad needs BaseURL and Field")
+	}
+	switch opts.Wire {
+	case "", WireJSON, WireBin:
+	default:
+		return nil, fmt.Errorf("serve: unknown wire format %q (want %q or %q)", opts.Wire, WireJSON, WireBin)
 	}
 	if opts.Connections <= 0 {
 		opts.Connections = 16
@@ -144,48 +186,96 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if opts.PointEvery == 0 {
 		opts.PointEvery = 8
 	}
+	if opts.Transports <= 0 {
+		opts.Transports = 1
+	}
+	if opts.Transports > opts.Connections {
+		opts.Transports = opts.Connections
+	}
 
 	// The interval pool spans the field's value range, read once up front.
 	vr, err := fetchValueRange(opts.BaseURL, opts.Field)
 	if err != nil {
 		return nil, err
 	}
-	reqs := buildRequests(opts, vr)
+	reqs, err := buildRequests(opts, vr)
+	if err != nil {
+		return nil, err
+	}
 
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConnsPerHost: opts.Connections,
-	}}
-	latencies := make([]time.Duration, len(reqs))
-	statuses := make([]int, len(reqs))
+	// One client per transport shard, each sized to keep every connection it
+	// owns alive for the whole drive: MaxIdleConnsPerHost alone is not
+	// enough, because the transport's *global* idle pool defaults to 100 —
+	// beyond it, connections are closed on return and redialed, which at
+	// thousands of connections turns the drive into a TCP churn benchmark.
+	perShard := (opts.Connections + opts.Transports - 1) / opts.Transports
+	clients := make([]*http.Client, opts.Transports)
+	for i := range clients {
+		clients[i] = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        perShard,
+			MaxIdleConnsPerHost: perShard,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.CloseIdleConnections()
+		}
+	}()
+
+	shards := make([]*loadShard, opts.Connections)
+	perWorker := opts.Requests/opts.Connections + 2
+	for i := range shards {
+		shards[i] = &loadShard{
+			lat:      make([]time.Duration, 0, perWorker),
+			statuses: make(map[int]int, 4),
+		}
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < opts.Connections; c++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			shard := shards[w]
+			client := clients[w%len(clients)]
+			checked := opts.Wire != WireBin // binary mode decodes one response per worker
+			var buf bytes.Buffer
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(reqs) {
 					return
 				}
 				t0 := time.Now()
-				req, err := http.NewRequest(reqs[i].method, reqs[i].url, nil)
+				resp, err := client.Do(reqs[i])
 				if err != nil {
-					latencies[i] = time.Since(t0)
+					shard.lat = append(shard.lat, time.Since(t0))
+					shard.statuses[0]++
 					continue
 				}
-				resp, err := client.Do(req)
-				if err != nil {
-					latencies[i] = time.Since(t0)
+				if !checked && resp.StatusCode == http.StatusOK {
+					buf.Reset()
+					_, err := buf.ReadFrom(resp.Body)
+					resp.Body.Close()
+					shard.lat = append(shard.lat, time.Since(t0))
+					if err == nil {
+						_, err = DecodeFrame(buf.Bytes())
+					}
+					if err != nil {
+						shard.statuses[0]++
+						continue
+					}
+					checked = true
+					shard.statuses[resp.StatusCode]++
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				statuses[i] = resp.StatusCode
-				latencies[i] = time.Since(t0)
+				shard.lat = append(shard.lat, time.Since(t0))
+				shard.statuses[resp.StatusCode]++
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -195,16 +285,19 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		Elapsed:      elapsed,
 		StatusCounts: map[int]int{},
 	}
-	for _, st := range statuses {
-		rep.StatusCounts[st]++
-		if st < 200 || st > 299 {
-			rep.Errors++
+	sorted := make([]time.Duration, 0, len(reqs))
+	for _, shard := range shards {
+		sorted = append(sorted, shard.lat...)
+		for st, n := range shard.statuses {
+			rep.StatusCounts[st] += n
+			if st < 200 || st > 299 {
+				rep.Errors += n
+			}
 		}
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
 	}
-	sorted := append([]time.Duration(nil), latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rep.P50 = quantileDuration(sorted, 0.50)
 	rep.P95 = quantileDuration(sorted, 0.95)
@@ -267,8 +360,14 @@ func startLocalServer(s *Server) (string, func(), error) {
 // coalescing clients the Concurrent suite models.
 const ServeClients = bench.ConcurrentClients
 
+// WireLoadConns are the connection counts of the ungated wire-format scaling
+// rows (ServeLoad/<wire>/conns=N): the same drive at increasing concurrency,
+// once per encoding, with geometry on so serialization dominates.
+var WireLoadConns = []int{256, 1024, 2048}
+
 // ServeLoadMeasure runs the serving-tier benchmark suite on the bench
-// fixture terrain and returns its rows for the post_serve baseline section.
+// fixture terrain and returns its rows for the post_serve/post_wire baseline
+// sections.
 //
 // Gated rows (Serve/<method>/sel=S/clients=16): the 64-query rotation of
 // each (method, selectivity) cell crosses HTTP as explicit /batch requests
@@ -276,12 +375,16 @@ const ServeClients = bench.ConcurrentClients
 // (deduplicated) costs read back from the response's batch stats, exactly
 // reproducible run to run, and qps_sim is throughput on the simulated clock.
 //
-// The ungated row (ServeLoad/mixed/conns=16) drives a BatchWindow-armed
-// server with 16 concurrent connections over a deterministic zipf mix and
-// records wall-clock QPS and latency quantiles (fields the regression gate
-// ignores). The run fails if the admission window coalesced nothing —
-// CoalescedPagesSaved must move — or if the drain dropped a response, so the
-// pipeline asserts the serving tier's two promises on every run.
+// The ungated rows come in three groups. ServeLoad/mixed/conns=16 drives a
+// BatchWindow-armed server with 16 concurrent connections over a
+// deterministic zipf mix and records wall-clock QPS and latency quantiles
+// (fields the regression gate ignores); the run fails if the admission
+// window coalesced nothing — CoalescedPagesSaved must move — or if the drain
+// dropped a response. ServeLoad/<wire>/conns=N scales the same mix to
+// WireLoadConns connections with geometry payloads, once per wire format,
+// failing on any non-2xx response. ServeEncode/... rows isolate the pooled
+// encode path: allocations, bytes, and wall time per response envelope for
+// both formats (the allocs_op/b_op columns the post_wire notes cite).
 func ServeLoadMeasure() (map[string]bench.Row, error) {
 	f, err := bench.FixtureTerrain(0, 0)
 	if err != nil {
@@ -336,6 +439,12 @@ func ServeLoadMeasure() (map[string]bench.Row, error) {
 		db.Close()
 	}
 
+	// The encode-path rows, measured before the load servers spin up so the
+	// allocation counter attributes nothing foreign.
+	if err := encodeMeasure(f, rows); err != nil {
+		return nil, err
+	}
+
 	// The mixed wall-clock drive: window-armed server, concurrent
 	// connections, zipf mix.
 	db, err := fielddb.Open(f, fielddb.Options{
@@ -375,7 +484,153 @@ func ServeLoadMeasure() (map[string]bench.Row, error) {
 		P95Ns: float64(rep.P95),
 		P99Ns: float64(rep.P99),
 	}
+
+	// The wire-format scaling drives: one window-armed server, driven at
+	// WireLoadConns connections per encoding with geometry payloads. The
+	// in-flight cap is sized above the largest drive so admission never
+	// sheds — a 429 here would count as an error and fail the run.
+	wdb, err := fielddb.Open(f, fielddb.Options{
+		Method:      fielddb.IHilbert,
+		BatchWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer wdb.Close()
+	maxConns := WireLoadConns[len(WireLoadConns)-1]
+	wsrv := New(map[string]*Field{"terrain": {Querier: wdb, DB: wdb}}, Config{
+		MaxInFlight: 2 * maxConns,
+		// Queueing delay at thousands of connections on a small host can
+		// exceed the serving default; the drive measures throughput, not
+		// deadline shedding, so a 504 would fail the run as an error.
+		DefaultTimeout: 5 * time.Minute,
+		MaxTimeout:     5 * time.Minute,
+	})
+	wbase, wstop, err := startLocalServer(wsrv)
+	if err != nil {
+		return nil, err
+	}
+	defer wstop()
+	for _, conns := range WireLoadConns {
+		for _, wire := range []string{WireJSON, WireBin} {
+			requests := conns
+			if requests < 1024 {
+				requests = 1024
+			}
+			rep, err := RunLoad(LoadOptions{
+				BaseURL:     wbase,
+				Field:       "terrain",
+				Connections: conns,
+				Requests:    requests,
+				Seed:        bench.FixtureSeed,
+				Wire:        wire,
+				Geometry:    true,
+				Transports:  (conns + 511) / 512,
+			})
+			name := fmt.Sprintf("ServeLoad/%s/conns=%d", wire, conns)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			if rep.Errors > 0 {
+				return nil, fmt.Errorf("%s: %d of %d requests failed (statuses %v)",
+					name, rep.Errors, rep.Requests, rep.StatusCounts)
+			}
+			rows[name] = bench.Row{
+				QPS:   rep.QPS,
+				P50Ns: float64(rep.P50),
+				P95Ns: float64(rep.P95),
+				P99Ns: float64(rep.P99),
+			}
+		}
+	}
 	return rows, nil
+}
+
+// countingWriter tallies bytes without keeping them — the encode-path rows
+// record payload size, not payload content.
+type countingWriter struct {
+	h http.Header
+	n int64
+}
+
+func (c *countingWriter) Header() http.Header { return c.h }
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+func (c *countingWriter) WriteHeader(int) {}
+
+// measureAllocs reports the mean allocations of runs calls to f, the way
+// testing.AllocsPerRun does (single-threaded, warmed up) but callable from
+// the bench pipeline.
+func measureAllocs(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm pools and scratch before counting
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// encodeMeasure isolates the pooled encode path on a mid-band range result:
+// allocations per response (allocs_op), payload bytes (b_op), and wall time
+// (ns_op) for each wire format, with and without geometry. These are the
+// numbers behind the post_wire claim that the encoder — not the engine — got
+// cheaper: end-to-end allocations are dominated by query execution, so the
+// encode-path delta is recorded on its own.
+func encodeMeasure(f fielddb.Field, rows map[string]bench.Row) error {
+	db, err := fielddb.Open(f, fielddb.Options{Method: fielddb.IHilbert})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	vr := db.ValueRange()
+	res, err := db.ValueQuery(vr.Lo+vr.Length()*0.45, vr.Lo+vr.Length()*0.55)
+	if err != nil {
+		return err
+	}
+	quoted := appendJSONString(nil, "terrain")
+	for _, geom := range []bool{false, true} {
+		for _, wire := range []string{WireJSON, WireBin} {
+			w := &countingWriter{h: make(http.Header)}
+			run := func() {
+				c := getCodec(w)
+				if wire == WireBin {
+					c.writeResultFrame(w, "terrain", res, geom)
+				} else {
+					c.writeResultEnvelope(w, quoted, res, geom)
+				}
+				c.put()
+			}
+			runs := 200
+			if geom {
+				runs = 50
+			}
+			allocs := measureAllocs(runs, run)
+			w.n = 0
+			start := time.Now()
+			for i := 0; i < runs; i++ {
+				run()
+			}
+			elapsed := time.Since(start)
+			rows[fmt.Sprintf("ServeEncode/range/geometry=%d/wire=%s", boolBit(geom), wire)] = bench.Row{
+				NsOp:     float64(elapsed.Nanoseconds()) / float64(runs),
+				BOp:      float64(w.n) / float64(runs),
+				AllocsOp: allocs,
+			}
+		}
+	}
+	return nil
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // postBatch issues one /batch request and returns its batch stats.

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation gates skip under it because instrumentation inflates counts.
+const raceEnabled = true

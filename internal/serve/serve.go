@@ -1,12 +1,19 @@
-// Package serve is the HTTP/JSON serving tier over the fielddb facade: a
-// front door (cmd/fieldserve) that exposes named query surfaces — live
-// databases, stored index files, pinned snapshots, anything implementing
+// Package serve is the HTTP serving tier over the fielddb facade: a front
+// door (cmd/fieldserve) that exposes named query surfaces — live databases,
+// stored index files, pinned snapshots, anything implementing
 // fielddb.Querier — to remote clients, with the admission machinery the
 // engine already has. Concurrent value queries coalesce onto the shared-scan
 // batch executor through Options.BatchWindow group commit; per-request
-// deadlines ride the context facade; an in-flight cap sheds load with 429 +
-// Retry-After; and a drain mode refuses new work with 503 while in-flight
-// requests finish, so a shutdown never drops a response.
+// deadlines ride the context facade; per-field token budgets plus a shared
+// overflow pool shed load with 429 + Retry-After so one hot field cannot
+// starve the others; and a drain mode refuses new work with 503 while
+// in-flight requests finish, so a shutdown never drops a response.
+//
+// Responses are JSON by default and a compact binary format (wire.go) when
+// the client sends "Accept: application/x-fielddb-bin". Both paths run on
+// pooled per-request scratch (encode.go): reused buffered writers, hand-built
+// envelopes, and chunked geometry streaming, so the steady-state request
+// cycle allocates a small constant regardless of payload size.
 //
 // The package binds to the Querier interface alone for every read endpoint —
 // the serving tier is the consumer the interface was cut for — and needs a
@@ -15,6 +22,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -22,6 +30,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,9 +54,21 @@ type Field struct {
 
 // Config tunes the server's admission control.
 type Config struct {
-	// MaxInFlight caps concurrently admitted requests; excess load is shed
-	// with 429 + Retry-After. 0 means DefaultMaxInFlight.
+	// MaxInFlight is the total admission capacity, split into per-field
+	// budgets plus the shared overflow pool; 0 means DefaultMaxInFlight.
 	MaxInFlight int
+	// FieldBudget is each field's own token budget. A field whose budget is
+	// exhausted borrows from the overflow pool before shedding 429, so a hot
+	// field saturates at most FieldBudget+Overflow while cold fields keep
+	// their own tokens. 0 derives max(1, MaxInFlight/(2·nfields)) — half the
+	// capacity reserved per field, half pooled.
+	FieldBudget int
+	// Overflow is the shared overflow pool: tokens borrowed by over-budget
+	// fields and the only pool cross-field requests (/v1/and) draw from.
+	// 0 derives MaxInFlight − FieldBudget·nfields (clamped at 0, which keeps
+	// the derived total exactly MaxInFlight — with one field and
+	// MaxInFlight 1 the pool is empty and /v1/and always sheds).
+	Overflow int
 	// DefaultTimeout is the per-request deadline when the client sends no
 	// timeout_ms parameter; 0 means DefaultRequestTimeout. A request that
 	// outlives its deadline answers 504.
@@ -66,14 +87,24 @@ const (
 	DefaultMaxTimeout     = 30 * time.Second
 )
 
-// Server routes HTTP/JSON queries to named Queriers. Create with New, mount
-// via Handler, stop with Drain.
+// fieldGate is one field's admission state: its token bucket and its slot in
+// the admission metrics registry.
+type fieldGate struct {
+	tokens chan struct{}
+	slot   int
+}
+
+// Server routes HTTP queries to named Queriers. Create with New, mount via
+// Handler, stop with Drain.
 type Server struct {
 	cfg      Config
 	fields   map[string]*Field
-	names    []string // sorted, for deterministic listings
+	names    []string          // sorted, for deterministic listings
+	quoted   map[string][]byte // JSON-quoted field names, escaped once at New
+	gates    map[string]*fieldGate
+	overflow chan struct{}
+	adm      *obs.AdmissionMetrics
 	mux      *http.ServeMux
-	sem      chan struct{}
 	draining atomic.Bool
 	wg       sync.WaitGroup
 }
@@ -92,30 +123,55 @@ func New(fields map[string]*Field, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	nfields := len(fields)
+	if cfg.FieldBudget <= 0 {
+		if nfields > 0 {
+			cfg.FieldBudget = cfg.MaxInFlight / (2 * nfields)
+		}
+		if cfg.FieldBudget < 1 {
+			cfg.FieldBudget = 1
+		}
+	}
+	if cfg.Overflow <= 0 {
+		cfg.Overflow = cfg.MaxInFlight - cfg.FieldBudget*nfields
+		if cfg.Overflow < 0 {
+			cfg.Overflow = 0
+		}
+	}
 	s := &Server{
-		cfg:    cfg,
-		fields: make(map[string]*Field, len(fields)),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
+		cfg:      cfg,
+		fields:   make(map[string]*Field, nfields),
+		quoted:   make(map[string][]byte, nfields),
+		gates:    make(map[string]*fieldGate, nfields),
+		overflow: make(chan struct{}, cfg.Overflow),
+		adm:      obs.NewAdmissionMetrics(cfg.FieldBudget, cfg.Overflow),
 	}
 	for name, f := range fields {
 		s.fields[name] = f
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
+	for _, name := range s.names {
+		s.quoted[name] = appendJSONString(nil, name)
+		s.gates[name] = &fieldGate{
+			tokens: make(chan struct{}, cfg.FieldBudget),
+			slot:   s.adm.RegisterField(name),
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/fields", s.admit(s.handleList))
-	s.mux.HandleFunc("GET /v1/fields/{name}", s.admit(s.handleDescribe))
-	s.mux.HandleFunc("GET /v1/fields/{name}/range", s.admit(s.handleRange))
-	s.mux.HandleFunc("GET /v1/fields/{name}/above", s.admit(s.handleAbove))
-	s.mux.HandleFunc("GET /v1/fields/{name}/below", s.admit(s.handleBelow))
-	s.mux.HandleFunc("GET /v1/fields/{name}/point", s.admit(s.handlePoint))
-	s.mux.HandleFunc("GET /v1/fields/{name}/contour", s.admit(s.handleContour))
-	s.mux.HandleFunc("POST /v1/fields/{name}/batch", s.admit(s.handleBatch))
-	s.mux.HandleFunc("POST /v1/fields/{name}/update", s.admit(s.handleUpdate))
-	s.mux.HandleFunc("POST /v1/and", s.admit(s.handleAnd))
-	s.mux.HandleFunc("GET /metrics", s.admit(s.handleMetrics))
-	s.mux.HandleFunc("GET /traces", s.admit(s.handleTraces))
+	s.mux.HandleFunc("GET /v1/fields", s.admitLight(s.handleList))
+	s.mux.HandleFunc("GET /v1/fields/{name}", s.admitLight(s.handleDescribe))
+	s.mux.HandleFunc("GET /v1/fields/{name}/range", s.admitField(s.handleRange))
+	s.mux.HandleFunc("GET /v1/fields/{name}/above", s.admitField(s.handleAbove))
+	s.mux.HandleFunc("GET /v1/fields/{name}/below", s.admitField(s.handleBelow))
+	s.mux.HandleFunc("GET /v1/fields/{name}/point", s.admitField(s.handlePoint))
+	s.mux.HandleFunc("GET /v1/fields/{name}/contour", s.admitField(s.handleContour))
+	s.mux.HandleFunc("POST /v1/fields/{name}/batch", s.admitField(s.handleBatch))
+	s.mux.HandleFunc("POST /v1/fields/{name}/update", s.admitField(s.handleUpdate))
+	s.mux.HandleFunc("POST /v1/and", s.admitShared(s.handleAnd))
+	s.mux.HandleFunc("GET /metrics", s.admitLight(s.handleMetrics))
+	s.mux.HandleFunc("GET /traces", s.admitLight(s.handleTraces))
 	return s
 }
 
@@ -134,30 +190,31 @@ func (s *Server) Drain() {
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// errorBody is the JSON error envelope of every non-2xx response.
-type errorBody struct {
-	Error struct {
-		Status  int    `json:"status"`
-		Message string `json:"message"`
-	} `json:"error"`
+// Admission returns a snapshot of the server's admission accounting.
+func (s *Server) Admission() obs.AdmissionSnapshot { return s.adm.Snapshot() }
+
+// wantBinary reports whether the request negotiates the binary wire format.
+func wantBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), WireMIME)
 }
 
-// writeJSON writes one JSON response; encode errors past the header cannot
-// be reported to the client, so they are dropped.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+// handlerFn is an admitted handler: it runs with the request's pooled codec
+// and the negotiated format, inside the drain group, under the deadline
+// context.
+type handlerFn func(c *codec, w http.ResponseWriter, r *http.Request, bin bool)
+
+// writeFail writes err's envelope in the negotiated format.
+func writeFail(c *codec, w http.ResponseWriter, bin bool, status int, msg string) {
+	if bin {
+		c.writeErrorFrame(w, status, msg)
+	} else {
+		c.writeErrorEnvelope(w, status, msg)
+	}
 }
 
-// writeError writes the error envelope for status.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	var b errorBody
-	b.Error.Status = status
-	b.Error.Message = msg
-	writeJSON(w, status, b)
+// fail writes err through mapError.
+func fail(c *codec, w http.ResponseWriter, bin bool, err error) {
+	writeFail(c, w, bin, mapError(err), err.Error())
 }
 
 // retryAfterSeconds renders the Retry-After hint (whole seconds, minimum 1).
@@ -169,45 +226,148 @@ func (s *Server) retryAfterSeconds() string {
 	return strconv.Itoa(secs)
 }
 
-// admit wraps a handler with the admission path: drain refusal (503),
-// in-flight cap (429), the per-request deadline, and the drain group's
-// accounting. The deadline context is what flows into every facade call, so
-// a slow query is abandoned by the engine's own cancellation polling.
-func (s *Server) admit(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			writeError(w, http.StatusServiceUnavailable, "server is draining")
-			return
-		}
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			writeError(w, http.StatusTooManyRequests, "too many in-flight requests")
-			return
-		}
-		s.wg.Add(1)
-		defer func() {
-			<-s.sem
-			s.wg.Done()
-		}()
+// enter is the admission prelude every endpoint shares: the drain refusal and
+// the drain group's accounting. It reports false after writing the 503; on
+// true the caller owes s.wg.Done().
+func (s *Server) enter(c *codec, w http.ResponseWriter, r *http.Request, bin bool) bool {
+	if s.draining.Load() {
+		s.adm.RecordDrainRefusal()
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeFail(c, w, bin, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
 
-		timeout := s.cfg.DefaultTimeout
-		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
-			ms, err := strconv.Atoi(raw)
-			if err != nil || ms <= 0 {
-				writeError(w, http.StatusBadRequest, "timeout_ms must be a positive integer")
+// deadline resolves the request's timeout (default, or a capped timeout_ms)
+// and returns the derived context; ok is false after a 400 was written.
+func (s *Server) deadline(c *codec, w http.ResponseWriter, r *http.Request, bin bool) (context.Context, context.CancelFunc, bool) {
+	timeout := s.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			writeFail(c, w, bin, http.StatusBadRequest, "timeout_ms must be a positive integer")
+			return nil, nil, false
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, true
+}
+
+// acquire takes one admission token for g: the field's own budget first, a
+// borrowed overflow token second. It returns the matching release, or false
+// after recording the shed (the caller answers 429).
+func (s *Server) acquire(g *fieldGate) (func(), bool) {
+	select {
+	case g.tokens <- struct{}{}:
+		s.adm.RecordAdmit(g.slot)
+		return func() {
+			<-g.tokens
+			s.adm.RecordRelease(g.slot)
+		}, true
+	default:
+	}
+	select {
+	case s.overflow <- struct{}{}:
+		s.adm.RecordBorrow(g.slot)
+		return func() {
+			<-s.overflow
+			s.adm.RecordOverflowRelease()
+		}, true
+	default:
+		s.adm.RecordShed(g.slot)
+		return nil, false
+	}
+}
+
+// admitField wraps a per-field endpoint: drain refusal, the field's token
+// budget (with overflow borrowing), and the deadline. Unknown fields skip the
+// token path — the handler answers their 404 — so a typo cannot consume
+// admission capacity.
+func (s *Server) admitField(h handlerFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		bin := wantBinary(r)
+		c := getCodec(w)
+		defer c.put()
+		if !s.enter(c, w, r, bin) {
+			return
+		}
+		defer s.wg.Done()
+		if g, ok := s.gates[r.PathValue("name")]; ok {
+			release, admitted := s.acquire(g)
+			if !admitted {
+				w.Header().Set("Retry-After", s.retryAfterSeconds())
+				writeFail(c, w, bin, http.StatusTooManyRequests, "field budget and overflow pool exhausted")
 				return
 			}
-			timeout = time.Duration(ms) * time.Millisecond
-			if timeout > s.cfg.MaxTimeout {
-				timeout = s.cfg.MaxTimeout
-			}
+			defer release()
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		ctx, cancel, ok := s.deadline(c, w, r, bin)
+		if !ok {
+			return
+		}
 		defer cancel()
-		h(w, r.WithContext(ctx))
+		h(c, w, r.WithContext(ctx), bin)
+	}
+}
+
+// admitShared wraps a cross-field endpoint (/v1/and): it draws from the
+// overflow pool only, so conjunctions compete with over-budget fields, never
+// with any field's reserved tokens.
+func (s *Server) admitShared(h handlerFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		bin := wantBinary(r)
+		c := getCodec(w)
+		defer c.put()
+		if !s.enter(c, w, r, bin) {
+			return
+		}
+		defer s.wg.Done()
+		select {
+		case s.overflow <- struct{}{}:
+			s.adm.RecordSharedAdmit()
+			defer func() {
+				<-s.overflow
+				s.adm.RecordOverflowRelease()
+			}()
+		default:
+			s.adm.RecordSharedShed()
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeFail(c, w, bin, http.StatusTooManyRequests, "overflow pool exhausted")
+			return
+		}
+		ctx, cancel, ok := s.deadline(c, w, r, bin)
+		if !ok {
+			return
+		}
+		defer cancel()
+		h(c, w, r.WithContext(ctx), bin)
+	}
+}
+
+// admitLight wraps a metadata endpoint (listings, metrics, traces): drain
+// refusal and the drain group, but no admission token — these answer from
+// in-memory state and must stay observable while query budgets are saturated.
+func (s *Server) admitLight(h handlerFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		bin := wantBinary(r)
+		c := getCodec(w)
+		defer c.put()
+		if !s.enter(c, w, r, bin) {
+			return
+		}
+		defer s.wg.Done()
+		ctx, cancel, ok := s.deadline(c, w, r, bin)
+		if !ok {
+			return
+		}
+		defer cancel()
+		h(c, w, r.WithContext(ctx), bin)
 	}
 }
 
@@ -236,17 +396,12 @@ func mapError(err error) int {
 	}
 }
 
-// fail writes err through mapError.
-func fail(w http.ResponseWriter, err error) {
-	writeError(w, mapError(err), err.Error())
-}
-
 // field resolves {name}, answering 404 itself when unknown.
-func (s *Server) field(w http.ResponseWriter, r *http.Request) (*Field, string, bool) {
+func (s *Server) field(c *codec, w http.ResponseWriter, r *http.Request, bin bool) (*Field, string, bool) {
 	name := r.PathValue("name")
 	f, ok := s.fields[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown field %q", name))
+		writeFail(c, w, bin, http.StatusNotFound, fmt.Sprintf("unknown field %q", name))
 		return nil, name, false
 	}
 	return f, name, true
@@ -265,6 +420,14 @@ func queryFloat(r *http.Request, key string) (float64, error) {
 	return v, nil
 }
 
+// writeJSONValue marshals v through the pooled encoder (the cold endpoints
+// whose payloads are metadata, not per-request hot-path work).
+func (c *codec) writeJSONValue(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	c.encodeJSON(v)
+}
+
 // ioView is the deterministic I/O accounting attached to query responses:
 // page counts and the simulated disk clock, never wall time (wall time would
 // make responses nondeterministic and belongs in /metrics).
@@ -278,7 +441,9 @@ type ioView struct {
 
 // resultView is the wire form of one value-query result. Geometry is opt-in
 // (?geometry=1) — the counts, area and I/O answer most monitoring and load
-// generation needs at a fraction of the payload.
+// generation needs at a fraction of the payload. The hot handlers stream this
+// shape by hand (encode.go); the struct remains the reference encoding for
+// the conjunction endpoint and the byte-identity tests.
 type resultView struct {
 	Lo              float64        `json:"lo"`
 	Hi              float64        `json:"hi"`
@@ -332,10 +497,16 @@ func wantGeometry(r *http.Request) bool {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": s.draining.Load(),
-	})
+	c := getCodec(w)
+	defer c.put()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	b := append(c.buf[:0], `{"draining":`...)
+	b = strconv.AppendBool(b, s.draining.Load())
+	b = append(b, `,"status":"ok"}`...)
+	b = append(b, '\n')
+	c.bw.Write(b)
+	c.buf = b[:0]
 }
 
 // fieldInfo is one entry of the field listing.
@@ -372,157 +543,148 @@ func (s *Server) fieldInfo(name string) fieldInfo {
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleList(c *codec, w http.ResponseWriter, _ *http.Request, bin bool) {
 	out := make([]fieldInfo, 0, len(s.names))
 	for _, name := range s.names {
 		out = append(out, s.fieldInfo(name))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fields": out})
+	if bin {
+		c.writeListFrame(w, out)
+		return
+	}
+	c.writeJSONValue(w, http.StatusOK, map[string]any{"fields": out})
 }
 
-func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
-	_, name, ok := s.field(w, r)
+func (s *Server) handleDescribe(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	_, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.fieldInfo(name))
+	if bin {
+		c.writeDescribeFrame(w, s.fieldInfo(name))
+		return
+	}
+	c.writeJSONValue(w, http.StatusOK, s.fieldInfo(name))
 }
 
-func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+func (s *Server) handleRange(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
 	lo, err := queryFloat(r, "lo")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	hi, err := queryFloat(r, "hi")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	res, err := f.Querier.ValueQueryContext(r.Context(), lo, hi)
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"field":  name,
-		"result": viewResult(res, wantGeometry(r)),
-	})
+	if bin {
+		c.writeResultFrame(w, name, res, wantGeometry(r))
+		return
+	}
+	c.writeResultEnvelope(w, s.quoted[name], res, wantGeometry(r))
 }
 
-func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+func (s *Server) handleAbove(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
 	lo, err := queryFloat(r, "lo")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	res, err := f.Querier.ValueAboveContext(r.Context(), lo)
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"field":  name,
-		"result": viewResult(res, wantGeometry(r)),
-	})
+	if bin {
+		c.writeResultFrame(w, name, res, wantGeometry(r))
+		return
+	}
+	c.writeResultEnvelope(w, s.quoted[name], res, wantGeometry(r))
 }
 
-func (s *Server) handleBelow(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+func (s *Server) handleBelow(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
 	hi, err := queryFloat(r, "hi")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	res, err := f.Querier.ValueBelowContext(r.Context(), hi)
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"field":  name,
-		"result": viewResult(res, wantGeometry(r)),
-	})
+	if bin {
+		c.writeResultFrame(w, name, res, wantGeometry(r))
+		return
+	}
+	c.writeResultEnvelope(w, s.quoted[name], res, wantGeometry(r))
 }
 
-func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+func (s *Server) handlePoint(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
 	x, err := queryFloat(r, "x")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	y, err := queryFloat(r, "y")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	v, err := f.Querier.PointQueryContext(r.Context(), fielddb.Point{X: x, Y: y})
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"field": name,
-		"x":     x,
-		"y":     y,
-		"value": v,
-	})
+	if bin {
+		c.writePointFrame(w, name, x, y, v)
+		return
+	}
+	c.writePointEnvelope(w, s.quoted[name], x, y, v)
 }
 
-func (s *Server) handleContour(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+func (s *Server) handleContour(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
 	level, err := queryFloat(r, "level")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
 		return
 	}
 	cr, err := f.Querier.ContourMapContext(r.Context(), level)
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
 		return
 	}
-	out := map[string]any{
-		"field":     name,
-		"level":     level,
-		"polylines": len(cr.Polylines),
-		"io": ioView{
-			Reads:        cr.IO.Reads,
-			SeqReads:     cr.IO.SeqReads,
-			RandReads:    cr.IO.RandReads,
-			CacheHits:    cr.IO.CacheHits,
-			SimElapsedNs: int64(cr.IO.SimElapsed),
-		},
+	if bin {
+		c.writeContourFrame(w, name, level, cr, wantGeometry(r))
+		return
 	}
-	if wantGeometry(r) {
-		geom := make([][][2]float64, len(cr.Polylines))
-		for i, pl := range cr.Polylines {
-			line := make([][2]float64, len(pl))
-			for j, p := range pl {
-				line[j] = [2]float64{p.X, p.Y}
-			}
-			geom[i] = line
-		}
-		out["geometry"] = geom
-	}
-	writeJSON(w, http.StatusOK, out)
+	c.writeContourEnvelope(w, s.quoted[name], level, cr, wantGeometry(r))
 }
 
 // batchRequest is the POST body of /batch.
@@ -546,65 +708,59 @@ type batchView struct {
 	PagesSaved      int   `json:"pages_saved"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+// maxBatchBody bounds the /batch and /update request bodies.
+const maxBatchBody = 8 << 20
+
+func (s *Server) handleBatch(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
-	var req batchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed batch body: "+err.Error())
+	body, err := c.readBody(r.Body, maxBatchBody)
+	if err != nil {
+		writeFail(c, w, bin, http.StatusBadRequest, "malformed batch body: "+err.Error())
 		return
 	}
-	intervals := make([]fielddb.Interval, len(req.Intervals))
-	for i, iv := range req.Intervals {
-		intervals[i] = fielddb.Interval{Lo: iv[0], Hi: iv[1]}
+	// Decode into the pooled pair slice: Unmarshal reuses its capacity, so a
+	// steady stream of batches stops allocating interval storage.
+	req := batchRequest{Intervals: c.pairs[:0]}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeFail(c, w, bin, http.StatusBadRequest, "malformed batch body: "+err.Error())
+		return
 	}
+	c.pairs = req.Intervals
+	intervals := c.intervals[:0]
+	for _, iv := range req.Intervals {
+		intervals = append(intervals, fielddb.Interval{Lo: iv[0], Hi: iv[1]})
+	}
+	c.intervals = intervals
 	var (
 		results []*fielddb.Result
 		st      *fielddb.BatchStats
-		err     error
+		qerr    error
 	)
 	if bs, ok := f.Querier.(batchStatser); ok {
 		var bst fielddb.BatchStats
-		results, bst, err = bs.ValueQueryBatchStats(r.Context(), intervals)
-		if err == nil || results != nil {
+		results, bst, qerr = bs.ValueQueryBatchStats(r.Context(), intervals)
+		if qerr == nil || results != nil {
 			st = &bst
 		}
 	} else {
-		results, err = f.Querier.ValueQueryBatch(r.Context(), intervals)
+		results, qerr = f.Querier.ValueQueryBatch(r.Context(), intervals)
 	}
-	if err != nil && results == nil {
-		fail(w, err)
+	if qerr != nil && results == nil {
+		fail(c, w, bin, qerr)
 		return
 	}
-	geometry := wantGeometry(r)
-	views := make([]*resultView, len(results))
-	for i, res := range results {
-		if res == nil {
-			continue
-		}
-		v := viewResult(res, geometry)
-		views[i] = &v
+	// Partial failure: successful members keep their slots, the first
+	// failure is reported alongside (HTTP 200 — the batch ran).
+	if bin {
+		c.writeBatchFrame(w, name, results, st, qerr, wantGeometry(r))
+		return
 	}
-	out := map[string]any{"field": name, "results": views}
-	if st != nil {
-		out["batch"] = batchView{
-			Size:            st.Size,
-			PhysicalReads:   st.Physical.Reads,
-			PhysicalSimNs:   int64(st.Physical.SimElapsed),
-			AttributedReads: st.AttributedReads,
-			PagesSaved:      st.PagesSaved,
-		}
-	}
-	if err != nil {
-		// Partial failure: successful members keep their slots, the first
-		// failure is reported alongside (HTTP 200 — the batch ran).
-		out["error"] = err.Error()
-	}
-	writeJSON(w, http.StatusOK, out)
+	c.writeBatchEnvelope(w, s.quoted[name], results, st, qerr, wantGeometry(r))
 }
 
 // updateRequest is the POST body of /update.
@@ -615,25 +771,30 @@ type updateRequest struct {
 	} `json:"updates"`
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	f, name, ok := s.field(w, r)
+func (s *Server) handleUpdate(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
+	f, name, ok := s.field(c, w, r, bin)
 	if !ok {
 		return
 	}
 	if f.DB == nil {
-		writeError(w, http.StatusNotImplemented,
+		writeFail(c, w, bin, http.StatusNotImplemented,
 			fmt.Sprintf("field %q is read-only (not a live database)", name))
 		return
 	}
+	body, err := c.readBody(r.Body, maxBatchBody)
+	if err != nil {
+		writeFail(c, w, bin, http.StatusBadRequest, "malformed update body: "+err.Error())
+		return
+	}
 	var req updateRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed update body: "+err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, "malformed update body: "+err.Error())
 		return
 	}
 	if len(req.Updates) == 0 {
-		writeError(w, http.StatusBadRequest, "empty update batch")
+		writeFail(c, w, bin, http.StatusBadRequest, "empty update batch")
 		return
 	}
 	updates := make([]fielddb.SampleUpdate, len(req.Updates))
@@ -642,18 +803,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := f.DB.UpdateSamples(r.Context(), updates)
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"field":           name,
-		"epoch":           st.Epoch,
-		"spatial_epoch":   st.SpatialEpoch,
-		"samples_applied": st.SamplesApplied,
-		"cells_touched":   st.CellsTouched,
-		"pages_written":   st.PagesWritten,
-		"regrouped":       st.Regrouped,
-	})
+	if bin {
+		c.writeUpdateFrame(w, name, st)
+		return
+	}
+	c.writeUpdateEnvelope(w, s.quoted[name], st)
 }
 
 // andRequest is the POST body of /v1/and: one (field, interval) condition per
@@ -666,28 +823,32 @@ type andRequest struct {
 	} `json:"conditions"`
 }
 
-func (s *Server) handleAnd(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnd(c *codec, w http.ResponseWriter, r *http.Request, bin bool) {
 	var req andRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed and body: "+err.Error())
+		writeFail(c, w, bin, http.StatusBadRequest, "malformed and body: "+err.Error())
 		return
 	}
 	qs := make([]fielddb.Querier, len(req.Conditions))
 	intervals := make([]fielddb.Interval, len(req.Conditions))
-	for i, c := range req.Conditions {
-		f, ok := s.fields[c.Field]
+	for i, cond := range req.Conditions {
+		f, ok := s.fields[cond.Field]
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown field %q (condition %d)", c.Field, i))
+			writeFail(c, w, bin, http.StatusNotFound, fmt.Sprintf("unknown field %q (condition %d)", cond.Field, i))
 			return
 		}
 		qs[i] = f.Querier
-		intervals[i] = fielddb.Interval{Lo: c.Lo, Hi: c.Hi}
+		intervals[i] = fielddb.Interval{Lo: cond.Lo, Hi: cond.Hi}
 	}
 	res, err := fielddb.AndQueriers(r.Context(), qs, intervals)
 	if err != nil {
-		fail(w, err)
+		fail(c, w, bin, err)
+		return
+	}
+	if bin {
+		c.writeAndFrame(w, res, wantGeometry(r))
 		return
 	}
 	perField := make([]resultView, len(res.PerField))
@@ -710,18 +871,21 @@ func (s *Server) handleAnd(w http.ResponseWriter, r *http.Request) {
 		}
 		out["geometry"] = geom
 	}
-	writeJSON(w, http.StatusOK, out)
+	c.writeJSONValue(w, http.StatusOK, out)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(c *codec, w http.ResponseWriter, _ *http.Request, _ bool) {
 	out := make(map[string]obs.SnapshotView, len(s.names))
 	for _, name := range s.names {
 		out[name] = s.fields[name].Querier.QueryMetrics().View()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fields": out})
+	c.writeJSONValue(w, http.StatusOK, map[string]any{
+		"fields":    out,
+		"admission": s.adm.Snapshot().View(),
+	})
 }
 
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTraces(c *codec, w http.ResponseWriter, r *http.Request, _ bool) {
 	want := r.URL.Query().Get("field")
 	out := make(map[string]any)
 	for _, name := range s.names {
@@ -744,9 +908,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	if want != "" {
 		if _, ok := s.fields[want]; !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown field %q", want))
+			writeFail(c, w, false, http.StatusNotFound, fmt.Sprintf("unknown field %q", want))
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fields": out})
+	c.writeJSONValue(w, http.StatusOK, map[string]any{"fields": out})
 }

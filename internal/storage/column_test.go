@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFloatColumnRoundTrip drives the exported column codec over the shapes
+// the wire format ships: smooth coordinate runs, noisy values, bit-cast
+// integer counters, and adversarial floats.
+func TestFloatColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := map[string][]float64{
+		"single":   {3.25},
+		"constant": {7, 7, 7, 7, 7, 7},
+		"ramp":     make([]float64, 257),
+		"noise":    make([]float64, 100),
+		"ints":     make([]float64, 64),
+		"adversarial": {
+			0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+			math.NaN(), math.MaxFloat64, -math.MaxFloat64,
+			math.SmallestNonzeroFloat64, 1e-300, -1e300,
+		},
+	}
+	for i := range cases["ramp"] {
+		cases["ramp"][i] = 100 + 0.5*float64(i)
+	}
+	for i := range cases["noise"] {
+		cases["noise"][i] = rng.NormFloat64() * 1e6
+	}
+	for i := range cases["ints"] {
+		cases["ints"][i] = math.Float64frombits(uint64(i * i))
+	}
+	for name, vals := range cases {
+		buf := make([]byte, MaxFloatColumnSize(len(vals)))
+		n := EncodeFloatColumn(buf, vals)
+		if n <= 0 || n > len(buf) {
+			t.Fatalf("%s: encoded length %d outside (0, %d]", name, n, len(buf))
+		}
+		out := make([]float64, len(vals))
+		if err := DecodeFloatColumn(buf[:n], len(vals), out); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		for i, v := range vals {
+			if math.Float64bits(out[i]) != math.Float64bits(v) {
+				t.Fatalf("%s[%d]: %x != %x", name, i, math.Float64bits(out[i]), math.Float64bits(v))
+			}
+		}
+	}
+}
+
+// TestFloatColumnTruncated: a truncated block must fail loudly, not decode
+// garbage.
+func TestFloatColumnTruncated(t *testing.T) {
+	vals := []float64{1, 2, 4, 8, 1e9, -3}
+	buf := make([]byte, MaxFloatColumnSize(len(vals)))
+	n := EncodeFloatColumn(buf, vals)
+	out := make([]float64, len(vals))
+	if err := DecodeFloatColumn(buf[:5], len(vals), out); err == nil {
+		t.Fatal("header-truncated column decoded")
+	}
+	// A block cut mid-payload must either error or be caught by the tag
+	// array bound.
+	if err := DecodeFloatColumn(buf[:n-(n-packedColHeader)/2], len(vals), out); err == nil {
+		t.Fatal("payload-truncated column decoded")
+	}
+}

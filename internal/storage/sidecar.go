@@ -563,8 +563,12 @@ func planColumn(vals []float64) colPlan {
 }
 
 // planPredictor computes the optimal width classes for one predictor via a
-// bit-length histogram: with prefix counts, every (w1, w2) pair is O(1), so
-// the full sweep is exact, not heuristic.
+// bit-length histogram: with prefix counts, every (w1, w2) pair is O(1), and
+// only *occupied* bit lengths need considering — lowering a width to the
+// largest occupied length at or below it never adds a bit, so the restricted
+// sweep finds the same global minimum as the exhaustive 63×63 one at a
+// fraction of the cost (the short per-ring columns of the binary wire format
+// hit this planner thousands of times per response).
 func planPredictor(vals []float64, predictor byte) colPlan {
 	n := len(vals)
 	plan := colPlan{predictor: predictor, w1: 1, w2: 1, size: packedColHeader}
@@ -578,14 +582,23 @@ func planPredictor(vals []float64, predictor byte) colPlan {
 		cum[bits.Len64(zz)]++
 	})
 	cum[0] = 0
-	for w := 1; w <= 64; w++ {
+	var lens [63]byte // occupied bit lengths in the 1..63 payload range
+	nl := 0
+	for w := 1; w <= 63; w++ {
+		if cum[w] > 0 {
+			lens[nl] = byte(w)
+			nl++
+		}
 		cum[w] += cum[w-1]
 	}
-	bestBits := -1
-	for w1 := 1; w1 <= 63; w1++ {
-		for w2 := w1; w2 <= 63; w2++ {
+	cum[64] += cum[63]
+	bestBits := 64 * cum[64] // everything in the escape class (w1 = w2 = 1)
+	for i := 0; i < nl; i++ {
+		w1 := int(lens[i])
+		for j := i; j < nl; j++ {
+			w2 := int(lens[j])
 			b := w1*cum[w1] + w2*(cum[w2]-cum[w1]) + 64*(cum[64]-cum[w2])
-			if bestBits < 0 || b < bestBits {
+			if b < bestBits {
 				bestBits = b
 				plan.w1, plan.w2 = byte(w1), byte(w2)
 			}

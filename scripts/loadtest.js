@@ -1,0 +1,122 @@
+// k6 load script mirroring cmd/fieldload's deterministic query mix, for
+// driving a fieldserve instance from machines where the Go toolchain is not
+// available (run with: k6 run -e BASE_URL=http://127.0.0.1:8080 scripts/loadtest.js).
+//
+// The mix is the same shape RunLoad generates: a zipf(1.3) draw over a small
+// pool of value intervals spanning the bench suite's selectivity bands
+// (1%/5%/10% of the field's value range), with one point query mixed in per
+// POINT_EVERY requests. The pool is cut from the field's value range read
+// off the describe endpoint at startup, exactly like fieldload's probe. The
+// PRNG here is a seeded mulberry32, not Go's rand — the *distribution*
+// matches fieldload, the individual draws do not.
+//
+// Environment knobs (all optional):
+//
+//	BASE_URL     server root             (default http://127.0.0.1:8080)
+//	FIELD        field name to query     (default demo)
+//	VUS          concurrent connections  (default 16)
+//	DURATION     test duration           (default 30s)
+//	SEED         PRNG seed               (default 1)
+//	INTERVALS    zipf pool size          (default 32)
+//	POINT_EVERY  point query cadence     (default 8, <0 disables)
+//	WIRE         json | bin              (default json; bin sets
+//	             Accept: application/x-fielddb-bin)
+//	GEOMETRY     1 adds ?geometry=1 to range queries (default 0)
+
+import http from 'k6/http';
+import { check, fail } from 'k6';
+
+const BASE_URL = __ENV.BASE_URL || 'http://127.0.0.1:8080';
+const FIELD = __ENV.FIELD || 'demo';
+const SEED = parseInt(__ENV.SEED || '1', 10);
+const INTERVALS = parseInt(__ENV.INTERVALS || '32', 10);
+const POINT_EVERY = parseInt(__ENV.POINT_EVERY || '8', 10);
+const WIRE = __ENV.WIRE || 'json';
+const GEOMETRY = __ENV.GEOMETRY === '1';
+const WIRE_MIME = 'application/x-fielddb-bin';
+
+export const options = {
+  vus: parseInt(__ENV.VUS || '16', 10),
+  duration: __ENV.DURATION || '30s',
+};
+
+// mulberry32: a tiny seeded PRNG so two runs issue the same interval pool.
+function mulberry32(a) {
+  return function () {
+    a |= 0;
+    a = (a + 0x6d2b79f5) | 0;
+    let t = Math.imul(a ^ (a >>> 15), 1 | a);
+    t = (t + Math.imul(t ^ (t >>> 7), 61 | t)) ^ t;
+    return ((t ^ (t >>> 14)) >>> 0) / 4294967296;
+  };
+}
+
+// Bounded zipf(s=1.3) by inverse-CDF over the pool ranks, the same skew
+// RunLoad's rand.NewZipf(1.3, 1, n-1) produces: a small set of hot intervals
+// and a long cold tail, which is what gives the server's admission window
+// overlapping work to coalesce.
+function zipfTable(n, s) {
+  const w = [];
+  let sum = 0;
+  for (let k = 1; k <= n; k++) {
+    const p = 1 / Math.pow(k, s);
+    sum += p;
+    w.push(sum);
+  }
+  return { cum: w, sum };
+}
+
+// The selectivity bands of internal/bench (bench.Selectivities).
+const SELECTIVITIES = [0.01, 0.05, 0.1];
+
+// setup probes the describe endpoint for the field's value range and builds
+// the interval pool, like fieldload's fetchValueRange + buildRequests.
+export function setup() {
+  const res = http.get(`${BASE_URL}/v1/fields/${FIELD}`);
+  if (res.status !== 200) {
+    fail(`describe ${FIELD}: HTTP ${res.status}`);
+  }
+  const info = res.json();
+  if (typeof info.value_lo !== 'number' || typeof info.value_hi !== 'number') {
+    fail(`field ${FIELD} reports no value range`);
+  }
+  const lo = info.value_lo;
+  const span = info.value_hi - info.value_lo;
+  const rng = mulberry32(SEED);
+  const pool = [];
+  for (let i = 0; i < INTERVALS; i++) {
+    const sel = SELECTIVITIES[i % SELECTIVITIES.length];
+    const width = sel * span;
+    const start = lo + rng() * (span - width);
+    pool.push([start, start + width]);
+  }
+  return { pool, zipf: zipfTable(INTERVALS, 1.3) };
+}
+
+export default function (data) {
+  const rng = mulberry32(SEED + __VU * 7919 + __ITER);
+  const params = WIRE === 'bin' ? { headers: { Accept: WIRE_MIME } } : {};
+
+  let url;
+  if (POINT_EVERY > 0 && __ITER % POINT_EVERY === POINT_EVERY - 1) {
+    const x = 1 + rng() * 99;
+    const y = 1 + rng() * 99;
+    url = `${BASE_URL}/v1/fields/${FIELD}/point?x=${x}&y=${y}`;
+  } else {
+    const u = rng() * data.zipf.sum;
+    let rank = data.zipf.cum.findIndex((c) => u <= c);
+    if (rank < 0) rank = INTERVALS - 1;
+    const [qlo, qhi] = data.pool[rank];
+    const geom = GEOMETRY ? '&geometry=1' : '';
+    url = `${BASE_URL}/v1/fields/${FIELD}/range?lo=${qlo}&hi=${qhi}${geom}`;
+  }
+
+  const res = http.get(url, params);
+  check(res, {
+    'status is 200': (r) => r.status === 200,
+    'content type matches wire': (r) =>
+      WIRE === 'bin'
+        ? r.headers['Content-Type'] === WIRE_MIME
+        : (r.headers['Content-Type'] || '').includes('application/json'),
+  });
+}
