@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke serve-smoke serve-bench-smoke bench-compare
+.PHONY: check build vet fmt test race cover bench-parallel bench-smoke tiled-smoke serve-smoke serve-bench-smoke approx-smoke bench-compare
 
-check: build vet fmt race cover bench-smoke tiled-smoke serve-smoke serve-bench-smoke bench-compare
+check: build vet fmt race cover bench-smoke tiled-smoke serve-smoke serve-bench-smoke approx-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,13 @@ serve-smoke:
 # post_wire measurement's minutes.
 serve-bench-smoke:
 	$(GO) test -run TestServeBenchSmoke ./internal/serve
+
+# -short-guarded smoke over the approximate-aggregate tier: builds fixture
+# summaries, checks every answer's true error against its certified bound and
+# the ≤4-page / ≥10×-fewer-pages claims, and pins the exact fallback past a
+# tolerance the summary cannot certify.
+approx-smoke:
+	$(GO) test -short -run 'TestApproxMeasureSmoke|TestApproxMeasureFallback' ./internal/bench
 
 # Regression gate on the simulated-disk metrics: measure the deterministic
 # value-range suite (one 64-query rotation per cell, exactly the

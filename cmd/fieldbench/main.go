@@ -185,9 +185,9 @@ func main() {
 }
 
 // runBenchJSON measures the deterministic value-range suite — the solo rows,
-// the concurrent (batched) rows, the update-load rows, and the large-terrain
-// tiled rows — and writes them as one flat JSON map, the format -compare
-// consumes as either side.
+// the concurrent (batched) rows, the update-load rows, the large-terrain
+// tiled rows, and the aggregate exact-vs-approx rows — and writes them as one
+// flat JSON map, the format -compare consumes as either side.
 func runBenchJSON(path string) {
 	rows, err := bench.ValueRangeMeasure()
 	if err != nil {
@@ -216,6 +216,14 @@ func runBenchJSON(path string) {
 		os.Exit(1)
 	}
 	for name, row := range tiled {
+		rows[name] = row
+	}
+	agg, err := bench.AggregateMeasure(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for name, row := range agg {
 		rows[name] = row
 	}
 	served, err := serve.ServeLoadMeasure()

@@ -9,6 +9,7 @@
 //
 //	fieldload -url http://127.0.0.1:8080 -field demo
 //	fieldload -url http://127.0.0.1:8080 -field terrain -conns 32 -requests 2048
+//	fieldload -field demo -aggregate 4        # every 4th request an aggregate
 //	fieldload -field demo -wire bin -geometry  # binary frames, geometry payloads
 //	fieldload -field demo -conns 2048 -transports 4
 //	fieldload -field demo -json            # machine-readable report
@@ -32,6 +33,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed of the deterministic request mix")
 		intervals  = flag.Int("intervals", 32, "distinct intervals in the zipf pool (small pools model hot queries)")
 		pointEvery = flag.Int("point-every", 8, "one point query per this many requests (negative disables)")
+		aggregate  = flag.Int("aggregate", 0, "one approximate aggregate query per this many requests (0 disables)")
 		wire       = flag.String("wire", serve.WireJSON, "response encoding: json | bin (binary negotiates Accept: "+serve.WireMIME+")")
 		geometry   = flag.Bool("geometry", false, "request region geometry on range queries (?geometry=1)")
 		transports = flag.Int("transports", 1, "shard connections across this many HTTP transports (spreads pool contention at thousands of connections)")
@@ -40,16 +42,17 @@ func main() {
 	flag.Parse()
 
 	rep, err := serve.RunLoad(serve.LoadOptions{
-		BaseURL:     *url,
-		Field:       *field,
-		Connections: *conns,
-		Requests:    *requests,
-		Seed:        *seed,
-		Intervals:   *intervals,
-		PointEvery:  *pointEvery,
-		Wire:        *wire,
-		Geometry:    *geometry,
-		Transports:  *transports,
+		BaseURL:        *url,
+		Field:          *field,
+		Connections:    *conns,
+		Requests:       *requests,
+		Seed:           *seed,
+		Intervals:      *intervals,
+		PointEvery:     *pointEvery,
+		AggregateEvery: *aggregate,
+		Wire:           *wire,
+		Geometry:       *geometry,
+		Transports:     *transports,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fieldload:", err)

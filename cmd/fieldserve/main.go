@@ -12,6 +12,7 @@
 //	fieldserve live=t.fdb frozen=t.fidx          # live + read-only stored index
 //	fieldserve -addr :9090 -batch-window 2ms -max-inflight 128 terrain=t.fdb
 //	fieldserve -max-inflight 2048 -budget 256 -overflow 512 a=a.fdb b=b.fdb
+//	fieldserve -approx-max-err 0.05 -degrade-approx terrain=t.fdb
 //
 // Each positional argument is name=path; .fidx paths open as read-only stored
 // indexes, anything else loads as a dataset and builds a live database with
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,15 +43,16 @@ import (
 
 // FlagError reports a rejected admission-control flag value and why, so
 // scripts can tell a bad invocation apart from a serving failure (the same
-// contract fieldgen's SideError gives -side).
+// contract fieldgen's SideError gives -side). Value carries the offending
+// value — an int for the token-pool flags, a float64 for -approx-max-err.
 type FlagError struct {
 	Flag   string
-	Value  int
+	Value  any
 	Reason string
 }
 
 func (e *FlagError) Error() string {
-	return fmt.Sprintf("invalid -%s %d: %s", e.Flag, e.Value, e.Reason)
+	return fmt.Sprintf("invalid -%s %v: %s", e.Flag, e.Value, e.Reason)
 }
 
 // validateAdmission rejects flag combinations serve.New would otherwise
@@ -77,6 +80,27 @@ func validateAdmission(maxInFlight, budget, overflow int) error {
 	return nil
 }
 
+// validateApprox rejects aggregate-tier flag values the serving stack would
+// otherwise turn into per-request 400s (or quietly extreme behaviour):
+// -approx-max-err must be a finite fraction >= 0. +Inf in particular is
+// refused here even though the engine accepts it, because a server whose
+// *default* tolerance is infinite answers every aggregate with whatever bound
+// it has — that behaviour is what -degrade-approx opts into, and only for
+// requests past the admission budget.
+func validateApprox(approxMaxErr float64, degrade bool) error {
+	switch {
+	case math.IsNaN(approxMaxErr):
+		return &FlagError{"approx-max-err", approxMaxErr, "must not be NaN"}
+	case approxMaxErr < 0:
+		return &FlagError{"approx-max-err", approxMaxErr, "must be >= 0 (0 means the engine default)"}
+	case math.IsInf(approxMaxErr, 1):
+		return &FlagError{"approx-max-err", approxMaxErr, "must be finite (use -degrade-approx to accept any certified bound past the admission budget)"}
+	case degrade && approxMaxErr > 1:
+		return &FlagError{"approx-max-err", approxMaxErr, "a fraction tolerance above 1 never constrains an answer; with -degrade-approx this hides every certified bound"}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -85,6 +109,8 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "in-flight request cap; excess load is shed with 429")
 		budget      = flag.Int("budget", 0, "per-field admission budget in requests (0 derives max-inflight/(2*fields))")
 		overflow    = flag.Int("overflow", 0, "shared overflow pool fields may borrow from (0 derives the remainder of -max-inflight)")
+		approxErr   = flag.Float64("approx-max-err", 0, "default error tolerance of /aggregate when the client sends no max_err (0 means the engine default, 1% of the field)")
+		degrade     = flag.Bool("degrade-approx", false, "answer aggregate requests past the admission budget approximately (any certified bound, marked degraded) instead of shedding 429")
 		timeout     = flag.Duration("timeout", serve.DefaultRequestTimeout, "default per-request deadline (clients may lower it with timeout_ms)")
 		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on client-requested deadlines")
 		traceRing   = flag.Int("traces", 128, "per-field ring of recent query traces served at /traces (0 disables tracing)")
@@ -94,6 +120,9 @@ func main() {
 	flag.Parse()
 
 	if err := validateAdmission(*maxInFlight, *budget, *overflow); err != nil {
+		fatal(err)
+	}
+	if err := validateApprox(*approxErr, *degrade); err != nil {
 		fatal(err)
 	}
 
@@ -158,11 +187,13 @@ func main() {
 	}
 
 	srv := serve.New(fields, serve.Config{
-		MaxInFlight:    *maxInFlight,
-		FieldBudget:    *budget,
-		Overflow:       *overflow,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		MaxInFlight:     *maxInFlight,
+		FieldBudget:     *budget,
+		Overflow:        *overflow,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		ApproxMaxErr:    *approxErr,
+		DegradeToApprox: *degrade,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

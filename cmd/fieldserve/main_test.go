@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -44,5 +45,49 @@ func TestValidateAdmission(t *testing.T) {
 			t.Errorf("validateAdmission(%d, %d, %d): error %v is not a *FlagError naming -%s",
 				c.maxInFlight, c.budget, c.overflow, err, c.wantFlag)
 		}
+	}
+}
+
+func TestValidateApprox(t *testing.T) {
+	cases := []struct {
+		name     string
+		maxErr   float64
+		degrade  bool
+		wantFlag string // flag named by the error, "" = valid
+		wantErr  string // substring of the error message
+	}{
+		{"all defaults", 0, false, "", ""},
+		{"explicit tolerance", 0.05, false, "", ""},
+		{"degrade with default tolerance", 0, true, "", ""},
+		{"degrade with tolerance", 0.5, true, "", ""},
+		{"tolerance of one", 1, true, "", ""},
+		{"loose tolerance without degrade", 2.5, false, "", ""},
+		{"nan", math.NaN(), false, "approx-max-err", "must not be NaN"},
+		{"nan with degrade", math.NaN(), true, "approx-max-err", "must not be NaN"},
+		{"negative", -0.01, false, "approx-max-err", "must be >= 0"},
+		{"negative inf", math.Inf(-1), false, "approx-max-err", "must be >= 0"},
+		{"positive inf", math.Inf(1), false, "approx-max-err", "must be finite"},
+		{"positive inf with degrade", math.Inf(1), true, "approx-max-err", "must be finite"},
+		{"loose tolerance with degrade", 2.5, true, "approx-max-err", "never constrains"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateApprox(c.maxErr, c.degrade)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateApprox(%g, %t) = %v, want nil", c.maxErr, c.degrade, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("validateApprox(%g, %t) = %v, want error containing %q",
+					c.maxErr, c.degrade, err, c.wantErr)
+			}
+			var fe *FlagError
+			if !errors.As(err, &fe) || fe.Flag != c.wantFlag {
+				t.Fatalf("validateApprox(%g, %t): error %v is not a *FlagError naming -%s",
+					c.maxErr, c.degrade, err, c.wantFlag)
+			}
+		})
 	}
 }

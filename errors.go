@@ -41,6 +41,11 @@ var (
 	// surface without a spatial index — a StoredIndex, whose database file
 	// carries only the value index.
 	ErrNoSpatialIndex = errors.New("fielddb: no spatial index")
+	// ErrBadTolerance reports an unusable aggregate error tolerance: NaN or
+	// negative, as a query argument (ApproxAggregate) or a configuration knob
+	// (Options.ApproxMaxErr). Zero is not an error — it means "the configured
+	// default"; +Inf is valid and accepts any certified bound.
+	ErrBadTolerance = errors.New("fielddb: invalid error tolerance")
 )
 
 // ErrUpdatesUnsupported reports UpdateSamples on a configuration that cannot

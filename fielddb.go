@@ -185,6 +185,11 @@ type Options struct {
 	// disables tracing entirely; the nil-tracer path adds no allocations to
 	// the query pipeline. See also DB.SetTracer.
 	Tracer Tracer
+	// ApproxMaxErr is the default error tolerance for aggregate queries
+	// (ApproxAggregate with maxErr 0), measured on the matched-area fraction.
+	// 0 selects DefaultApproxMaxErr (1%); NaN and negative values fail Open
+	// with ErrBadTolerance; +Inf accepts any certified bound.
+	ApproxMaxErr float64
 	// BatchWindow, when positive, turns on admission-window batching for
 	// concurrent value queries: queries arriving within the window are
 	// grouped and executed as one shared scan (a single filter pass over the
@@ -212,6 +217,9 @@ type DB struct {
 	metrics *obs.Metrics
 	batcher *core.Batcher // nil unless Options.BatchWindow armed it
 	closed  atomic.Bool
+	// approxMaxErr is the resolved default aggregate tolerance
+	// (Options.ApproxMaxErr, or DefaultApproxMaxErr).
+	approxMaxErr float64
 	// updateMu serializes UpdateSamples batches across the two stores; no
 	// query path takes it.
 	updateMu sync.Mutex
@@ -274,6 +282,10 @@ func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 	}
 	if opts.SidecarCodec != "" && opts.NoIntervalSidecar {
 		return nil, fmt.Errorf("%w: SidecarCodec with NoIntervalSidecar", ErrBadTiling)
+	}
+	approxMaxErr, tolErr := checkApproxMaxErr(opts.ApproxMaxErr)
+	if tolErr != nil {
+		return nil, tolErr
 	}
 	cost := subfield.CostModel{Epsilon: opts.CostEpsilon}
 	quadMaxSize := func() float64 {
@@ -378,8 +390,9 @@ func OpenContext(ctx context.Context, f Field, opts Options) (*DB, error) {
 	db := &DB{
 		field: f, index: idx, spatial: sp,
 		pager: pager, spPager: spPager,
-		tracer:  opts.Tracer,
-		metrics: obs.NewMetrics(),
+		tracer:       opts.Tracer,
+		metrics:      obs.NewMetrics(),
+		approxMaxErr: approxMaxErr,
 	}
 	vr := f.ValueRange()
 	db.vrange.Store(&vr)
@@ -876,6 +889,8 @@ type StoredIndex struct {
 	// vrange is the stored partition's value-domain coverage, cached at open
 	// for ValueAbove/ValueBelow (a stored file has no Field to ask).
 	vrange Interval
+	// approxMaxErr is the resolved default aggregate tolerance.
+	approxMaxErr float64
 }
 
 // OpenIndexOptions configures OpenIndexWith. The zero value matches
@@ -896,6 +911,9 @@ type OpenIndexOptions struct {
 	Workers int
 	// Tracer, when set, receives one QueryTrace per finished query.
 	Tracer Tracer
+	// ApproxMaxErr is the default aggregate error tolerance, as for
+	// Options.ApproxMaxErr (0 selects DefaultApproxMaxErr).
+	ApproxMaxErr float64
 	// BatchWindow, when positive, arms the same admission-window group commit
 	// Options.BatchWindow gives a live DB: concurrent value queries arriving
 	// within the window coalesce onto one shared scan of the stored pages.
@@ -910,6 +928,10 @@ func OpenIndex(path string) (*StoredIndex, error) {
 // OpenIndexWith opens a database file written by SaveIndex, with control over
 // the buffer pool, the disk model, refinement parallelism, and tracing.
 func OpenIndexWith(path string, opts OpenIndexOptions) (*StoredIndex, error) {
+	approxMaxErr, tolErr := checkApproxMaxErr(opts.ApproxMaxErr)
+	if tolErr != nil {
+		return nil, tolErr
+	}
 	pool := opts.PoolPages
 	if opts.ColdCache {
 		pool = 0
@@ -937,7 +959,8 @@ func OpenIndexWith(path string, opts OpenIndexOptions) (*StoredIndex, error) {
 	}
 	s := &StoredIndex{
 		index: p, tracer: opts.Tracer, metrics: obs.NewMetrics(),
-		vrange: p.ValueRange(),
+		vrange:       p.ValueRange(),
+		approxMaxErr: approxMaxErr,
 	}
 	if opts.BatchWindow > 0 {
 		s.batcher = core.NewBatcher(p, opts.BatchWindow)

@@ -1,0 +1,287 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fielddb/internal/geom"
+)
+
+// randomCells builds n random cell intervals and areas from a seeded source.
+func randomCells(n int, seed int64) ([]geom.Interval, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]geom.Interval, n)
+	areas := make([]float64, n)
+	for i := range ivs {
+		lo := rng.Float64() * 1000
+		w := rng.Float64() * 40
+		ivs[i] = geom.Interval{Lo: lo, Hi: lo + w}
+		areas[i] = 0.25 + rng.Float64()
+	}
+	return ivs, areas
+}
+
+// exactAgg brute-forces the true count and area for query q.
+func exactAgg(ivs []geom.Interval, areas []float64, q geom.Interval) (count, area float64) {
+	for i, iv := range ivs {
+		if iv.Intersects(q) {
+			count++
+			area += areas[i]
+		}
+	}
+	return count, area
+}
+
+// TestCertifiedBound is the core guarantee: on randomized cell sets and
+// randomized queries, the true error never exceeds the certified bound.
+func TestCertifiedBound(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 2500} {
+		for seed := int64(1); seed <= 3; seed++ {
+			ivs, areas := randomCells(n, seed*17)
+			s, err := Build(ivs, areas, 4*4096)
+			if err != nil {
+				t.Fatalf("Build(n=%d): %v", n, err)
+			}
+			buf := s.Encode()
+			rng := rand.New(rand.NewSource(seed * 31))
+			for trial := 0; trial < 200; trial++ {
+				lo := rng.Float64()*1200 - 100
+				hi := lo + rng.Float64()*400
+				est, err := EvalEncoded(buf, lo, hi)
+				if err != nil {
+					t.Fatalf("EvalEncoded: %v", err)
+				}
+				cnt, area := exactAgg(ivs, areas, geom.Interval{Lo: lo, Hi: hi})
+				if e := math.Abs(est.Count - cnt); e > est.CountBound {
+					t.Fatalf("n=%d seed=%d q=[%g,%g]: count err %g > certified %g",
+						n, seed, lo, hi, e, est.CountBound)
+				}
+				if e := math.Abs(est.Area - area); e > est.AreaBound {
+					t.Fatalf("n=%d seed=%d q=[%g,%g]: area err %g > certified %g",
+						n, seed, lo, hi, e, est.AreaBound)
+				}
+			}
+		}
+	}
+}
+
+// TestExactOutsideDomain checks the clamp paths: queries entirely below or
+// above the value domain answer exactly with zero bound, and a query
+// covering everything answers N exactly.
+func TestExactOutsideDomain(t *testing.T) {
+	ivs, areas := randomCells(500, 5)
+	s, err := Build(ivs, areas, 4*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.Encode()
+	est, err := EvalEncoded(buf, -500, -400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Count != 0 || est.CountBound != 0 || est.Area != 0 || est.AreaBound != 0 {
+		t.Fatalf("below-domain query not exact zero: %+v", est)
+	}
+	est, err = EvalEncoded(buf, -1e6, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Count != 500 || est.CountBound != 0 {
+		t.Fatalf("covering query not exact N: %+v", est)
+	}
+	if math.Abs(est.Area-est.TotalArea) > 1e-9 || est.AreaBound != 0 {
+		t.Fatalf("covering query not exact total area: %+v", est)
+	}
+}
+
+// TestBudgetScaling: more budget must not certify worse (the greedy splitter
+// only improves the worst segment), and tiny budgets still produce valid
+// certified answers.
+func TestBudgetScaling(t *testing.T) {
+	ivs, areas := randomCells(3000, 9)
+	small, err := Build(ivs, areas, headerSize+numFns*segSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(ivs, areas, 4*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumBound := func(s *Summary) float64 {
+		total := 0.0
+		for i := range s.Fns {
+			for _, seg := range s.Fns[i].Segments {
+				total += seg.Bound
+			}
+		}
+		return total
+	}
+	worstSeg := func(s *Summary) float64 {
+		worst := 0.0
+		for i := range s.Fns {
+			for _, seg := range s.Fns[i].Segments {
+				if seg.Bound > worst {
+					worst = seg.Bound
+				}
+			}
+		}
+		return worst
+	}
+	_ = sumBound
+	if worstSeg(big) > worstSeg(small) {
+		t.Fatalf("bigger budget certified worse: %g > %g", worstSeg(big), worstSeg(small))
+	}
+	buf := small.Encode()
+	cnt, _ := exactAgg(ivs, areas, geom.Interval{Lo: 100, Hi: 300})
+	est, err := EvalEncoded(buf, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(est.Count - cnt); e > est.CountBound {
+		t.Fatalf("1-segment summary violates bound: err %g > %g", e, est.CountBound)
+	}
+	if MaxSegments(headerSize) != 0 {
+		t.Fatalf("MaxSegments(headerSize) = %d, want 0", MaxSegments(headerSize))
+	}
+	if _, err := Build(ivs, areas, 10); err == nil {
+		t.Fatal("Build with impossible budget succeeded")
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks Decode inverts Encode.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ivs, areas := randomCells(300, 3)
+	s, err := Build(ivs, areas, 4*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WidenCount, s.WidenArea = 3, 1.5
+	buf := s.Encode()
+	if len(buf) != s.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), s.EncodedSize())
+	}
+	d, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != s.N || d.TotalArea != s.TotalArea ||
+		d.WidenCount != s.WidenCount || d.WidenArea != s.WidenArea {
+		t.Fatalf("header mismatch: %+v vs %+v", d, s)
+	}
+	for i := range s.Fns {
+		if len(d.Fns[i].Segments) != len(s.Fns[i].Segments) {
+			t.Fatalf("fn %d: %d segments, want %d", i, len(d.Fns[i].Segments), len(s.Fns[i].Segments))
+		}
+		for j, seg := range s.Fns[i].Segments {
+			got := d.Fns[i].Segments[j]
+			if got != seg {
+				t.Fatalf("fn %d seg %d: %+v vs %+v", i, j, got, seg)
+			}
+		}
+	}
+}
+
+// TestPatchWiden checks that widening keeps bounds valid after cells move:
+// mutate some intervals, patch the summary by (touched, Σ areas), and verify
+// the stale summary still certifies the new truth.
+func TestPatchWiden(t *testing.T) {
+	ivs, areas := randomCells(800, 21)
+	s, err := Build(ivs, areas, 4*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.Encode()
+	rng := rand.New(rand.NewSource(99))
+	touched, touchedArea := 0.0, 0.0
+	for k := 0; k < 60; k++ {
+		i := rng.Intn(len(ivs))
+		lo := rng.Float64() * 1000
+		ivs[i] = geom.Interval{Lo: lo, Hi: lo + rng.Float64()*40}
+		touched++
+		touchedArea += areas[i]
+	}
+	PatchWiden(buf, touched, touchedArea)
+	if c, a := Widen(buf); c != touched || a != touchedArea {
+		t.Fatalf("Widen = (%g, %g), want (%g, %g)", c, a, touched, touchedArea)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Float64() * 1000
+		hi := lo + rng.Float64()*300
+		est, err := EvalEncoded(buf, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, area := exactAgg(ivs, areas, geom.Interval{Lo: lo, Hi: hi})
+		if e := math.Abs(est.Count - cnt); e > est.CountBound {
+			t.Fatalf("widened count bound violated: err %g > %g", e, est.CountBound)
+		}
+		if e := math.Abs(est.Area - area); e > est.AreaBound {
+			t.Fatalf("widened area bound violated: err %g > %g", e, est.AreaBound)
+		}
+	}
+}
+
+// TestDegenerateInputs: identical intervals (single breakpoint), zero-width
+// intervals, and negative-free behavior.
+func TestDegenerateInputs(t *testing.T) {
+	ivs := make([]geom.Interval, 50)
+	areas := make([]float64, 50)
+	for i := range ivs {
+		ivs[i] = geom.Interval{Lo: 7, Hi: 7}
+		areas[i] = 2
+	}
+	s, err := Build(ivs, areas, 4*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.Encode()
+	for _, q := range [][2]float64{{7, 7}, {0, 7}, {7, 10}, {0, 10}, {8, 10}, {0, 6}} {
+		est, err := EvalEncoded(buf, q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, area := exactAgg(ivs, areas, geom.Interval{Lo: q[0], Hi: q[1]})
+		if e := math.Abs(est.Count - cnt); e > est.CountBound {
+			t.Fatalf("q=%v: count err %g > bound %g", q, e, est.CountBound)
+		}
+		if e := math.Abs(est.Area - area); e > est.AreaBound {
+			t.Fatalf("q=%v: area err %g > bound %g", q, e, est.AreaBound)
+		}
+	}
+	if _, err := Build(nil, nil, 4*4096); err == nil {
+		t.Fatal("Build(no cells) succeeded")
+	}
+	if _, err := Build(ivs, areas[:3], 4*4096); err == nil {
+		t.Fatal("Build(length mismatch) succeeded")
+	}
+}
+
+// TestFractionBound sanity-checks the fraction view.
+func TestFractionBound(t *testing.T) {
+	ivs, areas := randomCells(400, 77)
+	s, err := Build(ivs, areas, 4*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.Encode()
+	est, err := EvalEncoded(buf, 200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, bound := est.Fraction()
+	if frac < 0 || frac > 1 {
+		t.Fatalf("fraction %g outside [0,1]", frac)
+	}
+	_, area := exactAgg(ivs, areas, geom.Interval{Lo: 200, Hi: 600})
+	if e := math.Abs(frac - area/est.TotalArea); e > bound {
+		t.Fatalf("fraction err %g > bound %g", e, bound)
+	}
+	if (Estimate{}).N != 0 {
+		t.Fatal("zero Estimate not zero")
+	}
+	zf, zb := (Estimate{}).Fraction()
+	if zf != 0 || zb != 0 {
+		t.Fatal("zero-area fraction not (0,0)")
+	}
+}

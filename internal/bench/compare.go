@@ -35,6 +35,13 @@ type Row struct {
 	P50Ns float64 `json:"p50_ns,omitempty"`
 	P95Ns float64 `json:"p95_ns,omitempty"`
 	P99Ns float64 `json:"p99_ns,omitempty"`
+	// ErrBound and ErrTrue record the aggregate tier's error curve: the mean
+	// certified fraction bound the summary promises and the mean true error
+	// the answers actually made (always ≤ ErrBound, cross-checked inside the
+	// measurement). Deterministic like the simulated metrics, but recorded
+	// for the error/cost trade-off narrative, not gated.
+	ErrBound float64 `json:"err_bound,omitempty"`
+	ErrTrue  float64 `json:"err_true,omitempty"`
 }
 
 // ValueRangeMeasure runs the deterministic value-range suite — the exact
@@ -95,7 +102,7 @@ func ValueRangeMeasure() (map[string]Row, error) {
 // baselineSections is the precedence order for picking rows out of a
 // multi-section BENCH_BASELINE.json when no section is named: newest
 // recorded state first.
-var baselineSections = []string{"post_wire", "post_serve", "post_tiled", "post_mvcc", "post_batch", "post_sidecar", "post_obs", "post", "pre"}
+var baselineSections = []string{"post_approx", "post_wire", "post_serve", "post_tiled", "post_mvcc", "post_batch", "post_sidecar", "post_obs", "post", "pre"}
 
 // LoadRows reads benchmark rows from path. Two layouts are accepted: a flat
 // {name: row} map (what -bench-json writes) and the checked-in

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"fielddb/internal/field"
+	"fielddb/internal/geom"
+	"fielddb/internal/storage"
+)
+
+// bruteAggregate computes the reference aggregate answer straight from the
+// field: how many cells intersect q and their total planar area (whole-cell
+// area, the quantity the summary's area distribution accumulates).
+func bruteAggregate(f field.Field, q geom.Interval) (count int, area float64) {
+	var c field.Cell
+	for id := 0; id < f.NumCells(); id++ {
+		f.Cell(field.CellID(id), &c)
+		if !c.Interval().Intersects(q) {
+			continue
+		}
+		count++
+		area += c.Area()
+	}
+	return count, area
+}
+
+// aggregateQueries spans the selectivity spectrum, from slivers under a
+// percent of the value range to the whole field.
+func aggregateQueries(f field.Field, seed int64) []geom.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	vr := f.ValueRange()
+	qs := []geom.Interval{
+		vr, // the whole field
+		{Lo: vr.Lo - vr.Length(), Hi: vr.Hi + vr.Length()}, // superset
+		{Lo: vr.Hi + 1, Hi: vr.Hi + 2},                     // empty band
+	}
+	for _, frac := range []float64{0.005, 0.01, 0.05, 0.2, 0.5} {
+		for i := 0; i < 6; i++ {
+			lo := vr.Lo + rng.Float64()*vr.Length()*(1-frac)
+			qs = append(qs, geom.Interval{Lo: lo, Hi: lo + vr.Length()*frac})
+		}
+	}
+	return qs
+}
+
+// checkCertified asserts one approximate answer's certified bounds contain
+// the exact answer, and that it cost at most the summary's page run.
+func checkCertified(t *testing.T, label string, res *AggregateResult, count int, area float64) {
+	t.Helper()
+	if !res.Approx || res.Fallback {
+		t.Fatalf("%s: not an approximate answer: %+v", label, res)
+	}
+	if diff := math.Abs(res.Count - float64(count)); diff > res.CountBound+1e-9 {
+		t.Fatalf("%s: count %g±%g misses the true %d", label, res.Count, res.CountBound, count)
+	}
+	if diff := math.Abs(res.Area - area); diff > res.AreaBound+1e-6*(1+res.TotalArea) {
+		t.Fatalf("%s: area %g±%g misses the true %g", label, res.Area, res.AreaBound, area)
+	}
+	if res.TotalArea > 0 {
+		wantFrac := area / res.TotalArea
+		if diff := math.Abs(res.Fraction - wantFrac); diff > res.FractionBound+1e-9 {
+			t.Fatalf("%s: fraction %g±%g misses the true %g", label, res.Fraction, res.FractionBound, wantFrac)
+		}
+	}
+	if res.IO.Reads > summaryPages {
+		t.Fatalf("%s: approximate answer cost %d physical reads, want <= %d", label, res.IO.Reads, summaryPages)
+	}
+}
+
+// TestAggregateCertifiedBounds is the tier's core property, on a grid and a
+// TIN: at every selectivity the summary's answer differs from brute force by
+// at most its own certified bound, in at most summaryPages physical reads —
+// and a tolerance the bound can't meet falls back to the exact pipeline.
+func TestAggregateCertifiedBounds(t *testing.T) {
+	fields := map[string]field.Field{
+		"dem": testDEM(t, 32, 0.7),
+		"tin": testTIN(t, 400),
+	}
+	for fname, f := range fields {
+		t.Run(fname, func(t *testing.T) {
+			p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.sumPages == 0 {
+				t.Fatal("fresh build carries no summary")
+			}
+			for _, q := range aggregateQueries(f, 31) {
+				count, area := bruteAggregate(f, q)
+
+				// +Inf accepts any certified bound: always approximate.
+				res, err := p.Aggregate(q, math.Inf(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkCertified(t, fname, res, count, area)
+				if res.TotalCells != float64(f.NumCells()) {
+					t.Fatalf("TotalCells = %g, want %d", res.TotalCells, f.NumCells())
+				}
+
+				// A near-zero tolerance forces the exact pipeline — unless
+				// the summary's bound is itself that tight (endpoint queries
+				// certify exactly), in which case staying approximate is the
+				// contract.
+				exact, err := p.Aggregate(q, 1e-12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if exact.Fallback {
+					if exact.Count != float64(count) || exact.CountBound != 0 || exact.AreaBound != 0 {
+						t.Fatalf("fallback answer %+v, want exact count %d with zero bounds", exact, count)
+					}
+					if math.Abs(exact.Area-area) > 1e-6*(1+area) {
+						t.Fatalf("fallback area %g, want %g", exact.Area, area)
+					}
+				} else if exact.FractionBound > 1e-12 {
+					t.Fatalf("approximate answer kept past tolerance: %+v", exact)
+				}
+			}
+		})
+	}
+}
+
+// TestAggregateRoundtripAndCompat: the summary survives SaveFile/OpenFile
+// byte-identically (version 5), and older files — written by this build at
+// their own version — open fine and answer aggregates through the exact
+// pipeline only.
+func TestAggregateRoundtripAndCompat(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	queries := aggregateQueries(f, 32)
+
+	v5Path := filepath.Join(dir, "v5.fidx")
+	if err := built.SaveFile(v5Path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenFile(v5Path, storage.DefaultDiskModel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if opened.sumPages != summaryPages {
+		t.Fatalf("reopened summary spans %d pages, want %d", opened.sumPages, summaryPages)
+	}
+	for _, q := range queries {
+		want, err := built.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := opened.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.CountBound != want.CountBound ||
+			got.Area != want.Area || got.AreaBound != want.AreaBound ||
+			got.Fraction != want.Fraction || got.FractionBound != want.FractionBound ||
+			got.TotalCells != want.TotalCells || got.TotalArea != want.TotalArea {
+			t.Fatalf("reopened aggregate diverges:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	// Genuine older files: no summary tail, exact answers only.
+	for name, version := range map[string]uint32{
+		"v1": legacyCatalogVersion, "v2": catalogVersionV2,
+		"v3": catalogVersionV3, "v4": catalogVersionV4,
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+".fidx")
+			if err := built.saveFileVersion(path, version); err != nil {
+				t.Fatal(err)
+			}
+			old, err := OpenFile(path, storage.DefaultDiskModel, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer old.Close()
+			if old.sumPages != 0 {
+				t.Fatalf("%s file reports %d summary pages", name, old.sumPages)
+			}
+			q := queries[4]
+			count, _ := bruteAggregate(f, q)
+			res, err := old.Aggregate(q, math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Approx || !res.Fallback || res.Count != float64(count) {
+				t.Fatalf("%s aggregate = %+v, want exact count %d", name, res, count)
+			}
+			if res.Fraction != 0 || res.TotalArea != 0 {
+				t.Fatalf("%s invented an area denominator: %+v", name, res)
+			}
+		})
+	}
+}
+
+// TestAggregateTiled covers the tiled planner's three stages: zero-read tile
+// composition when every intersecting tile is covered, the bounded global
+// summary otherwise, and the exact scatter-gather past the tolerance — plus
+// the version-5 roundtrip and version-4 (no-tail) compatibility.
+func TestAggregateTiled(t *testing.T) {
+	f := testDEM(t, 32, 0.7)
+	ti, err := BuildTiled(f, newPager(), TiledOptions{TileSide: 16, Codec: storage.SidecarCodecPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := f.ValueRange()
+
+	// A query covering the whole value range composes exactly from the
+	// per-tile summaries: every tile is covered, zero pages are read.
+	full, err := ti.Aggregate(geom.Interval{Lo: vr.Lo - 1, Hi: vr.Hi + 1}, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Approx || full.Count != float64(f.NumCells()) || full.IO.Reads != 0 {
+		t.Fatalf("covered composition = %+v, want exact count %d at zero reads", full, f.NumCells())
+	}
+	if full.CountBound != 0 || full.AreaBound != 0 {
+		t.Fatalf("covered composition carries bounds: %+v", full)
+	}
+
+	for _, q := range aggregateQueries(f, 33) {
+		count, area := bruteAggregate(f, q)
+		res, err := ti.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCertified(t, "tiled", res, count, area)
+		exact, err := ti.Aggregate(q, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Count != float64(count) {
+			t.Fatalf("tiled exact count %g, want %d", exact.Count, count)
+		}
+	}
+
+	// Version-5 roundtrip.
+	path := filepath.Join(t.TempDir(), "tiled.fdbt")
+	if err := ti.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenTiledFile(path, storage.DefaultDiskModel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range aggregateQueries(f, 34)[:10] {
+		count, area := bruteAggregate(f, q)
+		want, err := ti.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := opened.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.CountBound != want.CountBound ||
+			got.Area != want.Area || got.TotalArea != want.TotalArea {
+			t.Fatalf("reopened tiled aggregate diverges:\n got %+v\nwant %+v", got, want)
+		}
+		checkCertified(t, "tiled reopened", got, count, area)
+	}
+
+	// A version-4 tiled catalog is the version-5 blob minus the aggregate
+	// tail (per-tile areas + summary geometry), with the version field
+	// rewritten — exactly what the old writer produced. It must open with no
+	// summary and answer aggregates through the exact scatter-gather path.
+	disk, blob, err := readCatalogBlob(path, storage.DefaultPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := append([]byte(nil), blob[:len(blob)-(len(ti.tiles)*8+8)]...)
+	binary.LittleEndian.PutUint32(v4[4:8], catalogVersionV4)
+	old, err := decodeTiledCatalog(v4, storage.NewPagerShards(disk, storage.DefaultDiskModel, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.sumPages != 0 || old.tileArea != nil {
+		t.Fatalf("v4 tiled file carries summary state: pages %d, areas %v", old.sumPages, old.tileArea)
+	}
+	q := aggregateQueries(f, 33)[5]
+	count, _ := bruteAggregate(f, q)
+	res, err := old.Aggregate(q, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approx || !res.Fallback || res.Count != float64(count) {
+		t.Fatalf("v4 tiled aggregate = %+v, want exact count %d", res, count)
+	}
+}
+
+// TestAggregateMaintainedUnderUpdates: after an update batch the live
+// summary's bounds certify against the mutated field (refit mode restores
+// build-quality fits), while a snapshot pinned before the batch keeps
+// certifying against the old field — the summary pages version with their
+// epoch.
+func TestAggregateMaintainedUnderUpdates(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.7)
+	p, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := aggregateQueries(f, 35)
+
+	type exactAnswer struct {
+		count int
+		area  float64
+	}
+	pre := make([]exactAnswer, len(queries))
+	for i, q := range queries {
+		pre[i].count, pre[i].area = bruteAggregate(f, q)
+	}
+	snap := p.AcquireSnapshot()
+	defer snap.Close()
+	sq := snap.(AggregateQuerier)
+
+	if _, err := p.ApplyUpdates(ctx, f, testUpdates(f, 40, 11)); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, q := range queries {
+		count, area := bruteAggregate(f, q)
+		res, err := p.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCertified(t, "post-update live", res, count, area)
+
+		// The pinned snapshot answers from the pre-update summary pages and
+		// certifies against the pre-update field.
+		sres, err := sq.AggregateContext(ctx, q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCertified(t, "pinned snapshot", sres, pre[i].count, pre[i].area)
+	}
+
+	// Refit quality: the maintained summary is the same fit a scratch build
+	// over the mutated field produces.
+	scratch, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries[:10] {
+		got, err := p.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scratch.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.CountBound != want.CountBound ||
+			got.Area != want.Area || got.AreaBound != want.AreaBound {
+			t.Fatalf("maintained summary drifted from a scratch fit:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestAggregateWidenedUnderFileUpdates: a file-opened index has no fit
+// weights, so updates widen the persisted summary's slack instead — looser
+// bounds, but still certified against the mutated field, still at most
+// summaryPages reads.
+func TestAggregateWidenedUnderFileUpdates(t *testing.T) {
+	ctx := context.Background()
+	f := testDEM(t, 32, 0.7)
+	built, err := BuildIHilbert(f, newPager(), HilbertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "widen.fidx")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenFile(path, storage.DefaultDiskModel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+
+	q := geom.Interval{Lo: 30, Hi: 55}
+	before, err := opened.Aggregate(q, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for batch := int64(0); batch < 3; batch++ {
+		if _, err := opened.ApplyUpdates(ctx, f, testUpdates(f, 25, 20+batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count, area := bruteAggregate(f, q)
+	after, err := opened.Aggregate(q, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCertified(t, "widened", after, count, area)
+	if after.CountBound < before.CountBound || after.AreaBound < before.AreaBound {
+		t.Fatalf("widening shrank the bounds: %g/%g -> %g/%g",
+			before.CountBound, before.AreaBound, after.CountBound, after.AreaBound)
+	}
+	for _, q := range aggregateQueries(f, 36)[:12] {
+		count, area := bruteAggregate(f, q)
+		res, err := opened.Aggregate(q, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCertified(t, "widened sweep", res, count, area)
+	}
+}

@@ -62,12 +62,22 @@ import (
 // catalog_tiled.go): per-tile MBR and value summaries followed by each
 // tile's embedded geometry.
 //
+// version ≥ 5 appends the aggregate tier's field-summary geometry:
+//
+//	summary first page u32, summary pages u32 (0/0 when the index carries
+//	no summary; the pages themselves — the encoded approx blob — ride in
+//	the snapshotted page range like tree and sidecar pages do)
+//
 // Older files still open: decodeCatalog accepts every prior version. A
 // version-1 index has no sidecar (every query takes the heap-file fallback
 // path); version-1 and version-2 indexes open at epoch 0 with the default
-// cost model; pre-version-4 files always carry raw-codec sidecars.
+// cost model; pre-version-4 files always carry raw-codec sidecars;
+// pre-version-5 files have no field summary, so aggregate queries on them
+// always take the exact path. Re-encoding a file at an older version writes
+// it byte-identically to that version's writer.
 const (
-	catalogVersion       = 4
+	catalogVersion       = 5
+	catalogVersionV4     = 4
 	catalogVersionV3     = 3
 	catalogVersionV2     = 2
 	legacyCatalogVersion = 1
@@ -216,6 +226,10 @@ func (p *Partitioned) encodeCatalog(version uint32) []byte {
 			codec = p.sidecar.Codec()
 		}
 		writeCodecTail(&b, codec, p.sidecar)
+	}
+	if version >= 5 {
+		writeU32(&b, uint32(p.sumFirst))
+		writeU32(&b, uint32(p.sumPages))
 	}
 	return b.Bytes()
 }
@@ -391,6 +405,8 @@ func openFilePageSize(path string, pageSize int, opts OpenFileOptions) (*Partiti
 			}
 		}
 	}
+	dec.p.sumFirst = dec.sumFirst
+	dec.p.sumPages = dec.sumPages
 	dec.p.snap.Store(&partState{epoch: dec.epoch, tree: tree, groups: dec.groups})
 	if dec.sidecarPages > 0 {
 		sc, err := openSidecarAs(pager, dec.codec, dec.sidecarFirst, dec.sidecarPages, dec.sidecarCount, dec.sidecarFirstPos)
@@ -443,6 +459,8 @@ type decodedCatalog struct {
 	maxSize         float64
 	codec           string
 	sidecarFirstPos []uint32
+	sumFirst        storage.PageID
+	sumPages        int
 }
 
 func decodeCatalog(blob []byte) (*decodedCatalog, error) {
@@ -552,6 +570,15 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 			return nil, cerr
 		}
 	}
+	var sumFirst storage.PageID
+	sumPages := 0
+	if version >= 5 {
+		sumFirst = storage.PageID(r.u32())
+		sumPages = int(r.u32())
+		if r.err == nil && (sumPages < 0 || sumPages > 1<<16) {
+			return nil, fmt.Errorf("corrupt summary geometry")
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog truncated")
 	}
@@ -578,6 +605,8 @@ func decodeCatalog(blob []byte) (*decodedCatalog, error) {
 		codec:        codec,
 
 		sidecarFirstPos: sidecarFirstPos,
+		sumFirst:        sumFirst,
+		sumPages:        sumPages,
 	}, nil
 }
 

@@ -33,6 +33,16 @@ import (
 // opened file prunes exactly like the build it was saved from. Only
 // Tiled-LinearScan indexes have an on-disk format — the partitioned inner
 // methods would need a subfield tree per tile, which nothing requires yet.
+//
+// Version 5 appends the aggregate tier's tail after the per-tile blocks:
+//
+//	per tile, in tile order: total cell area f64 (the covered-tile
+//	composition weight)
+//	global summary first page u32, summary pages u32 (0/0 when absent)
+//
+// decodeTiledCatalog accepts versions 4 and 5; a version-4 file opens with
+// no tile areas and no global summary, so its aggregate queries always take
+// the exact scatter-gather path.
 
 // SaveFile writes the tiled index — every tile's heap segment and sidecar,
 // plus the version-4 tile directory — to a single database file that
@@ -154,6 +164,15 @@ func (t *TiledIndex) encodeTiledCatalog() []byte {
 			writeU32(&b, 0)
 		}
 	}
+	for ti := range t.tiles {
+		area := 0.0
+		if t.tileArea != nil {
+			area = t.tileArea[ti]
+		}
+		writeF64(&b, area)
+	}
+	writeU32(&b, uint32(t.sumFirst))
+	writeU32(&b, uint32(t.sumPages))
 	return b.Bytes()
 }
 
@@ -212,8 +231,9 @@ func decodeTiledCatalog(blob []byte, pager *storage.Pager) (*TiledIndex, error) 
 	if magic != catalogMagic {
 		return nil, fmt.Errorf("bad catalog magic")
 	}
-	if v := r.u32(); v != catalogVersion {
-		return nil, fmt.Errorf("unsupported tiled catalog version %d", v)
+	version := r.u32()
+	if version != catalogVersion && version != catalogVersionV4 {
+		return nil, fmt.Errorf("unsupported tiled catalog version %d", version)
 	}
 	numTiles := int(r.u32())
 	methodLen := int(r.u16())
@@ -327,6 +347,21 @@ func decodeTiledCatalog(blob []byte, pager *storage.Pager) (*TiledIndex, error) 
 		t.tiles = append(t.tiles, &tile{ids: ids, mbr: mbr, idx: ls})
 		vr = append(vr, iv)
 		covered += ncells
+	}
+	if version >= 5 {
+		tileArea := make([]float64, numTiles)
+		tot := 0.0
+		for i := range tileArea {
+			tileArea[i] = r.f64()
+			tot += tileArea[i]
+		}
+		sumFirst := storage.PageID(r.u32())
+		sumPages := int(r.u32())
+		if r.err == nil && (sumPages < 0 || sumPages > 1<<16) {
+			return nil, fmt.Errorf("corrupt summary geometry")
+		}
+		t.tileArea, t.totArea = tileArea, tot
+		t.sumFirst, t.sumPages = sumFirst, sumPages
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog truncated")

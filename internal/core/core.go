@@ -67,6 +67,11 @@ type Result struct {
 	Isolines [][2]geom.Point
 	// Area is the total area of Regions.
 	Area float64
+	// MatchedCellArea is the total planar area of the matched cells
+	// themselves (not the clipped band polygons) — the exact quantity the
+	// aggregate tier's area summaries approximate, accumulated here so an
+	// exact fallback can answer AggregateResult.Area from any method.
+	MatchedCellArea float64
 	// IO is the page-access activity of this query, including the
 	// simulated disk time — the quantity the paper's figures plot.
 	IO storage.Stats
@@ -136,6 +141,7 @@ func estimateRecord(res *Result, rec []byte, scratch *field.Cell, q geom.Interva
 // interval already matched the query.
 func estimateMatched(res *Result, c *field.Cell, q geom.Interval) {
 	res.CellsMatched++
+	res.MatchedCellArea += c.Area()
 	if q.Length() == 0 {
 		res.Isolines = append(res.Isolines, field.Isolines(c, q.Lo)...)
 		return
@@ -158,18 +164,21 @@ func estimateMatched(res *Result, c *field.Cell, q geom.Interval) {
 const writeCellsStride = 512
 
 // writeCells appends the cells of f to a fresh heap file on pager in the
-// order given by ids, returning the heap file and the RID of every cell in
-// write order. A non-empty codec name also builds the columnar interval
-// sidecar with that codec: each cell's (min, max) — taken by partial decode
-// from the very record bytes just appended, so the sidecar is byte-identical
-// to CellIntervalFromRecord on the stored records — is buffered and written
-// to contiguous packed pages right after the heap flush. ctx is polled every
-// writeCellsStride cells so a canceled build stops without writing the rest
-// of the field.
-func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID, codec string) (*storage.HeapFile, []storage.RID, *storage.IntervalSidecar, error) {
+// order given by ids, returning the heap file, the RID of every cell in
+// write order, and each cell's planar area in the same order (the aggregate
+// tier's fit weights — value updates never move vertices, so the areas stay
+// valid for the index's lifetime). A non-empty codec name also builds the
+// columnar interval sidecar with that codec: each cell's (min, max) — taken
+// by partial decode from the very record bytes just appended, so the sidecar
+// is byte-identical to CellIntervalFromRecord on the stored records — is
+// buffered and written to contiguous packed pages right after the heap
+// flush. ctx is polled every writeCellsStride cells so a canceled build
+// stops without writing the rest of the field.
+func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []field.CellID, codec string) (*storage.HeapFile, []storage.RID, *storage.IntervalSidecar, []float64, error) {
 	sidecar := codec != ""
 	heap := storage.NewHeapFile(pager)
 	rids := make([]storage.RID, len(ids))
+	areas := make([]float64, len(ids))
 	var lo, hi []float64
 	if sidecar {
 		lo = make([]float64, len(ids))
@@ -180,39 +189,40 @@ func writeCells(ctx context.Context, f field.Field, pager *storage.Pager, ids []
 	for i, id := range ids {
 		if i%writeCellsStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 		}
 		f.Cell(id, &c)
 		if err := c.Validate(); err != nil {
-			return nil, nil, nil, fmt.Errorf("core: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("core: %w", err)
 		}
 		buf = field.AppendCell(buf[:0], &c)
 		rid, err := heap.Append(buf)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: storing cell %d: %w", id, err)
+			return nil, nil, nil, nil, fmt.Errorf("core: storing cell %d: %w", id, err)
 		}
 		rids[i] = rid
+		areas[i] = c.Area()
 		if sidecar {
 			iv, err := field.CellIntervalFromRecord(buf)
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("core: sidecar interval for cell %d: %w", id, err)
+				return nil, nil, nil, nil, fmt.Errorf("core: sidecar interval for cell %d: %w", id, err)
 			}
 			lo[i], hi[i] = iv.Lo, iv.Hi
 		}
 	}
 	if err := heap.Flush(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	var sc *storage.IntervalSidecar
 	if sidecar {
 		var err error
 		sc, err = storage.BuildIntervalSidecarWith(pager, lo, hi, codec)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	return heap, rids, sc, nil
+	return heap, rids, sc, areas, nil
 }
 
 // resolveSidecarCodec maps build-option fields to writeCells' codec

@@ -84,7 +84,7 @@ func BuildIAllCtx(ctx context.Context, f field.Field, pager *storage.Pager, opts
 	if opts.Params.PageSize == 0 {
 		opts.Params.PageSize = pager.PageSize()
 	}
-	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), resolveSidecarCodec(opts.NoSidecar, opts.Codec))
+	heap, rids, sc, _, err := writeCells(ctx, f, pager, identityOrder(f), resolveSidecarCodec(opts.NoSidecar, opts.Codec))
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ type IPRow struct {
 // Only regular grids are supported, exactly as in the original application
 // (row = time sequence).
 func BuildIPRow(d *grid.DEM, pager *storage.Pager) (*IPRow, error) {
-	heap, rids, _, err := writeCells(context.Background(), d, pager, identityOrder(d), "")
+	heap, rids, _, _, err := writeCells(context.Background(), d, pager, identityOrder(d), "")
 	if err != nil {
 		return nil, err
 	}

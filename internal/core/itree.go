@@ -31,7 +31,7 @@ type ITree struct {
 
 // BuildITree stores the cells and builds the in-memory interval tree.
 func BuildITree(f field.Field, pager *storage.Pager) (*ITree, error) {
-	heap, rids, _, err := writeCells(context.Background(), f, pager, identityOrder(f), "")
+	heap, rids, _, _, err := writeCells(context.Background(), f, pager, identityOrder(f), "")
 	if err != nil {
 		return nil, err
 	}

@@ -53,7 +53,7 @@ func BuildLinearScanCtx(ctx context.Context, f field.Field, pager *storage.Pager
 
 // BuildLinearScanWith is BuildLinearScanCtx with the full option set.
 func BuildLinearScanWith(ctx context.Context, f field.Field, pager *storage.Pager, opts LinearScanOptions) (*LinearScan, error) {
-	heap, rids, sc, err := writeCells(ctx, f, pager, identityOrder(f), resolveSidecarCodec(opts.NoSidecar, opts.Codec))
+	heap, rids, sc, _, err := writeCells(ctx, f, pager, identityOrder(f), resolveSidecarCodec(opts.NoSidecar, opts.Codec))
 	if err != nil {
 		return nil, err
 	}

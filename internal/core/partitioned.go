@@ -76,6 +76,16 @@ type Partitioned struct {
 	ivs     []geom.Interval
 	posOf   map[field.CellID]int
 
+	// Field-summary state for the aggregate tier: the contiguous page run
+	// holding the encoded approx summary (sumPages == 0 when absent — a
+	// pre-version-5 file opens without one and answers aggregates exactly),
+	// and each cell's planar area in heap order (nil for file-opened indexes;
+	// when present, update batches refit the summary instead of widening its
+	// certified slack).
+	sumFirst storage.PageID
+	sumPages int
+	areas    []float64
+
 	observed
 }
 
@@ -287,7 +297,7 @@ func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *
 	for i, r := range refs {
 		ids[i] = r.ID
 	}
-	heap, rids, sc, err := writeCells(ctx, f, pager, ids, codec)
+	heap, rids, sc, areas, err := writeCells(ctx, f, pager, ids, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -339,18 +349,28 @@ func buildPartitioned(ctx context.Context, method Method, f field.Field, pager *
 	for i, r := range refs {
 		ivs[i] = r.Interval
 	}
+	// The field summary lives on its own page run right after the index
+	// pages, so an approximate aggregate touches a handful of dedicated
+	// pages and nothing else.
+	sumFirst, sumPages, err := buildSummary(pager, ivs, areas)
+	if err != nil {
+		return nil, err
+	}
 	p := &Partitioned{
-		method:  method,
-		pager:   pager,
-		heap:    heap,
-		order:   ids,
-		cells:   len(refs),
-		rids:    rids,
-		sidecar: sc,
-		workers: workers,
-		cost:    cost,
-		maxSize: maxSize,
-		ivs:     ivs,
+		method:   method,
+		pager:    pager,
+		heap:     heap,
+		order:    ids,
+		cells:    len(refs),
+		rids:     rids,
+		sidecar:  sc,
+		workers:  workers,
+		cost:     cost,
+		maxSize:  maxSize,
+		ivs:      ivs,
+		sumFirst: sumFirst,
+		sumPages: sumPages,
+		areas:    areas,
 	}
 	p.snap.Store(&partState{epoch: pager.CurrentEpoch(), tree: tree, groups: metas})
 	return p, nil
@@ -418,6 +438,14 @@ type ApproxResult struct {
 	IO       storage.Stats
 }
 
+// ApproxQuerier is the optional capability of an index (or snapshot) that
+// answers approximate value queries from subfield metadata alone, without
+// fetching a single cell page. Only partition-based methods carry the
+// per-subfield summaries it needs.
+type ApproxQuerier interface {
+	ApproxQueryContext(ctx context.Context, q geom.Interval) (*ApproxResult, error)
+}
+
 // ApproxQuery answers a value query approximately using only the R*-tree and
 // the per-subfield summaries (§3's "average of field values of subfield"):
 // it never reads cell pages, so its cost is the filter step alone. The cell
@@ -445,6 +473,12 @@ func (p *Partitioned) ApproxQueryContext(ctx context.Context, q geom.Interval) (
 func (p *Partitioned) approxQuery(tb *obs.TraceBuilder, q geom.Interval) (*ApproxResult, error) {
 	s, release := p.pinState()
 	defer release()
+	return p.approxQueryAt(s, tb, q)
+}
+
+// approxQueryAt is approxQuery against an explicit pinned state, shared with
+// the snapshot path. The caller must hold a pin at s.epoch.
+func (p *Partitioned) approxQueryAt(s *partState, tb *obs.TraceBuilder, q geom.Interval) (*ApproxResult, error) {
 	qc := beginQueryAt(p.pager, s.epoch)
 	defer qc.Release()
 	qc.AttachTrace(tb)
@@ -721,6 +755,7 @@ func (p *Partitioned) valueQueryAt(s *partState, o *observed, ctx context.Contex
 	for i, part := range partials {
 		res.CellsFetched += part.CellsFetched
 		res.CellsMatched += part.CellsMatched
+		res.MatchedCellArea += part.MatchedCellArea
 		res.Regions = append(res.Regions, part.Regions...)
 		res.Isolines = append(res.Isolines, part.Isolines...)
 		qc.Merge(ctxs[i])

@@ -84,6 +84,23 @@ func (s *partSnapshot) QueryContext(ctx context.Context, q geom.Interval) (*Resu
 	return res, err
 }
 
+// ApproxQueryContext implements ApproxQuerier at the snapshot's pinned state:
+// the subfield metadata (R*-tree, per-group summaries) is read from the
+// partState published with the pinned epoch, so a later re-cut of the live
+// partition never leaks into the snapshot's answer.
+func (s *partSnapshot) ApproxQueryContext(ctx context.Context, q geom.Interval) (*ApproxResult, error) {
+	if q.IsEmpty() {
+		return nil, fmt.Errorf("core: empty query interval")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tb, start := s.p.startQuery(string(s.p.method), obs.KindApprox, q.Lo, q.Hi)
+	res, err := s.p.approxQueryAt(s.st, tb, q)
+	s.p.endQuery(tb, start, err)
+	return res, err
+}
+
 func (s *partSnapshot) Epoch() uint64 { return s.st.epoch }
 
 func (s *partSnapshot) Close() error {

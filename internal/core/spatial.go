@@ -63,7 +63,7 @@ func BuildSpatialCtx(ctx context.Context, f field.Field, pager *storage.Pager, p
 	if err != nil {
 		return nil, err
 	}
-	heap, rids, _, err := writeCells(ctx, f, pager, identityOrder(f), "")
+	heap, rids, _, _, err := writeCells(ctx, f, pager, identityOrder(f), "")
 	if err != nil {
 		return nil, err
 	}

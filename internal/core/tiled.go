@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fielddb/internal/approx"
 	"fielddb/internal/field"
 	"fielddb/internal/geom"
 	"fielddb/internal/obs"
@@ -138,6 +139,15 @@ type TiledIndex struct {
 	tileSide int
 	snap     atomic.Pointer[tiledState]
 	workers  int
+	// Aggregate-tier state: the global field summary's page run (sumPages ==
+	// 0 when absent — a pre-version-5 file), each tile's total cell area
+	// (nil when opened from a pre-version-5 file), and the field-wide area.
+	// Tile areas never change under value updates (vertices never move), so
+	// they stay exact for the index's lifetime.
+	sumFirst storage.PageID
+	sumPages int
+	tileArea []float64
+	totArea  float64
 	// updMu serializes updaters; readers never take it.
 	updMu sync.Mutex
 	observed
@@ -189,21 +199,32 @@ func BuildTiledCtx(ctx context.Context, f field.Field, pager *storage.Pager, opt
 	}
 	vr := make([]geom.Interval, 0, len(specs))
 	parts := make([]*partState, len(specs))
+	t.tileArea = make([]float64, 0, len(specs))
+	allIvs := make([]geom.Interval, 0, f.NumCells())
+	allAreas := make([]float64, 0, f.NumCells())
 	var c field.Cell
 	for ti, ids := range specs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Per-tile MBR and exact value summary, from the very cells the tile
-		// build will store.
+		// Per-tile MBR, exact value summary and total cell area, from the
+		// very cells the tile build will store. The intervals and areas also
+		// feed the global field summary fitted after the tiles.
 		mbr := geom.EmptyRect()
 		iv := geom.EmptyInterval()
+		area := 0.0
 		for _, id := range ids {
 			f.Cell(id, &c)
 			mbr = mbr.Union(c.Bounds())
 			iv = iv.Union(c.Interval())
+			a := c.Area()
+			area += a
+			allIvs = append(allIvs, c.Interval())
+			allAreas = append(allAreas, a)
 			t.tileOf[id] = int32(ti)
 		}
+		t.tileArea = append(t.tileArea, area)
+		t.totArea += area
 		view := &tileField{parent: f, ids: ids, bounds: mbr, vr: iv}
 		var idx Index
 		var err error
@@ -226,6 +247,14 @@ func BuildTiledCtx(ctx context.Context, f field.Field, pager *storage.Pager, opt
 		t.tiles = append(t.tiles, &tile{ids: ids, mbr: mbr, view: view, idx: idx})
 		vr = append(vr, iv)
 	}
+	// Global field summary over every cell, after the last tile's pages: the
+	// cumulative distributions are order-independent, so feeding them in tile
+	// order fits the same summary an untiled build would.
+	sumFirst, sumPages, err := buildSummary(pager, allIvs, allAreas)
+	if err != nil {
+		return nil, err
+	}
+	t.sumFirst, t.sumPages = sumFirst, sumPages
 	t.snap.Store(&tiledState{epoch: pager.CurrentEpoch(), vr: vr, parts: parts})
 	return t, nil
 }
@@ -838,6 +867,7 @@ func (t *TiledIndex) applyUpdates(ctx context.Context, f field.Mutable, updates 
 	st := newOverlayStage(qc)
 	vr := append([]geom.Interval(nil), cur.vr...)
 	changed := make(map[int]bool, len(involved))
+	changedCells, changedArea := 0, 0.0
 	var scratch field.Cell
 	var enc []byte
 	qc.BeginSpan(obs.PhasePatch)
@@ -882,6 +912,10 @@ func (t *TiledIndex) applyUpdates(ctx context.Context, f field.Mutable, updates 
 		}
 		if oldIv != newIv {
 			changed[ti] = true
+			// Interval-shifting cells widen the global summary's certified
+			// slack below; scratch holds the re-encoded cell.
+			changedCells++
+			changedArea += scratch.Area()
 		}
 		vr[ti] = vr[ti].Union(newIv)
 	}
@@ -908,6 +942,17 @@ func (t *TiledIndex) applyUpdates(ctx context.Context, f field.Mutable, updates 
 			regrouped = regrouped || rg
 			pending = append(pending, pendingPart{ti: ti, p: p, tree: tree, groups: groups})
 		}
+	}
+	// The tiled planner keeps no global per-cell areas, so the field summary
+	// is maintained widen-only: the changed cells' count and area grow the
+	// header's certified slack in the same overlay set (per-tile summaries in
+	// the published state handle the covered-tile shortcut; they widen above).
+	if t.sumPages > 0 && changedCells > 0 {
+		page, err := st.page(t.sumFirst)
+		if err != nil {
+			return fail(err)
+		}
+		approx.PatchWiden(page, float64(changedCells), changedArea)
 	}
 	res := &UpdateResult{
 		SamplesApplied:    len(updates),

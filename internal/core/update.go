@@ -436,6 +436,7 @@ func (p *Partitioned) applyUpdates(ctx context.Context, f field.Mutable, updates
 	var scratch field.Cell
 	var enc []byte
 	changed := false
+	changedCells, changedArea := 0, 0.0
 	qc.BeginSpan(obs.PhasePatch)
 	for _, id := range cells {
 		if err := ctx.Err(); err != nil {
@@ -457,12 +458,27 @@ func (p *Partitioned) applyUpdates(ctx context.Context, f field.Mutable, updates
 		p.ivs[pos] = newIv
 		if oldIv != newIv {
 			changed = true
+			// scratch holds the re-encoded cell; its area feeds the summary's
+			// widening slack when the index has no per-cell areas to refit
+			// from (a cell whose interval moved shifts each cumulative
+			// distribution by at most one count and its own area).
+			changedCells++
+			changedArea += scratch.Area()
 		}
 	}
 	qc.EndSpan()
 	tree, groups, indexPages, regrouped, err := p.maintainPartition(qc, cur, changed)
 	if err != nil {
 		return fail(err)
+	}
+	// An interval-changing batch moves the cumulative distributions the field
+	// summary approximates; refresh it in the same overlay set so summary and
+	// data version together under one epoch. An unchanged batch leaves the
+	// distributions — and the summary — untouched.
+	if changed {
+		if err := p.maintainSummary(st, changedCells, changedArea); err != nil {
+			return fail(err)
+		}
 	}
 	res := &UpdateResult{
 		SamplesApplied:    len(updates),

@@ -62,6 +62,22 @@ func (c *Cell) Center() geom.Point {
 	return geom.Pt(sx/n, sy/n)
 }
 
+// Area returns the planar area of the cell polygon (shoelace formula over
+// the vertex ring). The aggregate tier weighs cells by it, both when fitting
+// area summaries and when an exact fallback accumulates matched area.
+func (c *Cell) Area() float64 {
+	n := len(c.Vertices)
+	if n < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i, p := range c.Vertices {
+		q := c.Vertices[(i+1)%n]
+		sum += p.Cross(q)
+	}
+	return math.Abs(sum) / 2
+}
+
 // Validate reports structural problems with the cell.
 func (c *Cell) Validate() error {
 	if len(c.Vertices) != len(c.Values) {

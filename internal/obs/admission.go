@@ -34,6 +34,7 @@ type AdmissionMetrics struct {
 	admitted  [MaxAdmissionFields]atomic.Int64 // admitted on the field's own budget
 	borrowed  [MaxAdmissionFields]atomic.Int64 // admitted on a borrowed overflow token
 	shed      [MaxAdmissionFields]atomic.Int64 // refused with 429
+	degraded  [MaxAdmissionFields]atomic.Int64 // answered approximately past the budget
 	occupancy [MaxAdmissionFields]atomic.Int64 // budget tokens currently held
 
 	// Overflow pool: current occupancy (tokens lent to fields plus
@@ -112,6 +113,17 @@ func (m *AdmissionMetrics) RecordShed(slot int) {
 	m.shed[slot].Add(1)
 }
 
+// RecordDegrade counts one aggregate request on slot's field that ran
+// token-free in degraded mode — answered approximately with any certified
+// bound — because the budget and overflow pool were exhausted and the server
+// degrades instead of shedding (Config.DegradeToApprox in the serving tier).
+func (m *AdmissionMetrics) RecordDegrade(slot int) {
+	if m == nil || !validSlot(slot) {
+		return
+	}
+	m.degraded[slot].Add(1)
+}
+
 // RecordSharedAdmit counts one cross-field admission on the overflow pool.
 func (m *AdmissionMetrics) RecordSharedAdmit() {
 	if m == nil {
@@ -150,10 +162,12 @@ func (m *AdmissionMetrics) RecordDrainRefusal() {
 type FieldAdmission struct {
 	Field string
 	// Admitted counts requests admitted on the field's own budget, Borrowed
-	// the ones admitted on an overflow token, Shed the 429 refusals.
+	// the ones admitted on an overflow token, Shed the 429 refusals, and
+	// Degraded the aggregate requests answered approximately past the budget.
 	Admitted int64
 	Borrowed int64
 	Shed     int64
+	Degraded int64
 	// BudgetInUse is the budget-occupancy gauge at snapshot time.
 	BudgetInUse int64
 }
@@ -198,6 +212,7 @@ func (m *AdmissionMetrics) Snapshot() AdmissionSnapshot {
 			Admitted:    m.admitted[i].Load(),
 			Borrowed:    m.borrowed[i].Load(),
 			Shed:        m.shed[i].Load(),
+			Degraded:    m.degraded[i].Load(),
 			BudgetInUse: m.occupancy[i].Load(),
 		})
 	}
@@ -210,6 +225,7 @@ type FieldAdmissionView struct {
 	Admitted    int64  `json:"admitted"`
 	Borrowed    int64  `json:"borrowed"`
 	Shed        int64  `json:"shed_429"`
+	Degraded    int64  `json:"degraded,omitempty"`
 	BudgetInUse int64  `json:"budget_in_use"`
 }
 

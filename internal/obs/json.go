@@ -126,6 +126,8 @@ type SnapshotView struct {
 	RegroupEvents       int64                 `json:"regroup_events"`
 	TilesPruned         int64                 `json:"tiles_pruned"`
 	TilesScanned        int64                 `json:"tiles_scanned"`
+	AggregateQueries    int64                 `json:"aggregate_queries"`
+	AggregateFallbacks  int64                 `json:"aggregate_fallbacks"`
 }
 
 // View returns the wire form of s.
@@ -158,6 +160,8 @@ func (s Snapshot) View() SnapshotView {
 		RegroupEvents:       s.RegroupEvents,
 		TilesPruned:         s.TilesPruned,
 		TilesScanned:        s.TilesScanned,
+		AggregateQueries:    s.AggregateQueries,
+		AggregateFallbacks:  s.AggregateFallbacks,
 	}
 	for _, m := range s.Methods {
 		v.Methods = append(v.Methods, MethodCountersView(m))

@@ -142,6 +142,12 @@ type Metrics struct {
 	// pages read) and tiles actually scanned.
 	tilesPruned  atomic.Int64
 	tilesScanned atomic.Int64
+
+	// Aggregate-tier accounting: approximate range-aggregate queries served
+	// within their certified bound, and those that fell back to the exact
+	// pipeline because the bound exceeded the caller's tolerance.
+	aggQueries   atomic.Int64
+	aggFallbacks atomic.Int64
 }
 
 // batchSizeBuckets is the batch-size histogram resolution: bucket i counts
@@ -282,6 +288,19 @@ func (m *Metrics) RecordTiles(pruned, scanned int) {
 	m.tilesScanned.Add(int64(scanned))
 }
 
+// RecordAggregate counts one range-aggregate query, noting whether the
+// summary's certified bound exceeded the caller's tolerance and the exact
+// pipeline answered instead.
+func (m *Metrics) RecordAggregate(fallback bool) {
+	if m == nil {
+		return
+	}
+	m.aggQueries.Add(1)
+	if fallback {
+		m.aggFallbacks.Add(1)
+	}
+}
+
 // RecordContour counts one isoline assembly and its duration.
 func (m *Metrics) RecordContour(d time.Duration) {
 	if m == nil {
@@ -349,6 +368,11 @@ type Snapshot struct {
 	// pipeline.
 	TilesPruned  int64
 	TilesScanned int64
+	// Aggregate tier: AggregateQueries counts approximate range-aggregate
+	// answers, AggregateFallbacks the subset the exact pipeline had to serve
+	// because the certified bound exceeded the caller's tolerance.
+	AggregateQueries   int64
+	AggregateFallbacks int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting: counters are read
@@ -385,6 +409,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		RegroupEvents:       m.regroupEvents.Load(),
 		TilesPruned:         m.tilesPruned.Load(),
 		TilesScanned:        m.tilesScanned.Load(),
+		AggregateQueries:    m.aggQueries.Load(),
+		AggregateFallbacks:  m.aggFallbacks.Load(),
 	}
 	for i := 0; i < batchSizeBuckets; i++ {
 		if c := m.batchSizes[i].Load(); c > 0 {
@@ -473,6 +499,10 @@ func (s Snapshot) String() string {
 	}
 	if s.TilesPruned+s.TilesScanned > 0 {
 		fmt.Fprintf(&b, "tiles: pruned=%d scanned=%d\n", s.TilesPruned, s.TilesScanned)
+	}
+	if s.AggregateQueries > 0 {
+		fmt.Fprintf(&b, "aggregates: queries=%d fallbacks=%d\n",
+			s.AggregateQueries, s.AggregateFallbacks)
 	}
 	if len(s.Latency) > 0 {
 		b.WriteString("latency histogram:\n")

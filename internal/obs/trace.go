@@ -74,13 +74,19 @@ const (
 	// own filter + refinement pipeline. A tiled query emits one span per
 	// scanned tile (or one combined span when tiles scan in parallel).
 	PhaseTileScan
+	// PhaseSummary is the aggregate tier's summary evaluation: reading the
+	// dedicated polynomial-summary pages and evaluating the fitted cumulative
+	// functions. Its page counts are the whole point — a few pages at any
+	// selectivity (zero when a tiled shortcut answers from tile metadata
+	// alone).
+	PhaseSummary
 	numPhases
 )
 
 // NumPhases is the number of defined phases, for sizing per-phase tables.
 const NumPhases = int(numPhases)
 
-var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch", "patch", "index-maintain", "tile-prune", "tile-scan"}
+var phaseNames = [NumPhases]string{"plan", "filter", "refine", "decode", "contour-assemble", "sidecar-filter", "batch-fetch", "patch", "index-maintain", "tile-prune", "tile-scan", "summary-eval"}
 
 // String implements fmt.Stringer.
 func (p Phase) String() string {
@@ -107,6 +113,12 @@ const (
 	// touched; the trace IO is the batch's read activity — writes land in
 	// Metrics as UpdatePagesWritten.
 	KindUpdate = "update"
+	// KindAggregate marks an approximate range-aggregate query: a summary
+	// span reading at most the dedicated summary pages and — only when the
+	// certified bound exceeded the caller's tolerance — the exact pipeline's
+	// spans after it. The trace IO still reconciles to the answer's
+	// Result-level accounting.
+	KindAggregate = "aggregate"
 )
 
 // PageCounts is the page-access activity attributable to one span. It mirrors

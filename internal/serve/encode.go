@@ -26,6 +26,7 @@ import (
 	"unicode/utf8"
 
 	"fielddb"
+	"fielddb/internal/storage"
 )
 
 // codecBufSize is the bufio window of the response path: big enough to hold
@@ -184,16 +185,23 @@ func appendJSONString(b []byte, s string) []byte {
 
 // appendIOView appends the ioView object for st.
 func appendIOView(b []byte, st fielddb.Result) []byte {
+	return appendIOStatsView(b, st.IO)
+}
+
+// appendIOStatsView appends the ioView object for a raw stats block — shared
+// by the value-query and aggregate envelopes, whose results carry the same
+// deterministic I/O accounting.
+func appendIOStatsView(b []byte, io storage.Stats) []byte {
 	b = append(b, `{"reads":`...)
-	b = strconv.AppendInt(b, int64(st.IO.Reads), 10)
+	b = strconv.AppendInt(b, int64(io.Reads), 10)
 	b = append(b, `,"seq_reads":`...)
-	b = strconv.AppendInt(b, int64(st.IO.SeqReads), 10)
+	b = strconv.AppendInt(b, int64(io.SeqReads), 10)
 	b = append(b, `,"rand_reads":`...)
-	b = strconv.AppendInt(b, int64(st.IO.RandReads), 10)
+	b = strconv.AppendInt(b, int64(io.RandReads), 10)
 	b = append(b, `,"cache_hits":`...)
-	b = strconv.AppendInt(b, int64(st.IO.CacheHits), 10)
+	b = strconv.AppendInt(b, int64(io.CacheHits), 10)
 	b = append(b, `,"sim_elapsed_ns":`...)
-	b = strconv.AppendInt(b, int64(st.IO.SimElapsed), 10)
+	b = strconv.AppendInt(b, int64(io.SimElapsed), 10)
 	return append(b, '}')
 }
 
@@ -393,6 +401,55 @@ func (c *codec) writeBatchEnvelope(w http.ResponseWriter, quotedField []byte, re
 		b = appendJSONString(b, batchErr.Error())
 	}
 	b = append(b, "}\n"...)
+	c.bw.Write(b)
+	c.buf = b[:0]
+}
+
+// writeAggregateEnvelope streams the /aggregate response. max_err encodes as
+// null when the resolved tolerance is +Inf (a degraded request accepted any
+// certified bound) — JSON has no Infinity literal, and null states the same
+// fact: no finite tolerance constrained this answer.
+func (c *codec) writeAggregateEnvelope(w http.ResponseWriter, quotedField []byte, res *fielddb.AggregateResult, degraded bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	b := c.buf[:0]
+	b = append(b, `{"field":`...)
+	b = append(b, quotedField...)
+	b = append(b, `,"result":{"lo":`...)
+	b = appendJSONFloat(b, res.Query.Lo)
+	b = append(b, `,"hi":`...)
+	b = appendJSONFloat(b, res.Query.Hi)
+	b = append(b, `,"max_err":`...)
+	if math.IsInf(res.MaxErr, 1) {
+		b = append(b, "null"...)
+	} else {
+		b = appendJSONFloat(b, res.MaxErr)
+	}
+	b = append(b, `,"count":`...)
+	b = appendJSONFloat(b, res.Count)
+	b = append(b, `,"count_bound":`...)
+	b = appendJSONFloat(b, res.CountBound)
+	b = append(b, `,"area":`...)
+	b = appendJSONFloat(b, res.Area)
+	b = append(b, `,"area_bound":`...)
+	b = appendJSONFloat(b, res.AreaBound)
+	b = append(b, `,"fraction":`...)
+	b = appendJSONFloat(b, res.Fraction)
+	b = append(b, `,"fraction_bound":`...)
+	b = appendJSONFloat(b, res.FractionBound)
+	b = append(b, `,"total_cells":`...)
+	b = appendJSONFloat(b, res.TotalCells)
+	b = append(b, `,"total_area":`...)
+	b = appendJSONFloat(b, res.TotalArea)
+	b = append(b, `,"approx":`...)
+	b = strconv.AppendBool(b, res.Approx)
+	b = append(b, `,"fallback":`...)
+	b = strconv.AppendBool(b, res.Fallback)
+	b = append(b, `,"degraded":`...)
+	b = strconv.AppendBool(b, degraded)
+	b = append(b, `,"io":`...)
+	b = appendIOStatsView(b, res.IO)
+	b = append(b, "}}\n"...)
 	c.bw.Write(b)
 	c.buf = b[:0]
 }

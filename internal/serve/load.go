@@ -58,6 +58,11 @@ type LoadOptions struct {
 	// PointEvery mixes one point query per this many requests (0 means the
 	// default 8; negative disables the point mix).
 	PointEvery int
+	// AggregateEvery mixes one approximate aggregate query per this many
+	// requests, drawn from the same zipf interval pool as the range mix
+	// (0 disables — aggregates join the mix only when asked, so drives
+	// predating the endpoint stay identical).
+	AggregateEvery int
 	// Wire selects the response encoding: WireJSON (the default) keeps the
 	// server's JSON envelopes, WireBin negotiates the compact binary frame
 	// format via Accept: application/x-fielddb-bin. The first binary
@@ -123,7 +128,8 @@ func buildRequests(opts LoadOptions, vr fielddb.Interval) ([]*http.Request, erro
 	reqs := make([]*http.Request, opts.Requests)
 	for i := range reqs {
 		var url string
-		if opts.PointEvery > 0 && i%opts.PointEvery == opts.PointEvery-1 {
+		switch {
+		case opts.PointEvery > 0 && i%opts.PointEvery == opts.PointEvery-1:
 			// The point mix assumes the cell-coordinate domain of the
 			// shipped fields (the fixture terrain spans [0, side]²); drive
 			// fields with another extent with PointEvery < 0.
@@ -131,7 +137,11 @@ func buildRequests(opts LoadOptions, vr fielddb.Interval) ([]*http.Request, erro
 			y := 1 + rng.Float64()*99
 			url = fmt.Sprintf("%s/v1/fields/%s/point?x=%g&y=%g",
 				opts.BaseURL, opts.Field, x, y)
-		} else {
+		case opts.AggregateEvery > 0 && i%opts.AggregateEvery == opts.AggregateEvery-1:
+			iv := pool[zipf.Uint64()]
+			url = fmt.Sprintf("%s/v1/fields/%s/aggregate?lo=%g&hi=%g",
+				opts.BaseURL, opts.Field, iv.Lo, iv.Hi)
+		default:
 			iv := pool[zipf.Uint64()]
 			url = fmt.Sprintf("%s/v1/fields/%s/range?lo=%g&hi=%g%s",
 				opts.BaseURL, opts.Field, iv.Lo, iv.Hi, geom)

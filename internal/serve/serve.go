@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -78,6 +79,20 @@ type Config struct {
 	// RetryAfter is the Retry-After hint (rounded up to whole seconds) on
 	// 429 and 503 responses; 0 means one second.
 	RetryAfter time.Duration
+	// ApproxMaxErr is the aggregate endpoint's default error tolerance when
+	// the client sends no max_err parameter; 0 defers to the queried
+	// surface's own default (fielddb.DefaultApproxMaxErr unless the surface
+	// was opened with Options.ApproxMaxErr).
+	ApproxMaxErr float64
+	// DegradeToApprox changes what happens to an aggregate request when its
+	// field's budget and the overflow pool are exhausted: instead of
+	// shedding 429, the request runs token-free with tolerance +Inf — the
+	// summary pages answer with whatever certified bound they have, at most
+	// a handful of page reads — and the response is marked "degraded".
+	// Exact (non-aggregate) traffic still sheds; a summary-less field's
+	// aggregate falls back to the exact pipeline and still runs, so only
+	// enable this where every served field carries a summary.
+	DegradeToApprox bool
 }
 
 // Defaults for the zero Config.
@@ -167,6 +182,7 @@ func New(fields map[string]*Field, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/fields/{name}/below", s.admitField(s.handleBelow))
 	s.mux.HandleFunc("GET /v1/fields/{name}/point", s.admitField(s.handlePoint))
 	s.mux.HandleFunc("GET /v1/fields/{name}/contour", s.admitField(s.handleContour))
+	s.mux.HandleFunc("GET /v1/fields/{name}/aggregate", s.admitAggregate())
 	s.mux.HandleFunc("POST /v1/fields/{name}/batch", s.admitField(s.handleBatch))
 	s.mux.HandleFunc("POST /v1/fields/{name}/update", s.admitField(s.handleUpdate))
 	s.mux.HandleFunc("POST /v1/and", s.admitShared(s.handleAnd))
@@ -261,7 +277,8 @@ func (s *Server) deadline(c *codec, w http.ResponseWriter, r *http.Request, bin 
 
 // acquire takes one admission token for g: the field's own budget first, a
 // borrowed overflow token second. It returns the matching release, or false
-// after recording the shed (the caller answers 429).
+// when both pools are exhausted — the caller decides the outcome (429 and
+// RecordShed, or the aggregate endpoint's degraded mode).
 func (s *Server) acquire(g *fieldGate) (func(), bool) {
 	select {
 	case g.tokens <- struct{}{}:
@@ -280,7 +297,6 @@ func (s *Server) acquire(g *fieldGate) (func(), bool) {
 			s.adm.RecordOverflowRelease()
 		}, true
 	default:
-		s.adm.RecordShed(g.slot)
 		return nil, false
 	}
 }
@@ -301,6 +317,7 @@ func (s *Server) admitField(h handlerFn) http.HandlerFunc {
 		if g, ok := s.gates[r.PathValue("name")]; ok {
 			release, admitted := s.acquire(g)
 			if !admitted {
+				s.adm.RecordShed(g.slot)
 				w.Header().Set("Retry-After", s.retryAfterSeconds())
 				writeFail(c, w, bin, http.StatusTooManyRequests, "field budget and overflow pool exhausted")
 				return
@@ -313,6 +330,47 @@ func (s *Server) admitField(h handlerFn) http.HandlerFunc {
 		}
 		defer cancel()
 		h(c, w, r.WithContext(ctx), bin)
+	}
+}
+
+// admitAggregate wraps the aggregate endpoint. It admits like admitField,
+// but when the field's budget and the overflow pool are both exhausted and
+// Config.DegradeToApprox is set, the request proceeds without a token in
+// degraded mode instead of shedding: the handler forces tolerance +Inf, so
+// the summary pages answer with whatever certified bound they carry — a
+// handful of page reads, safe to run outside the admission budget — and the
+// response is marked degraded so clients can tell the bound was not chosen.
+func (s *Server) admitAggregate() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		bin := wantBinary(r)
+		c := getCodec(w)
+		defer c.put()
+		if !s.enter(c, w, r, bin) {
+			return
+		}
+		defer s.wg.Done()
+		degraded := false
+		if g, ok := s.gates[r.PathValue("name")]; ok {
+			release, admitted := s.acquire(g)
+			switch {
+			case admitted:
+				defer release()
+			case s.cfg.DegradeToApprox:
+				degraded = true
+				s.adm.RecordDegrade(g.slot)
+			default:
+				s.adm.RecordShed(g.slot)
+				w.Header().Set("Retry-After", s.retryAfterSeconds())
+				writeFail(c, w, bin, http.StatusTooManyRequests, "field budget and overflow pool exhausted")
+				return
+			}
+		}
+		ctx, cancel, ok := s.deadline(c, w, r, bin)
+		if !ok {
+			return
+		}
+		defer cancel()
+		s.handleAggregate(c, w, r.WithContext(ctx), bin, degraded)
 	}
 }
 
@@ -378,6 +436,7 @@ func mapError(err error) int {
 	switch {
 	case errors.Is(err, fielddb.ErrInvertedInterval),
 		errors.Is(err, fielddb.ErrNonFiniteBound),
+		errors.Is(err, fielddb.ErrBadTolerance),
 		errors.Is(err, fielddb.ErrBadConjunction):
 		return http.StatusBadRequest
 	case errors.Is(err, fielddb.ErrNoSpatialIndex),
@@ -685,6 +744,51 @@ func (s *Server) handleContour(c *codec, w http.ResponseWriter, r *http.Request,
 		return
 	}
 	c.writeContourEnvelope(w, s.quoted[name], level, cr, wantGeometry(r))
+}
+
+// handleAggregate answers GET /v1/fields/{name}/aggregate: count, area and
+// matched-area fraction of the cells whose value intersects [lo, hi], with
+// certified error bounds when the field's summary answered (approx true) and
+// exact otherwise (fallback true). The optional max_err parameter overrides
+// the server's configured tolerance; degraded requests (admitAggregate) run
+// with +Inf regardless, accepting any certified bound.
+func (s *Server) handleAggregate(c *codec, w http.ResponseWriter, r *http.Request, bin, degraded bool) {
+	f, name, ok := s.field(c, w, r, bin)
+	if !ok {
+		return
+	}
+	lo, err := queryFloat(r, "lo")
+	if err != nil {
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
+		return
+	}
+	hi, err := queryFloat(r, "hi")
+	if err != nil {
+		writeFail(c, w, bin, http.StatusBadRequest, err.Error())
+		return
+	}
+	maxErr := s.cfg.ApproxMaxErr
+	if raw := r.URL.Query().Get("max_err"); raw != "" {
+		v, perr := strconv.ParseFloat(raw, 64)
+		if perr != nil {
+			writeFail(c, w, bin, http.StatusBadRequest, fmt.Sprintf("query parameter %q: %v", "max_err", perr))
+			return
+		}
+		maxErr = v
+	}
+	if degraded {
+		maxErr = math.Inf(1)
+	}
+	res, err := f.Querier.ApproxAggregateContext(r.Context(), lo, hi, maxErr)
+	if err != nil {
+		fail(c, w, bin, err)
+		return
+	}
+	if bin {
+		c.writeAggregateFrame(w, name, res, degraded)
+		return
+	}
+	c.writeAggregateEnvelope(w, s.quoted[name], res, degraded)
 }
 
 // batchRequest is the POST body of /batch.

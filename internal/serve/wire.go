@@ -38,6 +38,12 @@ package serve
 //	             cells u32 | pages u32 | regrouped u8
 //	8 describe : fieldInfo
 //	9 list     : count u32 | fieldInfo ×count
+//	10 aggregate: field string | lo f64 | hi f64 | max_err f64 | count f64 |
+//	             count_bound f64 | area f64 | area_bound f64 | fraction f64 |
+//	             fraction_bound f64 | total_cells f64 | total_area f64 |
+//	             approx u8 | fallback u8 | degraded u8 | ioStats
+//	             (max_err rides f64 natively, so the degraded mode's +Inf —
+//	             JSON's null — needs no special case)
 //	fieldInfo  : name string | method string | cells u32 | cell_pages u32 |
 //	             index_pages u32 | sidecar_pages u32 | groups u32 |
 //	             tree_height u32 | value_lo f64 | value_hi f64 | writable u8
@@ -65,15 +71,16 @@ const (
 	wireMagic   = "FWB1"
 	wireVersion = 1
 
-	frameResult   byte = 1
-	framePoint    byte = 2
-	frameContour  byte = 3
-	frameBatch    byte = 4
-	frameError    byte = 5
-	frameAnd      byte = 6
-	frameUpdate   byte = 7
-	frameDescribe byte = 8
-	frameList     byte = 9
+	frameResult    byte = 1
+	framePoint     byte = 2
+	frameContour   byte = 3
+	frameBatch     byte = 4
+	frameError     byte = 5
+	frameAnd       byte = 6
+	frameUpdate    byte = 7
+	frameDescribe  byte = 8
+	frameList      byte = 9
+	frameAggregate byte = 10
 )
 
 // batchColumns is the number of packed per-member stat columns in a batch
@@ -378,6 +385,35 @@ func (c *codec) writeAndFrame(w http.ResponseWriter, res *fielddb.ConjunctiveRes
 	c.streamGeometryBin(res.Regions, geometry && len(res.Regions) > 0)
 }
 
+// writeAggregateFrame streams a kind-10 frame.
+func (c *codec) writeAggregateFrame(w http.ResponseWriter, field string, res *fielddb.AggregateResult, degraded bool) {
+	setBinaryHeader(w, http.StatusOK)
+	b := appendHeader(c.buf[:0], frameAggregate)
+	b = appendString(b, field)
+	b = appendF64(b, res.Query.Lo)
+	b = appendF64(b, res.Query.Hi)
+	b = appendF64(b, res.MaxErr)
+	b = appendF64(b, res.Count)
+	b = appendF64(b, res.CountBound)
+	b = appendF64(b, res.Area)
+	b = appendF64(b, res.AreaBound)
+	b = appendF64(b, res.Fraction)
+	b = appendF64(b, res.FractionBound)
+	b = appendF64(b, res.TotalCells)
+	b = appendF64(b, res.TotalArea)
+	b = append(b, boolByte(res.Approx), boolByte(res.Fallback), boolByte(degraded))
+	b = appendIOStats(b, res.IO)
+	c.bw.Write(b)
+	c.buf = b[:0]
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // writeUpdateFrame streams a kind-7 frame.
 func (c *codec) writeUpdateFrame(w http.ResponseWriter, field string, st *fielddb.UpdateStats) {
 	setBinaryHeader(w, http.StatusOK)
@@ -506,6 +542,19 @@ type WireAndFrame struct {
 	Area     float64
 	PerField []WireResult
 	Geometry [][][2]float64
+}
+
+// WireAggregateFrame is a decoded kind-10 frame. MaxErr is +Inf where the
+// JSON envelope says null (degraded requests accept any certified bound).
+type WireAggregateFrame struct {
+	Field                      string
+	Lo, Hi, MaxErr             float64
+	Count, CountBound          float64
+	Area, AreaBound            float64
+	Fraction, FractionBound    float64
+	TotalCells, TotalArea      float64
+	Approx, Fallback, Degraded bool
+	IO                         WireIO
 }
 
 // WireUpdateFrame is a decoded kind-7 frame.
@@ -730,7 +779,7 @@ func (r *frameReader) fieldInfo() WireFieldInfo {
 // DecodeFrame parses one binary response frame. It returns one of
 // *WireResultFrame, *WirePointFrame, *WireContourFrame, *WireBatchFrame,
 // *WireErrorFrame, *WireAndFrame, *WireUpdateFrame, *WireFieldInfo
-// (describe), or *WireListFrame, by frame kind.
+// (describe), *WireListFrame, or *WireAggregateFrame, by frame kind.
 func DecodeFrame(data []byte) (any, error) {
 	r := &frameReader{b: data}
 	if magic := r.take(4); r.err != nil || string(magic) != wireMagic {
@@ -776,6 +825,25 @@ func DecodeFrame(data []byte) (any, error) {
 			CellsTouched:   r.u32(),
 			PagesWritten:   r.u32(),
 			Regrouped:      r.u8() != 0,
+		}
+	case frameAggregate:
+		out = &WireAggregateFrame{
+			Field:         r.str(),
+			Lo:            r.f64(),
+			Hi:            r.f64(),
+			MaxErr:        r.f64(),
+			Count:         r.f64(),
+			CountBound:    r.f64(),
+			Area:          r.f64(),
+			AreaBound:     r.f64(),
+			Fraction:      r.f64(),
+			FractionBound: r.f64(),
+			TotalCells:    r.f64(),
+			TotalArea:     r.f64(),
+			Approx:        r.u8() != 0,
+			Fallback:      r.u8() != 0,
+			Degraded:      r.u8() != 0,
+			IO:            r.ioStats(),
 		}
 	case frameDescribe:
 		fi := r.fieldInfo()

@@ -64,6 +64,18 @@ type Querier interface {
 	// the first failing member determines the returned error (wrapped with
 	// its position) while successful members keep their slots.
 	ValueQueryBatch(ctx context.Context, intervals []Interval) ([]*Result, error)
+	// ApproxValueQueryContext answers F⁻¹(lo ≤ w ≤ hi) approximately from
+	// subfield metadata alone (an upper bound on matching cells and a summary
+	// average, at filter-step cost). Only partition-based methods carry the
+	// per-subfield summaries; others fail with ErrNoPartition.
+	ApproxValueQueryContext(ctx context.Context, lo, hi float64) (*ApproxResult, error)
+	// ApproxAggregateContext answers "how many cells, and how much area, have
+	// a value in [lo, hi]" within a certified error tolerance of maxErr on the
+	// matched-area fraction, reading at most a handful of summary pages; when
+	// the certified bound exceeds maxErr (or the index has no summary) the
+	// exact pipeline answers instead. maxErr 0 selects the surface's
+	// configured default; NaN and negative fail with ErrBadTolerance.
+	ApproxAggregateContext(ctx context.Context, lo, hi, maxErr float64) (*AggregateResult, error)
 	// PointQueryContext answers the conventional query F(v'): the
 	// interpolated value at point p.
 	PointQueryContext(ctx context.Context, p Point) (float64, error)

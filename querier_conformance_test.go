@@ -106,6 +106,14 @@ func TestQuerierConformanceAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	refAgg, err := ref.ApproxAggregateContext(ctx, lo, hi, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refApprox, err := ref.ApproxValueQueryContext(ctx, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, s := range surfaces {
 		t.Run(s.name, func(t *testing.T) {
@@ -196,6 +204,46 @@ func TestQuerierConformanceAnswers(t *testing.T) {
 				}
 			}
 
+			// Approximate aggregates: every surface answers from the same
+			// persisted summary, so the estimates and certified bounds agree
+			// exactly — and the bounds must actually contain the exact answer
+			// the reference pipeline computed.
+			agg, err := s.q.ApproxAggregateContext(ctx, lo, hi, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg.Count != refAgg.Count || agg.CountBound != refAgg.CountBound ||
+				agg.Area != refAgg.Area || agg.AreaBound != refAgg.AreaBound ||
+				agg.Fraction != refAgg.Fraction || agg.FractionBound != refAgg.FractionBound ||
+				agg.TotalCells != refAgg.TotalCells || agg.TotalArea != refAgg.TotalArea ||
+				agg.Approx != refAgg.Approx || agg.Fallback != refAgg.Fallback {
+				t.Fatalf("aggregate diverges: %+v, want %+v", agg, refAgg)
+			}
+			if diff := math.Abs(agg.Count - float64(refRange.CellsMatched)); diff > agg.CountBound+1e-9 {
+				t.Fatalf("count error %g exceeds certified bound %g", diff, agg.CountBound)
+			}
+			if diff := math.Abs(agg.Area - refRange.MatchedCellArea); diff > agg.AreaBound+1e-9*(1+agg.TotalArea) {
+				t.Fatalf("area error %g exceeds certified bound %g", diff, agg.AreaBound)
+			}
+			if agg.Approx && !agg.Fallback && agg.IO.Reads > 4 {
+				t.Fatalf("approximate aggregate cost %d reads, want <= 4", agg.IO.Reads)
+			}
+
+			// Approximate value queries answer from the same subfield
+			// metadata on every surface, and the cell count is a true upper
+			// bound on the exact answer.
+			ap, err := s.q.ApproxValueQueryContext(ctx, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ap.Groups != refApprox.Groups || ap.CellsUpperBound != refApprox.CellsUpperBound ||
+				ap.AvgValue != refApprox.AvgValue {
+				t.Fatalf("approx value query diverges: %+v, want %+v", ap, refApprox)
+			}
+			if ap.CellsUpperBound < refRange.CellsMatched {
+				t.Fatalf("CellsUpperBound %d below the exact count %d", ap.CellsUpperBound, refRange.CellsMatched)
+			}
+
 			// Every surface meters its queries.
 			if s.q.QueryMetrics().Queries == 0 {
 				t.Fatal("QueryMetrics() recorded no queries")
@@ -236,6 +284,27 @@ func TestQuerierConformanceValidation(t *testing.T) {
 				if _, err := s.q.PointQueryContext(ctx, Point{X: math.NaN(), Y: 1}); !errors.Is(err, ErrNonFiniteBound) {
 					t.Fatalf("NaN point: %v", err)
 				}
+			}
+			// Aggregates share the interval validation and add tolerance
+			// validation: NaN and negative tolerances are ErrBadTolerance on
+			// every surface.
+			if _, err := s.q.ApproxAggregateContext(ctx, 5, 1, 0.1); !errors.Is(err, ErrInvertedInterval) {
+				t.Fatalf("inverted aggregate: %v", err)
+			}
+			if _, err := s.q.ApproxAggregateContext(ctx, math.NaN(), 1, 0.1); !errors.Is(err, ErrNonFiniteBound) {
+				t.Fatalf("NaN aggregate lo: %v", err)
+			}
+			if _, err := s.q.ApproxAggregateContext(ctx, 0, 1, math.NaN()); !errors.Is(err, ErrBadTolerance) {
+				t.Fatalf("NaN tolerance: %v", err)
+			}
+			if _, err := s.q.ApproxAggregateContext(ctx, 0, 1, -0.5); !errors.Is(err, ErrBadTolerance) {
+				t.Fatalf("negative tolerance: %v", err)
+			}
+			if _, err := s.q.ApproxValueQueryContext(ctx, 5, 1); !errors.Is(err, ErrInvertedInterval) {
+				t.Fatalf("inverted approx value query: %v", err)
+			}
+			if _, err := s.q.ApproxValueQueryContext(ctx, 0, math.Inf(1)); !errors.Is(err, ErrNonFiniteBound) {
+				t.Fatalf("+Inf approx value query: %v", err)
 			}
 		})
 	}
@@ -281,6 +350,12 @@ func TestQuerierConformanceClosed(t *testing.T) {
 			}
 			if _, err := s.q.ContourMapContext(ctx, 0.5); !errors.Is(err, ErrClosed) {
 				t.Fatalf("contour after close: %v", err)
+			}
+			if _, err := s.q.ApproxAggregateContext(ctx, 0, 1, 0.1); !errors.Is(err, ErrClosed) {
+				t.Fatalf("aggregate after close: %v", err)
+			}
+			if _, err := s.q.ApproxValueQueryContext(ctx, 0, 1); !errors.Is(err, ErrClosed) {
+				t.Fatalf("approx value query after close: %v", err)
 			}
 		})
 	}

@@ -19,6 +19,9 @@
 //	SEED         PRNG seed               (default 1)
 //	INTERVALS    zipf pool size          (default 32)
 //	POINT_EVERY  point query cadence     (default 8, <0 disables)
+//	AGGREGATE    aggregate query cadence (default 0, disabled; one
+//	             /aggregate per this many requests, same interval pool)
+//	MAX_ERR      aggregate max_err param (default unset: server default)
 //	WIRE         json | bin              (default json; bin sets
 //	             Accept: application/x-fielddb-bin)
 //	GEOMETRY     1 adds ?geometry=1 to range queries (default 0)
@@ -31,6 +34,8 @@ const FIELD = __ENV.FIELD || 'demo';
 const SEED = parseInt(__ENV.SEED || '1', 10);
 const INTERVALS = parseInt(__ENV.INTERVALS || '32', 10);
 const POINT_EVERY = parseInt(__ENV.POINT_EVERY || '8', 10);
+const AGGREGATE = parseInt(__ENV.AGGREGATE || '0', 10);
+const MAX_ERR = __ENV.MAX_ERR || '';
 const WIRE = __ENV.WIRE || 'json';
 const GEOMETRY = __ENV.GEOMETRY === '1';
 const WIRE_MIME = 'application/x-fielddb-bin';
@@ -102,6 +107,13 @@ export default function (data) {
     const x = 1 + rng() * 99;
     const y = 1 + rng() * 99;
     url = `${BASE_URL}/v1/fields/${FIELD}/point?x=${x}&y=${y}`;
+  } else if (AGGREGATE > 0 && __ITER % AGGREGATE === AGGREGATE - 1) {
+    const u = rng() * data.zipf.sum;
+    let rank = data.zipf.cum.findIndex((c) => u <= c);
+    if (rank < 0) rank = INTERVALS - 1;
+    const [qlo, qhi] = data.pool[rank];
+    const maxErr = MAX_ERR !== '' ? `&max_err=${MAX_ERR}` : '';
+    url = `${BASE_URL}/v1/fields/${FIELD}/aggregate?lo=${qlo}&hi=${qhi}${maxErr}`;
   } else {
     const u = rng() * data.zipf.sum;
     let rank = data.zipf.cum.findIndex((c) => u <= c);
